@@ -1,0 +1,122 @@
+// Command tracereplay records and replays trace-based I/O kernels — the
+// Skel-style alternative to source-based discovery the paper contrasts
+// with in §V-B.
+//
+// Usage:
+//
+//	tracereplay record -workload vpic -o vpic.trace.json
+//	tracereplay replay -i vpic.trace.json [-stripes 64] [-collective]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tunio/internal/cluster"
+	"tunio/internal/params"
+	"tunio/internal/replay"
+	"tunio/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replayCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracereplay record|replay [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("workload", "vpic", "workload to trace: vpic, hacc, flash, bdcats, macsio, ior")
+	nodes := fs.Int("nodes", 4, "simulated nodes")
+	ppn := fs.Int("ppn", 32, "processes per node")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("o", "", "output trace file (default stdout)")
+	fs.Parse(args)
+
+	c := cluster.CoriHaswell(*nodes, *ppn)
+	w, err := workload.ByName(*name, c.Procs())
+	if err != nil {
+		fatal(err)
+	}
+	st, err := workload.BuildStack(c, params.DefaultAssignment(params.Space()).Settings(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	trace, err := replay.Record(w, st)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := trace.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracereplay: recorded %d events at %d procs (%.1f simulated s)\n",
+		len(trace.Events), trace.Nprocs, st.Sim.Now())
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func replayCmd(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "", "trace file to replay")
+	nodes := fs.Int("nodes", 4, "simulated nodes (must match the trace's scale)")
+	ppn := fs.Int("ppn", 32, "processes per node")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	stripes := fs.Int("stripes", 0, "striping_factor value index override")
+	collective := fs.Bool("collective", false, "enable collective I/O")
+	skipCompute := fs.Bool("skip-compute", false, "replay only the I/O phases")
+	fs.Parse(args)
+
+	if *in == "" {
+		fatal(fmt.Errorf("replay needs -i trace.json"))
+	}
+	blob, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	trace, err := replay.Unmarshal(blob)
+	if err != nil {
+		fatal(err)
+	}
+	a := params.DefaultAssignment(params.Space())
+	if *stripes > 0 {
+		if err := a.SetIndex(params.StripingFactor, *stripes); err != nil {
+			fatal(err)
+		}
+	}
+	if *collective {
+		a.SetIndex(params.CollectiveWrite, 1)
+	}
+	c := cluster.CoriHaswell(*nodes, *ppn)
+	res, err := workload.Execute(&replay.Player{T: trace, SkipCompute: *skipCompute}, c, a.Settings(), *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d events: %.1f simulated s, perf %.0f MB/s (alpha %.2f)\n",
+		len(trace.Events), res.Runtime, res.Perf, res.Alpha)
+	fmt.Print(res.Report)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracereplay:", err)
+	os.Exit(1)
+}

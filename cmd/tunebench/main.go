@@ -1,0 +1,79 @@
+// Command tunebench regenerates the paper's tables and figures on the
+// simulated stack.
+//
+// Usage:
+//
+//	tunebench                 # run every experiment at smoke scale
+//	tunebench -fig 10         # one figure
+//	tunebench -scale paper    # evaluation-sized runs (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tunio/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 5, 8, 8c, 9, 10, 11, 12, all")
+	scaleName := flag.String("scale", "smoke", "experiment scale: smoke or paper")
+	seed := flag.Int64("seed", 7, "experiment seed")
+	flag.Parse()
+
+	scale := experiments.Smoke
+	switch *scaleName {
+	case "smoke":
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	cfg := experiments.Config{Scale: scale, Seed: *seed}
+
+	type job struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	var fig11Cache *experiments.Fig11Result
+	jobs := []job{
+		{"1", func() (fmt.Stringer, error) { return experiments.Fig01(cfg), nil }},
+		{"2", func() (fmt.Stringer, error) { r, err := experiments.Fig02(cfg); return r, err }},
+		{"5", func() (fmt.Stringer, error) { r, err := experiments.Fig05(cfg); return r, err }},
+		{"8", func() (fmt.Stringer, error) { r, err := experiments.Fig08(cfg); return r, err }},
+		{"8c", func() (fmt.Stringer, error) { r, err := experiments.Fig08c(cfg); return r, err }},
+		{"9", func() (fmt.Stringer, error) { r, err := experiments.Fig09(cfg); return r, err }},
+		{"10", func() (fmt.Stringer, error) { r, err := experiments.Fig10(cfg); return r, err }},
+		{"11", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig11(cfg)
+			fig11Cache = r
+			return r, err
+		}},
+		{"12", func() (fmt.Stringer, error) { r, err := experiments.Fig12(cfg, fig11Cache); return r, err }},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if *fig != "all" && *fig != j.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := j.run()
+		if err != nil {
+			fatal(fmt.Errorf("figure %s: %w", j.name, err))
+		}
+		fmt.Println(res)
+		fmt.Printf("[figure %s regenerated in %.1fs wall time]\n\n", j.name, time.Since(start).Seconds())
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tunebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package tunio_test
+
+import (
+	"fmt"
+	"strings"
+
+	"tunio"
+)
+
+// ExampleDiscoverIO reduces a small application to its I/O kernel: compute
+// statements disappear while the I/O calls, their dependents, and their
+// contextual parents survive.
+func ExampleDiscoverIO() {
+	src := `
+int main() {
+    double t = 0.0;
+    double energy = 0.0;
+    hid_t f = H5Fcreate("/scratch/demo.h5", 0, 0, 0);
+    for (int step = 0; step < 4; step++) {
+        t = t + 0.5;
+        energy = t * t;
+        H5Fclose(f);
+        break;
+    }
+    return 0;
+}
+`
+	kernel, err := tunio.DiscoverIO(src, tunio.DiscoveryOptions{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("kept", len(kernel.MarkedLines), "of", kernel.TotalLines, "lines")
+	fmt.Println("has H5Fcreate:", strings.Contains(kernel.Source, "H5Fcreate"))
+	fmt.Println("has energy:", strings.Contains(kernel.Source, "energy"))
+	// Output:
+	// kept 7 of 15 lines
+	// has H5Fcreate: true
+	// has energy: false
+}
+
+// ExampleParameterSpace lists the tuned parameters of the paper's
+// 12-parameter evaluation space.
+func ExampleParameterSpace() {
+	space := tunio.ParameterSpace()
+	fmt.Println(len(space), "parameters")
+	for _, p := range space[:3] {
+		fmt.Printf("%s (%s, %d values)\n", p.Name, p.Layer, len(p.Values))
+	}
+	// Output:
+	// 12 parameters
+	// sieve_buf_size (hdf5, 8 values)
+	// chunk_cache (hdf5, 10 values)
+	// alignment (hdf5, 8 values)
+}

@@ -1,0 +1,50 @@
+// Quickstart: train TunIO's agents offline, then tune the MACSio workload
+// generator on the simulated Cori environment and print the tuning curve.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tunio"
+)
+
+func main() {
+	fmt.Println("== TunIO quickstart ==")
+	fmt.Println("training agents offline (parameter sweep + PCA, synthetic log curves)...")
+	agent, err := tunio.Train(tunio.TrainConfig{
+		Seed:            1,
+		ExtraRandomRuns: 8,
+		StopperEpochs:   25,
+		PickerEpochs:    15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("tuning MACSio on 4 nodes x 32 procs...")
+	res, err := tunio.Tune(tunio.TuneOptions{
+		Workload:      "macsio",
+		Agent:         agent,
+		PopSize:       8,
+		MaxIterations: 25,
+		Reps:          1,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-5s %9s %11s %7s\n", "iter", "minutes", "best MB/s", "RoTI")
+	for i, p := range res.Curve {
+		fmt.Printf("%5d %9.1f %11.0f %7.1f\n", p.Iteration, p.TimeMinutes, p.BestPerf, res.Curve.RoTIAt(i))
+	}
+	fmt.Printf("\nuntuned %.0f MB/s -> tuned %.0f MB/s (%.1fx) in %.0f simulated minutes\n",
+		res.Curve.Baseline(), res.BestPerf, res.Curve.Speedup(), res.Curve.TotalMinutes())
+	if res.StoppedEarly {
+		fmt.Printf("the RL early stopper ended tuning after iteration %d\n", res.StoppedAt)
+	}
+	fmt.Printf("parameters changed from defaults: %v\n", res.Best.ChangedFromDefault())
+}

@@ -1,0 +1,3 @@
+module tunio
+
+go 1.22

@@ -1,0 +1,524 @@
+package cinterp
+
+import (
+	"strings"
+	"testing"
+
+	"tunio/internal/cluster"
+	"tunio/internal/csrc"
+	"tunio/internal/discovery"
+	"tunio/internal/hdf5"
+	"tunio/internal/ioreq"
+	"tunio/internal/lustre"
+	"tunio/internal/mpiio"
+	"tunio/internal/posixio"
+)
+
+// newLib builds a stack for nprocs simulated ranks.
+func newLib(t *testing.T, nodes, ppn int) *hdf5.Library {
+	t.Helper()
+	c := cluster.CoriHaswell(nodes, ppn)
+	c.Noise = 0
+	sim, err := cluster.NewSim(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lustre.New(lustre.CoriScratch(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := &lustre.Backend{FS: fs, StripeCount: 8, StripeSize: 1 << 20}
+	mem := posixio.NewMemFS(sim)
+	resolver := func(path string) ioreq.Backend {
+		if posixio.IsMemPath(path) {
+			return mem
+		}
+		return lb
+	}
+	lib, err := hdf5.NewLibrary(sim, resolver, mpiio.Hints{}, hdf5.DefaultConfig(), nodes*ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+// miniVPIC writes PER_RANK doubles per rank into a shared 1-D dataset.
+const miniVPIC = `
+#define PER_RANK 1024
+
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+
+    compute_flops(1000000.0);
+
+    hsize_t total[1] = {0};
+    total[0] = nprocs * PER_RANK;
+    hid_t file = H5Fcreate("/scratch/mini.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t filespace = H5Screate_simple(1, total, NULL);
+
+    hsize_t start[1] = {0};
+    hsize_t count[1] = {PER_RANK};
+    start[0] = rank * PER_RANK;
+    H5Sselect_hyperslab(filespace, H5S_SELECT_SET, start, NULL, count, NULL);
+
+    double* buf = (double*)malloc(PER_RANK * sizeof(double));
+    hid_t dset = H5Dcreate(file, "x", H5T_NATIVE_DOUBLE, filespace, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5S_ALL, filespace, H5P_DEFAULT, buf);
+    H5Dclose(dset);
+    H5Sclose(filespace);
+    H5Fclose(file);
+    free(buf);
+    MPI_Finalize();
+    return 0;
+}
+`
+
+func parseProg(t *testing.T, src string) *csrc.File {
+	t.Helper()
+	f, err := csrc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunMiniVPIC(t *testing.T) {
+	lib := newLib(t, 2, 4) // 8 ranks
+	prog := parseProg(t, miniVPIC)
+	if _, err := Run(prog, lib); err != nil {
+		t.Fatal(err)
+	}
+	app := lib.Sim().Report.App()
+	want := int64(8 * 1024 * 8) // 8 ranks x 1024 doubles x 8B
+	if app.BytesWritten != want {
+		t.Fatalf("wrote %d bytes, want %d", app.BytesWritten, want)
+	}
+	if app.WriteOps != 8 {
+		t.Fatalf("write ops = %d, want 8 (one H5Dwrite per rank)", app.WriteOps)
+	}
+	if lib.Sim().Now() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	lib := newLib(t, 1, 2)
+	if _, err := Run(nil, lib); err == nil {
+		t.Fatal("nil program: want error")
+	}
+	noMain := parseProg(t, "int helper() { return 0; }")
+	if _, err := Run(noMain, lib); err == nil {
+		t.Fatal("no main: want error")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	prog := parseProg(t, miniVPIC)
+	libA := newLib(t, 2, 4)
+	libB := newLib(t, 2, 4)
+	if _, err := Run(prog, libA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, libB); err != nil {
+		t.Fatal(err)
+	}
+	if libA.Sim().Now() != libB.Sim().Now() {
+		t.Fatalf("nondeterministic runtime: %v vs %v", libA.Sim().Now(), libB.Sim().Now())
+	}
+}
+
+func TestRankDivergentIO(t *testing.T) {
+	// Only rank 0 writes: the coordinator must not deadlock and the write
+	// must be a single-slab phase.
+	src := `
+int main() {
+    int rank;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    hid_t file = H5Fcreate("/scratch/r0.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    if (rank == 0) {
+        hsize_t dims[1] = {512};
+        hid_t sp = H5Screate_simple(1, dims, NULL);
+        hsize_t start[1] = {0};
+        hsize_t count[1] = {512};
+        H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+        hid_t d = H5Dcreate(file, "meta", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+        H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+        H5Dclose(d);
+        H5Sclose(sp);
+    }
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`
+	lib := newLib(t, 1, 4)
+	if _, err := Run(parseProg(t, src), lib); err != nil {
+		t.Fatal(err)
+	}
+	app := lib.Sim().Report.App()
+	if app.WriteOps != 1 || app.BytesWritten != 512*8 {
+		t.Fatalf("counters: %+v", app)
+	}
+}
+
+func TestChunkedDatasetViaPlist(t *testing.T) {
+	src := `
+int main() {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    hsize_t dims[2] = {0, 256};
+    dims[0] = nprocs;
+    hid_t file = H5Fcreate("/scratch/chunky.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t sp = H5Screate_simple(2, dims, NULL);
+    hid_t dcpl = H5Pcreate(H5P_DATASET_CREATE);
+    hsize_t chunk[2] = {1, 256};
+    H5Pset_chunk(dcpl, 2, chunk);
+    hid_t d = H5Dcreate(file, "u", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, dcpl, H5P_DEFAULT);
+    hsize_t start[2] = {0, 0};
+    hsize_t count[2] = {1, 256};
+    start[0] = rank;
+    H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+    H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    H5Dclose(d);
+    H5Pclose(dcpl);
+    H5Sclose(sp);
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`
+	lib := newLib(t, 1, 4)
+	if _, err := Run(parseProg(t, src), lib); err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Sim().Report.App().BytesWritten; got != 4*256*8 {
+		t.Fatalf("bytes = %d", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	src := `
+int main() {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    hsize_t dims[1] = {0};
+    dims[0] = nprocs * 128;
+    hid_t file = H5Fcreate("/scratch/rw.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hsize_t start[1] = {0};
+    hsize_t count[1] = {128};
+    start[0] = rank * 128;
+    H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+    hid_t d = H5Dcreate(file, "v", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    H5Dread(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    H5Dclose(d);
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`
+	lib := newLib(t, 1, 4)
+	if _, err := Run(parseProg(t, src), lib); err != nil {
+		t.Fatal(err)
+	}
+	app := lib.Sim().Report.App()
+	if app.BytesRead != app.BytesWritten || app.BytesRead == 0 {
+		t.Fatalf("round trip: wrote %d read %d", app.BytesWritten, app.BytesRead)
+	}
+	alpha := lib.Sim().Report.WriteRatio()
+	if alpha != 0.5 {
+		t.Fatalf("alpha = %v, want 0.5", alpha)
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	cases := []string{
+		// open of a missing file
+		`int main() { hid_t f = H5Fopen("/scratch/nope.h5", H5F_ACC_RDONLY, H5P_DEFAULT); return 0; }`,
+		// write with no selection possible (H5S_ALL filespace)
+		`int main() { H5Dwrite(42, 0, 0, 0, 0, 0); return 0; }`,
+		// unknown function
+		`int main() { frobnicate(1); return 0; }`,
+		// division by zero
+		`int main() { int x = 1 / 0; return 0; }`,
+		// out-of-range index
+		`int main() { hsize_t a[2] = {1, 2}; a[5] = 3; return 0; }`,
+	}
+	for i, src := range cases {
+		lib := newLib(t, 1, 2)
+		if _, err := Run(parseProg(t, src), lib); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestLoopReduceBuiltin(t *testing.T) {
+	// A loop writing 100 steps, reduced to 1%: exactly 1 write happens
+	// (floor(100*0.01) = 1).
+	src := `
+int main() {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    hsize_t dims[1] = {0};
+    dims[0] = nprocs * 64;
+    hid_t file = H5Fcreate("/scratch/loop.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hsize_t start[1] = {0};
+    hsize_t count[1] = {64};
+    start[0] = rank * 64;
+    H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+    hid_t d = H5Dcreate(file, "w", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    for (int i = 0; i < __loop_reduce(100, 0.01); i++) {
+        H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    }
+    H5Dclose(d);
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`
+	lib := newLib(t, 1, 2)
+	if _, err := Run(parseProg(t, src), lib); err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Sim().Report.App().WriteOps; got != 2 { // 2 ranks x 1 iteration
+		t.Fatalf("write ops = %d, want 2", got)
+	}
+}
+
+func TestPrintfCollectsRankZero(t *testing.T) {
+	src := `
+int main() {
+    int rank;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    printf("hello from the kernel\n");
+    MPI_Finalize();
+    return 0;
+}
+`
+	lib := newLib(t, 1, 4)
+	res, err := Run(parseProg(t, src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || !strings.Contains(res.Output[0], "hello") {
+		t.Fatalf("output = %v", res.Output)
+	}
+}
+
+func TestDiscoveredKernelRuns(t *testing.T) {
+	// End-to-end: full app with compute -> discovery -> kernel executes
+	// and writes the same bytes with less simulated time.
+	full := `
+double physics(double t) {
+    return t * 1.5;
+}
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    double t = 0.0;
+    double energy = 0.0;
+    hsize_t dims[1] = {0};
+    dims[0] = nprocs * 2048;
+    hid_t file = H5Fcreate("/scratch/e2e.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hsize_t start[1] = {0};
+    hsize_t count[1] = {2048};
+    start[0] = rank * 2048;
+    H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+    hid_t d = H5Dcreate(file, "e", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    for (int step = 0; step < 4; step++) {
+        compute_flops(500000000.0);
+        t = t + 0.5;
+        energy = physics(t);
+        H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    }
+    H5Dclose(d);
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`
+	// full application
+	libFull := newLib(t, 1, 4)
+	if _, err := Run(parseProg(t, full), libFull); err != nil {
+		t.Fatal(err)
+	}
+
+	// discovered kernel
+	k, err := discovery.Discover(full, discovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	libKernel := newLib(t, 1, 4)
+	if _, err := Run(k.File, libKernel); err != nil {
+		t.Fatalf("kernel failed: %v\nkernel source:\n%s", err, k.Source)
+	}
+
+	fw := libFull.Sim().Report.App().BytesWritten
+	kw := libKernel.Sim().Report.App().BytesWritten
+	if fw != kw {
+		t.Fatalf("kernel wrote %d bytes, full app wrote %d", kw, fw)
+	}
+	if libKernel.Sim().Now() >= libFull.Sim().Now() {
+		t.Fatalf("kernel (%.3fs) not faster than full app (%.3fs)",
+			libKernel.Sim().Now(), libFull.Sim().Now())
+	}
+}
+
+func TestCollectiveMismatchDetected(t *testing.T) {
+	// Rank 0 waits at a barrier while rank 1 waits at MPI_Finalize: a
+	// real MPI deadlock, which the coordinator must detect and fail.
+	src := `
+int main() {
+    int rank;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    if (rank == 0) {
+        MPI_Barrier(MPI_COMM_WORLD);
+    }
+    MPI_Finalize();
+    return 0;
+}
+`
+	lib := newLib(t, 1, 2)
+	if _, err := Run(parseProg(t, src), lib); err == nil {
+		t.Fatal("collective mismatch not detected")
+	}
+}
+
+func TestManyRanksScale(t *testing.T) {
+	// 128 ranks run the mini kernel without deadlock and in bounded time.
+	lib := newLib(t, 4, 32)
+	if _, err := Run(parseProg(t, miniVPIC), lib); err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Sim().Report.App().WriteOps; got != 128 {
+		t.Fatalf("write ops = %d", got)
+	}
+}
+
+func TestGroupsAndAttributes(t *testing.T) {
+	src := `
+int main() {
+    int rank;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    hid_t file = H5Fcreate("/scratch/ga.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t grp = H5Gcreate(file, "checkpoint", H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t attr = H5Acreate(file, "sim_time", H5T_NATIVE_DOUBLE, 0, H5P_DEFAULT, H5P_DEFAULT);
+    H5Awrite(attr, H5T_NATIVE_DOUBLE, 0);
+    H5Aclose(attr);
+    hsize_t dims[1] = {256};
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hsize_t start[1] = {0};
+    hsize_t count[1] = {256};
+    H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+    if (rank == 0) {
+        hid_t d = H5Dcreate(grp, "inside_group", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+        H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+        H5Dclose(d);
+    }
+    H5Gclose(grp);
+    H5Sclose(sp);
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`
+	lib := newLib(t, 1, 4)
+	if _, err := Run(parseProg(t, src), lib); err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Sim().Report.App().BytesWritten; got != 256*8 {
+		t.Fatalf("dataset-in-group bytes = %d", got)
+	}
+}
+
+func TestGroupErrors(t *testing.T) {
+	src := `
+int main() {
+    hid_t file = H5Fcreate("/scratch/g2.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t g1 = H5Gcreate(file, "dup", H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t g2 = H5Gcreate(file, "dup", H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    return 0;
+}
+`
+	lib := newLib(t, 1, 2)
+	if _, err := Run(parseProg(t, src), lib); err == nil {
+		t.Fatal("duplicate group: want error")
+	}
+}
+
+func TestSimulatedComputeKernelRuns(t *testing.T) {
+	// End-to-end: discovery with compute simulation produces a kernel whose
+	// runtime sits between the bare kernel and the full application.
+	full := `
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    double t = 0.0;
+    hsize_t dims[1] = {0};
+    dims[0] = nprocs * 1024;
+    hid_t file = H5Fcreate("/scratch/simc.h5", H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hsize_t start[1] = {0};
+    hsize_t count[1] = {1024};
+    start[0] = rank * 1024;
+    H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+    hid_t d = H5Dcreate(file, "e", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    for (int step = 0; step < 3; step++) {
+        t = t + 0.5;
+        t = t * 1.01;
+        t = t - 0.1;
+        H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    }
+    H5Dclose(d);
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`
+	run := func(prog *csrc.File) float64 {
+		lib := newLib(t, 1, 4)
+		if _, err := Run(prog, lib); err != nil {
+			t.Fatal(err)
+		}
+		return lib.Sim().Now()
+	}
+	bare, err := discovery.Discover(full, discovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated, err := discovery.Discover(full, discovery.Options{SimulateCompute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tBare := run(bare.File)
+	tSim := run(simulated.File)
+	if tSim <= tBare {
+		t.Fatalf("compute simulation added no time: bare %.4fs, simulated %.4fs", tBare, tSim)
+	}
+}

@@ -1,0 +1,298 @@
+package cinterp
+
+import (
+	"fmt"
+	"sort"
+
+	"tunio/internal/hdf5"
+)
+
+// request is one rank's arrival at a synchronization point.
+type request struct {
+	rank  int
+	op    string
+	key   string // grouping key: op + target handle/name
+	name  string
+	dims  []int64
+	chunk []int64
+	slab  *hdf5.Slab
+	flops float64
+	id    int64
+	reply chan result
+}
+
+type result struct {
+	v   Value
+	err error
+}
+
+// coordinator serializes all interactions with the simulated stack: rank
+// goroutines block at collective calls; once every live rank has arrived
+// somewhere, the coordinator executes each arrival group as one phase.
+type coordinator struct {
+	lib     *hdf5.Library
+	nprocs  int
+	reqCh   chan *request
+	doneCh  chan doneMsg
+	stopped chan struct{}
+
+	handles map[int64]interface{} // shared *hdf5.File / *hdf5.Dataset
+	nextID  int64                 // even IDs for shared handles
+	fail    error
+}
+
+type doneMsg struct {
+	rank int
+	err  error
+}
+
+func newCoordinator(lib *hdf5.Library, nprocs int) *coordinator {
+	return &coordinator{
+		lib:     lib,
+		nprocs:  nprocs,
+		reqCh:   make(chan *request, nprocs),
+		doneCh:  make(chan doneMsg, nprocs),
+		stopped: make(chan struct{}),
+		handles: map[int64]interface{}{},
+		nextID:  2,
+	}
+}
+
+// collective is called from rank goroutines: block until the coordinator
+// services the request.
+func (c *coordinator) collective(req *request) (Value, error) {
+	req.reply = make(chan result, 1)
+	c.reqCh <- req
+	res := <-req.reply
+	return res.v, res.err
+}
+
+// done reports rank completion.
+func (c *coordinator) done(rank int, err error) {
+	c.doneCh <- doneMsg{rank: rank, err: err}
+}
+
+// fullyCollective ops require every live rank to arrive at the same call
+// before proceeding (file-level collectives and barriers, matching
+// parallel HDF5/MPI semantics); other ops execute with whichever ranks
+// arrived (dataset I/O from a rank subset is a smaller phase).
+var fullyCollective = map[string]bool{
+	"H5Fcreate": true, "H5Fopen": true, "H5Fclose": true,
+	"MPI_Init": true, "MPI_Finalize": true, "MPI_Barrier": true,
+}
+
+// run is the coordinator loop; it returns the first rank error.
+func (c *coordinator) run() error {
+	live := c.nprocs
+	var pending []*request
+	var firstErr error
+	for live > 0 {
+		select {
+		case req := <-c.reqCh:
+			pending = append(pending, req)
+		case d := <-c.doneCh:
+			live--
+			if d.err != nil && firstErr == nil {
+				firstErr = d.err
+			}
+		}
+		if live > 0 && len(pending) >= live {
+			var executed bool
+			pending, executed = c.service(pending, live)
+			if !executed && len(pending) >= live {
+				// every rank is blocked in a fully-collective call that
+				// will never complete: a genuine collective mismatch
+				err := fmt.Errorf("cinterp: collective mismatch: ranks blocked in different collective calls")
+				if c.fail == nil {
+					c.fail = err
+				}
+				for _, req := range pending {
+					req.reply <- result{err: err}
+				}
+				pending = nil
+			}
+		}
+	}
+	// ranks that died while others wait: fail any stragglers
+	for _, req := range pending {
+		req.reply <- result{err: fmt.Errorf("cinterp: collective with no peers (ranks exited)")}
+	}
+	close(c.stopped)
+	return firstErr
+}
+
+// service executes ready groups and returns the retained (not yet ready)
+// requests plus whether anything executed.
+func (c *coordinator) service(reqs []*request, live int) (retained []*request, executed bool) {
+	groups := map[string][]*request{}
+	var keys []string
+	for _, r := range reqs {
+		if _, ok := groups[r.key]; !ok {
+			keys = append(keys, r.key)
+		}
+		groups[r.key] = append(groups[r.key], r)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		group := groups[k]
+		if fullyCollective[group[0].op] && len(group) < live {
+			retained = append(retained, group...)
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].rank < group[j].rank })
+		v, err := c.execute(group)
+		if c.fail != nil && err == nil {
+			err = c.fail
+		}
+		if err != nil && c.fail == nil {
+			c.fail = err
+		}
+		for _, r := range group {
+			r.reply <- result{v: v, err: err}
+		}
+		executed = true
+	}
+	return retained, executed
+}
+
+// execute runs one group as a single operation/phase.
+func (c *coordinator) execute(group []*request) (Value, error) {
+	if c.fail != nil {
+		return Value{}, c.fail
+	}
+	lead := group[0]
+	switch lead.op {
+	case "H5Fcreate":
+		f, err := c.lib.CreateFile(lead.name)
+		if err != nil {
+			return Value{}, err
+		}
+		id := c.register(f)
+		return IntVal(id), nil
+
+	case "H5Fopen":
+		f, err := c.lib.OpenFile(lead.name)
+		if err != nil {
+			return Value{}, err
+		}
+		id := c.register(f)
+		return IntVal(id), nil
+
+	case "H5Fclose":
+		f, ok := c.handles[lead.id].(*hdf5.File)
+		if !ok {
+			return Value{}, fmt.Errorf("cinterp: H5Fclose on invalid handle %d", lead.id)
+		}
+		if err := f.Close(); err != nil {
+			return Value{}, err
+		}
+		return IntVal(0), nil
+
+	case "H5Dcreate":
+		f, ok := c.handles[lead.id].(*hdf5.File)
+		if !ok {
+			return Value{}, fmt.Errorf("cinterp: H5Dcreate on invalid file handle %d", lead.id)
+		}
+		space, err := hdf5.NewSpace(lead.dims, 8)
+		if err != nil {
+			return Value{}, err
+		}
+		ds, err := f.CreateDataset(lead.name, space, lead.chunk)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(c.register(ds)), nil
+
+	case "H5Dopen":
+		f, ok := c.handles[lead.id].(*hdf5.File)
+		if !ok {
+			return Value{}, fmt.Errorf("cinterp: H5Dopen on invalid file handle %d", lead.id)
+		}
+		ds, err := f.OpenDataset(lead.name)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(c.register(ds)), nil
+
+	case "H5Dwrite", "H5Dread":
+		ds, ok := c.handles[lead.id].(*hdf5.Dataset)
+		if !ok {
+			return Value{}, fmt.Errorf("cinterp: %s on invalid dataset handle %d", lead.op, lead.id)
+		}
+		slabs := make([]hdf5.Slab, 0, len(group))
+		for _, r := range group {
+			if r.slab == nil {
+				return Value{}, fmt.Errorf("cinterp: %s rank %d has no selection", r.op, r.rank)
+			}
+			slabs = append(slabs, *r.slab)
+		}
+		var err error
+		if lead.op == "H5Dwrite" {
+			_, err = ds.Write(slabs)
+		} else {
+			_, err = ds.Read(slabs)
+		}
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(0), nil
+
+	case "H5Dclose":
+		return IntVal(0), nil
+
+	case "H5Gcreate":
+		f, ok := c.handles[lead.id].(*hdf5.File)
+		if !ok {
+			return Value{}, fmt.Errorf("cinterp: H5Gcreate on invalid file handle %d", lead.id)
+		}
+		if err := f.CreateGroup(lead.name); err != nil {
+			return Value{}, err
+		}
+		// a group id behaves as a location: alias it to the file handle so
+		// H5Dcreate(group, ...) works
+		return IntVal(c.register(f)), nil
+
+	case "H5Acreate":
+		switch obj := c.handles[lead.id].(type) {
+		case *hdf5.File:
+			if err := obj.WriteAttribute(lead.name, 0); err != nil {
+				return Value{}, err
+			}
+		case *hdf5.Dataset:
+			if err := obj.WriteAttribute(lead.name, 0); err != nil {
+				return Value{}, err
+			}
+		default:
+			return Value{}, fmt.Errorf("cinterp: H5Acreate on invalid handle %d", lead.id)
+		}
+		return IntVal(c.register(struct{}{})), nil
+
+	case "MPI_Init", "MPI_Finalize":
+		c.lib.Sim().Barrier(len(group))
+		return IntVal(0), nil
+
+	case "MPI_Barrier":
+		c.lib.Sim().Barrier(len(group))
+		return IntVal(0), nil
+
+	case "compute":
+		max := 0.0
+		for _, r := range group {
+			if r.flops > max {
+				max = r.flops
+			}
+		}
+		c.lib.Sim().Compute(max)
+		return IntVal(0), nil
+
+	default:
+		return Value{}, fmt.Errorf("cinterp: unknown collective op %q", lead.op)
+	}
+}
+
+func (c *coordinator) register(obj interface{}) int64 {
+	id := c.nextID
+	c.nextID += 2
+	c.handles[id] = obj
+	return id
+}

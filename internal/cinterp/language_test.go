@@ -1,0 +1,348 @@
+package cinterp
+
+import (
+	"strings"
+	"testing"
+)
+
+// runOutput executes a single-rank program and returns rank 0's printf
+// strings (the language tests observe behavior through output).
+func runOutput(t *testing.T, src string) []string {
+	t.Helper()
+	lib := newLib(t, 1, 1)
+	res, err := Run(parseProg(t, src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Output
+}
+
+func TestLangWhileAndBreak(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    int i = 0;
+    while (1) {
+        i = i + 1;
+        if (i >= 5) {
+            break;
+        }
+    }
+    if (i == 5) {
+        printf("five\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 || !strings.Contains(out[0], "five") {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestLangContinue(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    int evens = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i % 2 == 1) {
+            continue;
+        }
+        evens = evens + 1;
+    }
+    if (evens == 5) {
+        printf("ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestLangUserFunctions(t *testing.T) {
+	out := runOutput(t, `
+long fib(long n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    if (fib(10) == 55) {
+        printf("fib ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("recursion failed: %v", out)
+	}
+}
+
+func TestLangGlobals(t *testing.T) {
+	out := runOutput(t, `
+int counter = 40;
+int bump(int by) {
+    counter = counter + by;
+    return counter;
+}
+int main() {
+    bump(2);
+    if (counter == 42) {
+        printf("global ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("globals failed: %v", out)
+	}
+}
+
+func TestLangArraysAndArithmetic(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    double acc[4] = {1.5, 2.5, 3.0, 0.0};
+    acc[3] = acc[0] + acc[1] * 2.0;
+    int mask = (1 << 3) | 1;
+    long big = 1000000 * 1000;
+    if (acc[3] == 6.5 && mask == 9 && big == 1000000000) {
+        printf("math ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("arithmetic failed: %v", out)
+	}
+}
+
+func TestLangCastsAndSizeof(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    double x = 7.9;
+    int trunc = (int)x;
+    if (trunc == 7 && sizeof(double) == 8 && sizeof(int) == 4 && sizeof(char) == 1) {
+        printf("casts ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("casts failed: %v", out)
+	}
+}
+
+func TestLangSqrtBuiltin(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    double r = sqrt(144.0);
+    if (r == 12.0) {
+        printf("sqrt ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("sqrt failed: %v", out)
+	}
+}
+
+func TestLangCharLiterals(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    char c = 'A';
+    if (c == 65) {
+        printf("char ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("char failed: %v", out)
+	}
+}
+
+func TestLangShortCircuit(t *testing.T) {
+	// The right side of && must not evaluate when the left is false:
+	// 1/zero would error otherwise.
+	out := runOutput(t, `
+int main() {
+    int zero = 0;
+    if (zero != 0 && 1 / zero > 0) {
+        printf("bad\n");
+    } else {
+        printf("short ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 || !strings.Contains(out[0], "short ok") {
+		t.Fatalf("short circuit failed: %v", out)
+	}
+}
+
+func TestLangRunawayLoopCaught(t *testing.T) {
+	lib := newLib(t, 1, 1)
+	_, err := Run(parseProg(t, `
+int main() {
+    while (1) {
+        int x = 1;
+    }
+    return 0;
+}
+`), lib)
+	if err == nil || !strings.Contains(err.Error(), "operations") {
+		t.Fatalf("runaway loop not caught: %v", err)
+	}
+}
+
+func TestLangNestedLoops(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    int total = 0;
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 3; j++) {
+            total = total + i * j;
+        }
+    }
+    if (total == 18) {
+        printf("nested ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("nested loops failed: %v", out)
+	}
+}
+
+func TestLangElseChains(t *testing.T) {
+	out := runOutput(t, `
+int classify(int v) {
+    if (v < 0) {
+        return -1;
+    } else {
+        if (v == 0) {
+            return 0;
+        } else {
+            return 1;
+        }
+    }
+}
+int main() {
+    if (classify(-5) == -1 && classify(0) == 0 && classify(9) == 1) {
+        printf("chains ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("else chains failed: %v", out)
+	}
+}
+
+func TestLangBuiltinErrorPaths(t *testing.T) {
+	cases := []string{
+		// bad H5Screate_simple args
+		`int main() { hid_t s = H5Screate_simple(1, 5, NULL); return 0; }`,
+		// hyperslab on bad space
+		`int main() { hsize_t a[1] = {1}; H5Sselect_hyperslab(12345, H5S_SELECT_SET, a, NULL, a, NULL); return 0; }`,
+		// chunk on bad plist
+		`int main() { hsize_t c[1] = {1}; H5Pset_chunk(999, 1, c); return 0; }`,
+		// dataset create with bad space
+		`int main() { hid_t f = H5Fcreate("/scratch/e.h5", 0, 0, 0); hid_t d = H5Dcreate(f, "x", 0, 777, 0, 0, 0); return 0; }`,
+		// comm_rank without pointer
+		`int main() { MPI_Comm_rank(MPI_COMM_WORLD, 5); return 0; }`,
+		// negative compute
+		`int main() { compute_flops(-1.0); return 0; }`,
+		// fclose of bad handle
+		`int main() { H5Fclose(424242); return 0; }`,
+		// group on bad handle
+		`int main() { hid_t g = H5Gcreate(5, "x", 0, 0, 0); return 0; }`,
+		// attribute on bad handle
+		`int main() { hid_t a = H5Acreate(5, "x", 0, 0, 0, 0); return 0; }`,
+		// loop_reduce arg count
+		`int main() { int n = __loop_reduce(10); return 0; }`,
+	}
+	for i, src := range cases {
+		lib := newLib(t, 1, 2)
+		if _, err := Run(parseProg(t, src), lib); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestLangUnknownH5PsetIgnored(t *testing.T) {
+	// Tuning-property calls in source are accepted and ignored: the stack
+	// configuration is injected by the tuner, not the application.
+	out := runOutput(t, `
+int main() {
+    H5Pset_alignment(0, 0, 1048576);
+    H5Pset_sieve_buf_size(0, 65536);
+    printf("ignored ok\n");
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("H5Pset_* not tolerated: %v", out)
+	}
+}
+
+func TestLangBufferSemantics(t *testing.T) {
+	// malloc'd buffers accept symbolic element writes and free.
+	out := runOutput(t, `
+int main() {
+    double* buf = (double*)malloc(64 * sizeof(double));
+    buf[0] = 1.5;
+    buf[63] = 2.5;
+    double* alias = buf;
+    free(alias);
+    printf("buf ok\n");
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("buffer semantics failed: %v", out)
+	}
+}
+
+func TestLangCalloc(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    long* v = (long*)calloc(8, sizeof(long));
+    if (v != 0) {
+        printf("calloc ok\n");
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("calloc failed: %v", out)
+	}
+}
+
+func TestLangExit(t *testing.T) {
+	lib := newLib(t, 1, 1)
+	if _, err := Run(parseProg(t, `int main() { exit(0); return 7; }`), lib); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLangSievePlistLifecycle(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    hid_t p = H5Pcreate(H5P_DATASET_CREATE);
+    hsize_t c[2] = {4, 4};
+    H5Pset_chunk(p, 2, c);
+    H5Pclose(p);
+    hid_t s = H5Screate_simple(2, c, NULL);
+    H5Sclose(s);
+    printf("plist ok\n");
+    return 0;
+}
+`)
+	if len(out) != 1 {
+		t.Fatalf("plist lifecycle failed: %v", out)
+	}
+}

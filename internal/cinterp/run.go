@@ -1,0 +1,60 @@
+package cinterp
+
+import (
+	"fmt"
+	"sync"
+
+	"tunio/internal/csrc"
+	"tunio/internal/hdf5"
+)
+
+// Result summarizes one SPMD execution.
+type Result struct {
+	// Output holds rank 0's printf strings.
+	Output []string
+	// LoopScale is the actual original-to-executed iteration ratio of
+	// loop-reduced loops across all ranks (1 when no reduction ran). The
+	// paper multiplies the kernel's scalable I/O metrics by this factor
+	// to estimate the original application's footprint.
+	LoopScale float64
+}
+
+// Run executes the program SPMD across the library's communicator: one
+// goroutine per rank, synchronized at I/O and MPI calls by a coordinator
+// that turns each collective arrival group into a single simulated phase.
+// Timing and counters land in lib.Sim().
+func Run(prog *csrc.File, lib *hdf5.Library) (*Result, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("cinterp: nil program")
+	}
+	if prog.Func("main") == nil {
+		return nil, fmt.Errorf("cinterp: program has no main")
+	}
+	nprocs := lib.Nprocs()
+	coord := newCoordinator(lib, nprocs)
+
+	interps := make([]*interp, nprocs)
+	var wg sync.WaitGroup
+	for r := 0; r < nprocs; r++ {
+		interps[r] = newInterp(prog, r, nprocs, coord)
+		wg.Add(1)
+		go func(in *interp) {
+			defer wg.Done()
+			in.runMain() // errors reported through coord.done
+		}(interps[r])
+	}
+
+	err := coord.run()
+	wg.Wait()
+
+	res := &Result{Output: interps[0].output, LoopScale: 1}
+	var orig, reduced int64
+	for _, in := range interps {
+		orig += in.loopOrig
+		reduced += in.loopReduced
+	}
+	if reduced > 0 {
+		res.LoopScale = float64(orig) / float64(reduced)
+	}
+	return res, err
+}

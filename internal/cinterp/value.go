@@ -1,0 +1,150 @@
+// Package cinterp executes the C-subset programs of TunIO's workloads
+// against the simulated I/O stack: an SPMD tree-walking interpreter where
+// every simulated MPI rank runs the program in its own goroutine and
+// synchronizes with a coordinator at I/O and MPI calls. Collective HDF5
+// operations gather all live ranks' arguments (e.g. hyperslab selections)
+// into one phase against the hdf5 simulation, exactly as the tuner's
+// Configuration Evaluation step runs a compiled I/O kernel job.
+package cinterp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind tags a runtime value.
+type Kind int
+
+// Value kinds.
+const (
+	KNull Kind = iota
+	KInt
+	KFloat
+	KString
+	KArray
+	KBuf // opaque allocation (malloc result); size only
+	KRef // reference to a variable slot (& operator)
+)
+
+// Value is one runtime value.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+	Arr  []Value // shared by reference
+	Size int64   // KBuf allocation size
+	Ref  *Value  // KRef target
+}
+
+// IntVal builds an integer value.
+func IntVal(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// FloatVal builds a float value.
+func FloatVal(f float64) Value { return Value{Kind: KFloat, F: f} }
+
+// StrVal builds a string value.
+func StrVal(s string) Value { return Value{Kind: KString, S: s} }
+
+// AsInt coerces to int64.
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KInt:
+		return v.I
+	case KFloat:
+		return int64(v.F)
+	case KBuf:
+		return v.Size
+	case KRef:
+		if v.Ref != nil {
+			return v.Ref.AsInt()
+		}
+	}
+	return 0
+}
+
+// AsFloat coerces to float64. Buffers coerce to their size so C-style
+// NULL checks (`ptr != 0`) behave.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KInt:
+		return float64(v.I)
+	case KFloat:
+		return v.F
+	case KBuf:
+		return float64(v.Size)
+	case KRef:
+		if v.Ref != nil {
+			return v.Ref.AsFloat()
+		}
+	}
+	return 0
+}
+
+// Truthy reports C truthiness.
+func (v Value) Truthy() bool {
+	switch v.Kind {
+	case KInt:
+		return v.I != 0
+	case KFloat:
+		return v.F != 0
+	case KString:
+		return v.S != ""
+	case KArray:
+		return len(v.Arr) > 0
+	case KBuf:
+		return true
+	case KRef:
+		return v.Ref != nil
+	}
+	return false
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KInt:
+		return fmt.Sprintf("%d", v.I)
+	case KFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KString:
+		return fmt.Sprintf("%q", v.S)
+	case KArray:
+		var parts []string
+		for _, e := range v.Arr {
+			parts = append(parts, e.String())
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case KBuf:
+		return fmt.Sprintf("buf(%d)", v.Size)
+	case KRef:
+		return "&" + v.Ref.String()
+	}
+	return "null"
+}
+
+// typeSize returns sizeof for the supported C types.
+func typeSize(typ string) int64 {
+	base := strings.TrimSpace(typ)
+	if strings.HasSuffix(base, "*") {
+		return 8
+	}
+	switch base {
+	case "char":
+		return 1
+	case "int", "float", "unsigned", "unsigned int", "int32_t":
+		return 4
+	case "double", "long", "long long", "size_t", "hsize_t", "hid_t",
+		"hssize_t", "int64_t", "uint64_t", "unsigned long":
+		return 8
+	case "herr_t":
+		return 4
+	default:
+		return 8
+	}
+}
+
+// isFloatType reports whether a declared type holds floats.
+func isFloatType(typ string) bool {
+	return typ == "double" || typ == "float"
+}

@@ -1,0 +1,179 @@
+// Package cluster models the machine TunIO's simulated applications run on:
+// compute nodes with NICs, a process layout, and a simulated clock with
+// seeded noise.
+//
+// The paper evaluates on the Cori supercomputer's Haswell partition
+// (16-core 2.3 GHz Xeon nodes, Lustre scratch with ~700 GB/s aggregate);
+// CoriHaswell returns a cluster calibrated to that scale. All time in the
+// simulation is virtual: layers compute phase durations from the model and
+// advance the Sim clock, so experiments are deterministic under a seed and
+// run in milliseconds of wall time.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tunio/internal/darshan"
+)
+
+// Cluster describes the compute side of the machine.
+type Cluster struct {
+	Nodes        int
+	ProcsPerNode int
+
+	// NICBandwidth is the effective injection bandwidth per node in
+	// bytes/second; NICLatency is the per-message latency in seconds.
+	NICBandwidth float64
+	NICLatency   float64
+
+	// MemBandwidth is the per-node bandwidth of memory-backed files
+	// (/dev/shm), used by I/O path switching.
+	MemBandwidth float64
+
+	// FlopRate is the per-process compute rate in FLOP/s, used to charge
+	// time for application compute phases.
+	FlopRate float64
+
+	// Noise is the relative standard deviation of run-to-run variation
+	// applied multiplicatively to phase durations (Cori is a volatile
+	// shared platform; the paper averages 3 runs to mitigate it).
+	Noise float64
+}
+
+// Procs returns the total number of processes.
+func (c *Cluster) Procs() int { return c.Nodes * c.ProcsPerNode }
+
+// Validate reports configuration errors.
+func (c *Cluster) Validate() error {
+	if c.Nodes <= 0 || c.ProcsPerNode <= 0 {
+		return fmt.Errorf("cluster: need positive Nodes/ProcsPerNode, got %d/%d", c.Nodes, c.ProcsPerNode)
+	}
+	if c.NICBandwidth <= 0 || c.MemBandwidth <= 0 || c.FlopRate <= 0 {
+		return fmt.Errorf("cluster: bandwidths and flop rate must be positive")
+	}
+	if c.NICLatency < 0 || c.Noise < 0 || c.Noise > 0.5 {
+		return fmt.Errorf("cluster: NICLatency must be >= 0 and Noise in [0, 0.5]")
+	}
+	return nil
+}
+
+// CoriHaswell returns a cluster calibrated to Cori's Haswell partition with
+// the given allocation (the paper's component tests use 4 nodes x 32 procs;
+// the end-to-end test uses a 500-node allocation).
+func CoriHaswell(nodes, procsPerNode int) *Cluster {
+	return &Cluster{
+		Nodes:        nodes,
+		ProcsPerNode: procsPerNode,
+		NICBandwidth: 1.3e9,  // effective Aries injection per node
+		NICLatency:   2e-6,   // seconds
+		MemBandwidth: 6.0e9,  // /dev/shm effective stream bandwidth
+		FlopRate:     1.5e10, // per-process sustained
+		Noise:        0.04,
+	}
+}
+
+// Sim is one simulated execution context: a clock, a seeded RNG for noise,
+// and the darshan report of the run.
+type Sim struct {
+	Cluster *Cluster
+	Report  *darshan.Report
+
+	// ComputeHook, when set, observes every Compute call (used by the
+	// trace recorder to capture compute phases).
+	ComputeHook func(flops float64)
+
+	now float64
+	rng *rand.Rand
+}
+
+// NewSim returns a fresh simulation over the cluster.
+func NewSim(c *Cluster, seed int64) (*Sim, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{
+		Cluster: c,
+		Report:  darshan.NewReport(),
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Now returns the simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Advance moves the clock forward by d seconds (panics on negative d,
+// which would indicate a broken cost model).
+func (s *Sim) Advance(d float64) {
+	if d < 0 || math.IsNaN(d) {
+		panic(fmt.Sprintf("cluster: Advance(%v)", d))
+	}
+	s.now += d
+}
+
+// Perturb applies the cluster's run-to-run noise to a duration: a
+// multiplicative factor drawn from a normal distribution with the
+// configured relative stddev, clamped to stay positive.
+func (s *Sim) Perturb(d float64) float64 {
+	if s.Cluster.Noise == 0 || d == 0 {
+		return d
+	}
+	f := 1 + s.rng.NormFloat64()*s.Cluster.Noise
+	if f < 0.5 {
+		f = 0.5
+	}
+	return d * f
+}
+
+// Compute charges the time for flops floating-point operations executed by
+// every process in parallel and returns the elapsed seconds.
+func (s *Sim) Compute(flopsPerProc float64) float64 {
+	if flopsPerProc < 0 {
+		panic(fmt.Sprintf("cluster: Compute(%v)", flopsPerProc))
+	}
+	if s.ComputeHook != nil {
+		s.ComputeHook(flopsPerProc)
+	}
+	d := s.Perturb(flopsPerProc / s.Cluster.FlopRate)
+	s.Advance(d)
+	return d
+}
+
+// NetworkShuffle charges the time to move totalBytes across the fabric
+// between srcNodes senders and dstNodes receivers (used by two-phase
+// collective buffering). The bottleneck is the smaller side's aggregate
+// NIC bandwidth, plus one latency per message.
+func (s *Sim) NetworkShuffle(totalBytes int64, srcNodes, dstNodes, messages int) float64 {
+	if totalBytes < 0 || srcNodes <= 0 || dstNodes <= 0 {
+		panic(fmt.Sprintf("cluster: NetworkShuffle(%d, %d, %d)", totalBytes, srcNodes, dstNodes))
+	}
+	side := srcNodes
+	if dstNodes < side {
+		side = dstNodes
+	}
+	if side > s.Cluster.Nodes {
+		side = s.Cluster.Nodes
+	}
+	bw := float64(side) * s.Cluster.NICBandwidth
+	d := float64(totalBytes)/bw + float64(messages)*s.Cluster.NICLatency
+	d = s.Perturb(d)
+	s.Advance(d)
+	return d
+}
+
+// Barrier charges a log-depth synchronization across n processes and
+// returns the elapsed seconds.
+func (s *Sim) Barrier(n int) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	depth := math.Ceil(math.Log2(float64(n) + 1))
+	d := depth * s.Cluster.NICLatency * 4
+	s.Advance(d)
+	return d
+}
+
+// Rand exposes the simulation RNG for layers that need stochastic
+// decisions tied to the run seed.
+func (s *Sim) Rand() *rand.Rand { return s.rng }

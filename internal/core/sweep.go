@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tunio/internal/cluster"
+	"tunio/internal/mat"
+	"tunio/internal/params"
+	"tunio/internal/pca"
+	"tunio/internal/workload"
+)
+
+// SweepResult holds the observations of an offline parameter sweep: one
+// row of normalized parameter features per run, aligned with the measured
+// perf values (§III-C: "a simple parameter sweep on some representative
+// I/O kernels, including VPIC, FLASH, and HACC").
+type SweepResult struct {
+	Space    []params.Parameter
+	Features [][]float64
+	Perfs    []float64
+}
+
+// Observations returns the feature matrix.
+func (s *SweepResult) Observations() (*mat.Matrix, error) {
+	return mat.FromRows(s.Features)
+}
+
+// ImpactScores runs the paper's PCA analysis on the sweep, returning one
+// impact score per parameter (summing to 1).
+func (s *SweepResult) ImpactScores() ([]float64, error) {
+	m, err := s.Observations()
+	if err != nil {
+		return nil, err
+	}
+	return pca.ImpactScores(m, s.Perfs)
+}
+
+// Sweep runs the offline parameter sweep: for every parameter, every value
+// is evaluated with all other parameters at defaults (one-at-a-time), plus
+// extraRandom random assignments for cross-parameter signal. Each run uses
+// a fresh simulated stack.
+func Sweep(kernels []workload.Workload, c *cluster.Cluster, space []params.Parameter, seed int64, extraRandom int) (*SweepResult, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("core: sweep needs at least one kernel")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := &SweepResult{Space: space}
+	runSeed := seed
+
+	record := func(a *params.Assignment, w workload.Workload) error {
+		runSeed++
+		res, err := workload.Execute(w, c, a.Settings(), runSeed)
+		if err != nil {
+			return err
+		}
+		out.Features = append(out.Features, a.Features())
+		out.Perfs = append(out.Perfs, res.Perf)
+		return nil
+	}
+
+	for _, w := range kernels {
+		// one-at-a-time sweep
+		for pi, p := range space {
+			for vi := range p.Values {
+				a := params.DefaultAssignment(space)
+				if err := a.SetIndex(space[pi].Name, vi); err != nil {
+					return nil, err
+				}
+				if err := record(a, w); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// random combinations
+		for r := 0; r < extraRandom; r++ {
+			genome := make([]int, len(space))
+			for gi := range genome {
+				genome[gi] = rng.Intn(len(space[gi].Values))
+			}
+			a, err := params.FromGenome(space, genome)
+			if err != nil {
+				return nil, err
+			}
+			if err := record(a, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// DefaultSweepKernels returns small-scale VPIC, FLASH, and HACC instances
+// (the paper's representative kernels) for offline training sweeps.
+func DefaultSweepKernels(procs int) []workload.Workload {
+	v := workload.NewVPIC(procs)
+	v.ParticlesPerRank = 128 << 10
+	fl := workload.NewFLASH(procs)
+	fl.BlocksPerRank = 16
+	fl.Unknowns = 4
+	h := workload.NewHACC(procs)
+	h.ParticlesPerRank = 128 << 10
+	return []workload.Workload{v, fl, h}
+}
+
+// surrogate is an additive performance model fit from sweep data, used to
+// generate cheap synthetic tuning episodes for offline Q training.
+type surrogate struct {
+	space   []params.Parameter
+	base    float64
+	effects [][]float64 // [param][valueIdx] additive effect
+	max     float64
+}
+
+// fitSurrogate estimates per-value effects as the mean perf of runs using
+// that value minus the grand mean.
+func fitSurrogate(s *SweepResult) *surrogate {
+	grand := mat.Mean(s.Perfs)
+	sur := &surrogate{space: s.Space, base: grand}
+	sur.effects = make([][]float64, len(s.Space))
+	for pi, p := range s.Space {
+		sur.effects[pi] = make([]float64, len(p.Values))
+		counts := make([]int, len(p.Values))
+		sums := make([]float64, len(p.Values))
+		for ri, feat := range s.Features {
+			vi := valueIndexFromFeature(feat[pi], len(p.Values))
+			sums[vi] += s.Perfs[ri]
+			counts[vi]++
+		}
+		for vi := range p.Values {
+			if counts[vi] > 0 {
+				sur.effects[pi][vi] = sums[vi]/float64(counts[vi]) - grand
+			}
+		}
+	}
+	best := sur.base
+	for pi := range sur.effects {
+		bestEff := 0.0
+		for _, e := range sur.effects[pi] {
+			if e > bestEff {
+				bestEff = e
+			}
+		}
+		best += bestEff
+	}
+	sur.max = best
+	return sur
+}
+
+// valueIndexFromFeature inverts the Features normalization.
+func valueIndexFromFeature(f float64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	i := int(f*float64(n-1) + 0.5)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// perfOf evaluates the surrogate for a genome.
+func (s *surrogate) perfOf(genome []int) float64 {
+	v := s.base
+	for pi, g := range genome {
+		v += s.effects[pi][g]
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// bestValue returns the best value index for a parameter.
+func (s *surrogate) bestValue(pi int) int {
+	best := 0
+	for vi := range s.effects[pi] {
+		if s.effects[pi][vi] > s.effects[pi][best] {
+			best = vi
+		}
+	}
+	return best
+}
+
+// TrainSmartPicker builds and offline-trains a SmartPicker: it runs the
+// sweep's PCA to seed impact scores, fits an additive surrogate from the
+// sweep, and trains the bandit + Q agent on synthetic tuning episodes over
+// the surrogate until the average reward stagnates (§III-C). The returned
+// picker keeps learning online.
+func TrainSmartPicker(cfg PickerConfig, sweep *SweepResult, maxEpochs int, rng *rand.Rand) (*SmartPicker, error) {
+	cfg.NumParams = len(sweep.Space)
+	p, err := NewSmartPicker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	scores, err := sweep.ImpactScores()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.SetImpact(scores); err != nil {
+		return nil, err
+	}
+	if cfg.PerfScale == 0 {
+		p.scale = mat.MaxVal(sweep.Perfs)
+	}
+
+	sur := fitSurrogate(sweep)
+	if maxEpochs <= 0 {
+		maxEpochs = 40
+	}
+	const episodesPerEpoch = 20
+	var avgHistory []float64
+	for epoch := 0; epoch < maxEpochs; epoch++ {
+		total := 0.0
+		for ep := 0; ep < episodesPerEpoch; ep++ {
+			total += p.trainEpisode(sur, rng)
+		}
+		avgHistory = append(avgHistory, total/episodesPerEpoch)
+		if stagnated(avgHistory) {
+			break
+		}
+	}
+	p.Reset()
+	p.SetEpsilon(0.1)
+	// Re-seed impact: online adaptation during training episodes drifts
+	// scores; deployment starts from the PCA analysis.
+	if err := p.SetImpact(scores); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// trainEpisode simulates one tuning episode over the surrogate: per
+// iteration the picker chooses a subset; the episode greedily improves one
+// active parameter per iteration (a GA generation's net effect), and the
+// agent is rewarded with the paper's subset-size-normalized perf.
+func (p *SmartPicker) trainEpisode(sur *surrogate, rng *rand.Rand) float64 {
+	p.Reset()
+	genome := make([]int, len(sur.space))
+	for pi, par := range sur.space {
+		genome[pi] = par.Default
+	}
+	mask := p.maskFor(p.cfg.NumParams)
+	perf := sur.perfOf(genome)
+	ret := 0.0
+	const horizon = 15
+	for iter := 0; iter < horizon; iter++ {
+		mask = p.NextSubset(perf, mask)
+		// Improve the active parameter with the largest remaining gain
+		// (what a GA generation restricted to this subset tends to find).
+		bestGain, bestParam := 0.0, -1
+		for pi, active := range mask {
+			if !active {
+				continue
+			}
+			bv := sur.bestValue(pi)
+			gain := sur.effects[pi][bv] - sur.effects[pi][genome[pi]]
+			if gain > bestGain {
+				bestGain, bestParam = gain, pi
+			}
+		}
+		if bestParam >= 0 && rng.Float64() < 0.8 {
+			genome[bestParam] = sur.bestValue(bestParam)
+		}
+		perf = sur.perfOf(genome) * (1 + rng.NormFloat64()*0.02)
+		ret += p.reward(perf, countTrue(mask))
+	}
+	return ret / horizon
+}

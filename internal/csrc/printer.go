@@ -1,0 +1,180 @@
+package csrc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format pretty-prints the file with the paper's preprocessing rules —
+// exactly one statement per line, braces on their own lines — and assigns
+// every statement its printed line number (the marking unit). It returns
+// the formatted source.
+func Format(f *File) string {
+	p := &printer{}
+	for _, g := range f.Globals {
+		p.stmt(g, 0)
+	}
+	for _, fn := range f.Funcs {
+		p.funcDecl(fn)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb   strings.Builder
+	line int
+}
+
+func (p *printer) emit(indent int, text string) int {
+	p.line++
+	p.sb.WriteString(strings.Repeat("  ", indent))
+	p.sb.WriteString(text)
+	p.sb.WriteByte('\n')
+	return p.line
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	var ps []string
+	for _, par := range fn.Params {
+		ps = append(ps, strings.TrimSpace(par.Type+" "+par.Name))
+	}
+	p.emit(0, fmt.Sprintf("%s %s(%s)", fn.RetType, fn.Name, strings.Join(ps, ", ")))
+	p.block(fn.Body, 0)
+	p.emit(0, "")
+}
+
+func (p *printer) block(b *Block, indent int) {
+	b.Line = p.emit(indent, "{")
+	for _, s := range b.Stmts {
+		p.stmt(s, indent+1)
+	}
+	p.emit(indent, "}")
+}
+
+func (p *printer) stmt(s Stmt, indent int) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		st.Line = p.emit(indent, declText(st)+";")
+	case *ExprStmt:
+		st.Line = p.emit(indent, PrintExpr(st.X)+";")
+	case *AssignStmt:
+		st.Line = p.emit(indent, assignText(st)+";")
+	case *Block:
+		p.block(st, indent)
+	case *IfStmt:
+		st.Line = p.emit(indent, "if ("+PrintExpr(st.Cond)+")")
+		p.block(st.Then, indent)
+		if st.Else != nil {
+			p.emit(indent, "else")
+			p.block(st.Else, indent)
+		}
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if st.Init != nil {
+			init = simpleText(st.Init)
+		}
+		if st.Cond != nil {
+			cond = PrintExpr(st.Cond)
+		}
+		if st.Post != nil {
+			post = simpleText(st.Post)
+		}
+		st.Line = p.emit(indent, fmt.Sprintf("for (%s; %s; %s)", init, cond, post))
+		// header components share the header's line (per-line marking unit)
+		if st.Init != nil {
+			st.Init.Base().Line = st.Line
+		}
+		if st.Post != nil {
+			st.Post.Base().Line = st.Line
+		}
+		p.block(st.Body, indent)
+	case *WhileStmt:
+		st.Line = p.emit(indent, "while ("+PrintExpr(st.Cond)+")")
+		p.block(st.Body, indent)
+	case *ReturnStmt:
+		if st.X != nil {
+			st.Line = p.emit(indent, "return "+PrintExpr(st.X)+";")
+		} else {
+			st.Line = p.emit(indent, "return;")
+		}
+	case *BreakStmt:
+		st.Line = p.emit(indent, "break;")
+	case *ContinueStmt:
+		st.Line = p.emit(indent, "continue;")
+	default:
+		p.emit(indent, fmt.Sprintf("/* unknown stmt %T */", s))
+	}
+}
+
+func simpleText(s Stmt) string {
+	switch st := s.(type) {
+	case *DeclStmt:
+		return declText(st)
+	case *AssignStmt:
+		return assignText(st)
+	case *ExprStmt:
+		return PrintExpr(st.X)
+	default:
+		return ""
+	}
+}
+
+func declText(st *DeclStmt) string {
+	out := st.Type + " " + st.Name
+	if st.ArrayLen != nil {
+		out += "[" + PrintExpr(st.ArrayLen) + "]"
+	} else if st.InitList != nil {
+		out += "[]"
+	}
+	if st.Init != nil {
+		out += " = " + PrintExpr(st.Init)
+	} else if st.InitList != nil {
+		var parts []string
+		for _, e := range st.InitList {
+			parts = append(parts, PrintExpr(e))
+		}
+		out += " = {" + strings.Join(parts, ", ") + "}"
+	}
+	return out
+}
+
+func assignText(st *AssignStmt) string {
+	if st.Op == "++" || st.Op == "--" {
+		return PrintExpr(st.LHS) + st.Op
+	}
+	return PrintExpr(st.LHS) + " " + st.Op + " " + PrintExpr(st.RHS)
+}
+
+// PrintExpr renders an expression as C source.
+func PrintExpr(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return x.Name
+	case *NumberLit:
+		return x.Text
+	case *StringLit:
+		return fmt.Sprintf("%q", x.Value)
+	case *CharLit:
+		return fmt.Sprintf("'%c'", x.Value)
+	case *BinaryExpr:
+		return "(" + PrintExpr(x.X) + " " + x.Op + " " + PrintExpr(x.Y) + ")"
+	case *UnaryExpr:
+		return x.Op + PrintExpr(x.X)
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, PrintExpr(a))
+		}
+		return x.Fun + "(" + strings.Join(args, ", ") + ")"
+	case *IndexExpr:
+		return PrintExpr(x.X) + "[" + PrintExpr(x.Index) + "]"
+	case *CastExpr:
+		return "(" + x.Type + ")" + PrintExpr(x.X)
+	case *SizeofExpr:
+		return "sizeof(" + x.Type + ")"
+	default:
+		return fmt.Sprintf("/*%T*/", e)
+	}
+}

@@ -1,0 +1,61 @@
+// Package csrc is the C-subset frontend behind TunIO's Application I/O
+// Discovery component: a lexer, recursive-descent parser, AST with line
+// tracking, and a formatter that enforces the paper's preprocessing rules
+// (one statement per line, braces on their own lines) so that the marking
+// loop can operate per line exactly as the reference implementation does
+// with its clang-format pass (§III-B).
+//
+// The subset covers what HPC I/O kernels are written in: declarations,
+// assignments, arithmetic/logical expressions, arrays, address-of, calls,
+// if/else, for, while, function definitions, #define object macros, and
+// #include lines (ignored).
+package csrc
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct   // operators and punctuation
+	TokKeyword // C keywords in the subset
+)
+
+// Token is one lexeme with position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int // 1-based source line
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s@%d:%d", t.Text, t.Line, t.Col)
+}
+
+// keywords of the subset.
+var keywords = map[string]bool{
+	"if": true, "else": true, "for": true, "while": true, "return": true,
+	"break": true, "continue": true, "void": true, "int": true, "long": true,
+	"float": true, "double": true, "char": true, "unsigned": true,
+	"const": true, "static": true, "struct": true, "sizeof": true,
+}
+
+// typeNames are identifiers treated as type keywords (HDF5/MPI typedefs).
+var typeNames = map[string]bool{
+	"hid_t": true, "hsize_t": true, "herr_t": true, "hssize_t": true,
+	"MPI_Comm": true, "MPI_Info": true, "MPI_Status": true, "size_t": true,
+	"int32_t": true, "int64_t": true, "uint64_t": true, "FILE": true,
+}
+
+// IsTypeName reports whether an identifier begins a declaration.
+func IsTypeName(s string) bool {
+	return typeNames[s] || s == "void" || s == "int" || s == "long" ||
+		s == "float" || s == "double" || s == "char" || s == "unsigned"
+}

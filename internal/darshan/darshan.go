@@ -1,0 +1,182 @@
+// Package darshan collects I/O characterization counters for simulated
+// application runs, mirroring the role the Darshan tool plays in the paper's
+// tuning pipeline (it is the monitoring hook the fitness function reads
+// bandwidth from, and it supplies the I/O-footprint similarity metrics of
+// Figure 8c).
+//
+// Counters are organized per layer ("hdf5", "mpiio", "lustre", "posix",
+// "mem") so experiments can attribute cost, with convenience aggregates for
+// the usual bandwidth computation.
+package darshan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LayerCounters holds the counters of one stack layer.
+type LayerCounters struct {
+	ReadOps      int64
+	WriteOps     int64
+	MetaOps      int64
+	BytesRead    int64
+	BytesWritten int64
+	ReadTime     float64 // simulated seconds
+	WriteTime    float64
+	MetaTime     float64
+}
+
+// Report is a full set of per-layer counters for one run.
+type Report struct {
+	layers map[string]*LayerCounters
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report {
+	return &Report{layers: make(map[string]*LayerCounters)}
+}
+
+// Layer returns the counters for a layer, creating them on first use.
+func (r *Report) Layer(name string) *LayerCounters {
+	lc, ok := r.layers[name]
+	if !ok {
+		lc = &LayerCounters{}
+		r.layers[name] = lc
+	}
+	return lc
+}
+
+// Layers returns the layer names present, sorted.
+func (r *Report) Layers() []string {
+	names := make([]string, 0, len(r.layers))
+	for n := range r.layers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddWrite records a write of size bytes taking elapsed seconds at a layer.
+func (r *Report) AddWrite(layer string, bytes int64, elapsed float64) {
+	lc := r.Layer(layer)
+	lc.WriteOps++
+	lc.BytesWritten += bytes
+	lc.WriteTime += elapsed
+}
+
+// AddRead records a read.
+func (r *Report) AddRead(layer string, bytes int64, elapsed float64) {
+	lc := r.Layer(layer)
+	lc.ReadOps++
+	lc.BytesRead += bytes
+	lc.ReadTime += elapsed
+}
+
+// AddMeta records n metadata operations taking elapsed seconds.
+func (r *Report) AddMeta(layer string, n int64, elapsed float64) {
+	lc := r.Layer(layer)
+	lc.MetaOps += n
+	lc.MetaTime += elapsed
+}
+
+// Totals aggregates counters across all layers. Because layers nest (an
+// HDF5 write flows through MPI-IO to Lustre), totals are only meaningful
+// per layer; Totals exists for single-layer reports and debugging.
+func (r *Report) Totals() LayerCounters {
+	var t LayerCounters
+	for _, lc := range r.layers {
+		t.ReadOps += lc.ReadOps
+		t.WriteOps += lc.WriteOps
+		t.MetaOps += lc.MetaOps
+		t.BytesRead += lc.BytesRead
+		t.BytesWritten += lc.BytesWritten
+		t.ReadTime += lc.ReadTime
+		t.WriteTime += lc.WriteTime
+		t.MetaTime += lc.MetaTime
+	}
+	return t
+}
+
+// AppLayer is the conventional name for application-visible I/O (what the
+// workload asked for, before any library transformation). Bandwidth and
+// footprint metrics are computed from this layer.
+const AppLayer = "hdf5"
+
+// App returns the application-visible counters.
+func (r *Report) App() *LayerCounters { return r.Layer(AppLayer) }
+
+// WriteBandwidth returns application write bandwidth in bytes/second over
+// the app layer's recorded write time (0 when no time was spent).
+func (r *Report) WriteBandwidth() float64 {
+	app := r.App()
+	if app.WriteTime <= 0 {
+		return 0
+	}
+	return float64(app.BytesWritten) / app.WriteTime
+}
+
+// ReadBandwidth returns application read bandwidth in bytes/second.
+func (r *Report) ReadBandwidth() float64 {
+	app := r.App()
+	if app.ReadTime <= 0 {
+		return 0
+	}
+	return float64(app.BytesRead) / app.ReadTime
+}
+
+// WriteRatio returns α, the fraction of transferred bytes that were writes
+// (the α in the paper's perf definition). Returns 1 when nothing was read.
+func (r *Report) WriteRatio() float64 {
+	app := r.App()
+	total := app.BytesRead + app.BytesWritten
+	if total == 0 {
+		return 1
+	}
+	return float64(app.BytesWritten) / float64(total)
+}
+
+// Merge adds other's counters into r.
+func (r *Report) Merge(other *Report) {
+	for name, olc := range other.layers {
+		lc := r.Layer(name)
+		lc.ReadOps += olc.ReadOps
+		lc.WriteOps += olc.WriteOps
+		lc.MetaOps += olc.MetaOps
+		lc.BytesRead += olc.BytesRead
+		lc.BytesWritten += olc.BytesWritten
+		lc.ReadTime += olc.ReadTime
+		lc.WriteTime += olc.WriteTime
+		lc.MetaTime += olc.MetaTime
+	}
+}
+
+// String renders the report as a table for logs.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %8s %14s %14s %10s %10s %10s\n",
+		"layer", "writes", "reads", "meta", "bytesW", "bytesR", "tW(s)", "tR(s)", "tM(s)")
+	for _, name := range r.Layers() {
+		lc := r.layers[name]
+		fmt.Fprintf(&b, "%-8s %10d %10d %8d %14d %14d %10.3f %10.3f %10.3f\n",
+			name, lc.WriteOps, lc.ReadOps, lc.MetaOps, lc.BytesWritten, lc.BytesRead,
+			lc.WriteTime, lc.ReadTime, lc.MetaTime)
+	}
+	return b.String()
+}
+
+// PercentError returns |a-b| / |b| * 100, the absolute percentage error
+// metric used in Figure 8c (0 when both are 0, +Inf when only b is 0).
+func PercentError(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return 1e308 // effectively infinite error
+	}
+	d := (a - b) / b * 100
+	if d < 0 {
+		return -d
+	}
+	return d
+}

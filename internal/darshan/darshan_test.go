@@ -1,0 +1,95 @@
+package darshan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLayerCreation(t *testing.T) {
+	r := NewReport()
+	r.AddWrite("hdf5", 100, 0.5)
+	r.AddWrite("hdf5", 50, 0.25)
+	r.AddRead("lustre", 10, 0.1)
+	r.AddMeta("lustre", 3, 0.01)
+
+	app := r.Layer("hdf5")
+	if app.WriteOps != 2 || app.BytesWritten != 150 || app.WriteTime != 0.75 {
+		t.Fatalf("hdf5 counters = %+v", app)
+	}
+	l := r.Layer("lustre")
+	if l.ReadOps != 1 || l.BytesRead != 10 || l.MetaOps != 3 {
+		t.Fatalf("lustre counters = %+v", l)
+	}
+	layers := r.Layers()
+	if len(layers) != 2 || layers[0] != "hdf5" || layers[1] != "lustre" {
+		t.Fatalf("Layers = %v", layers)
+	}
+}
+
+func TestBandwidths(t *testing.T) {
+	r := NewReport()
+	if r.WriteBandwidth() != 0 || r.ReadBandwidth() != 0 {
+		t.Fatal("empty report should have zero bandwidth")
+	}
+	r.AddWrite(AppLayer, 1000, 2)
+	r.AddRead(AppLayer, 300, 3)
+	if got := r.WriteBandwidth(); got != 500 {
+		t.Fatalf("WriteBandwidth = %v, want 500", got)
+	}
+	if got := r.ReadBandwidth(); got != 100 {
+		t.Fatalf("ReadBandwidth = %v, want 100", got)
+	}
+}
+
+func TestWriteRatio(t *testing.T) {
+	r := NewReport()
+	if r.WriteRatio() != 1 {
+		t.Fatal("empty report WriteRatio should be 1")
+	}
+	r.AddWrite(AppLayer, 300, 1)
+	r.AddRead(AppLayer, 100, 1)
+	if got := r.WriteRatio(); got != 0.75 {
+		t.Fatalf("WriteRatio = %v, want 0.75", got)
+	}
+}
+
+func TestTotalsAndMerge(t *testing.T) {
+	a := NewReport()
+	a.AddWrite("hdf5", 10, 1)
+	b := NewReport()
+	b.AddWrite("hdf5", 20, 2)
+	b.AddRead("lustre", 5, 0.5)
+	a.Merge(b)
+	if a.Layer("hdf5").BytesWritten != 30 {
+		t.Fatalf("merged hdf5 bytes = %d", a.Layer("hdf5").BytesWritten)
+	}
+	tot := a.Totals()
+	if tot.BytesWritten != 30 || tot.BytesRead != 5 || tot.WriteOps != 2 {
+		t.Fatalf("Totals = %+v", tot)
+	}
+}
+
+func TestString(t *testing.T) {
+	r := NewReport()
+	r.AddWrite("hdf5", 10, 1)
+	s := r.String()
+	if !strings.Contains(s, "hdf5") || !strings.Contains(s, "layer") {
+		t.Fatalf("String output missing content:\n%s", s)
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	if got := PercentError(110, 100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("PercentError(110,100) = %v", got)
+	}
+	if got := PercentError(90, 100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("PercentError(90,100) = %v (must be absolute)", got)
+	}
+	if PercentError(0, 0) != 0 {
+		t.Fatal("PercentError(0,0) != 0")
+	}
+	if PercentError(1, 0) < 1e300 {
+		t.Fatal("PercentError(1,0) should be effectively infinite")
+	}
+}

@@ -1,0 +1,205 @@
+package discovery
+
+import (
+	"strconv"
+
+	"tunio/internal/csrc"
+)
+
+// The transforms in this file are the source-code modification techniques
+// the paper lists as future work (§VI): "simulating loops, removing blind
+// writes, simulating necessary compute". They were dismissed for TunIO's
+// default pipeline because they trade kernel fidelity for speed, so they
+// are opt-in via Options.
+
+// ComputeSimBuiltin is the call the compute-simulation transform inserts
+// in place of removed compute statements; the interpreter charges it as
+// compute time.
+const ComputeSimBuiltin = "compute_flops"
+
+// flopsPerSimulatedStatement is the modeled cost of one removed compute
+// statement when compute simulation is enabled: kernels keep the *timing*
+// shape of the application without doing its arithmetic.
+const flopsPerSimulatedStatement = 5e7
+
+// simulateCompute walks the reconstructed kernel alongside the original
+// and inserts a compute_flops call wherever a contiguous run of statements
+// was removed, sized by the number of statements dropped. It returns the
+// number of synthetic compute calls inserted.
+func (m *marker) simulateCompute(kernel *csrc.File) int {
+	inserted := 0
+	var patch func(orig, kept *csrc.Block)
+	patch = func(orig, kept *csrc.Block) {
+		if orig == nil || kept == nil {
+			return
+		}
+		var out []csrc.Stmt
+		dropped := 0
+		flush := func() {
+			if dropped > 0 {
+				out = append(out, &csrc.ExprStmt{X: &csrc.CallExpr{
+					Fun: ComputeSimBuiltin,
+					Args: []csrc.Expr{&csrc.NumberLit{
+						Text:    formatFlops(float64(dropped) * flopsPerSimulatedStatement),
+						IsFloat: true,
+						Float:   float64(dropped) * flopsPerSimulatedStatement,
+					}},
+				}})
+				inserted++
+				dropped = 0
+			}
+		}
+		keptIdx := 0
+		for _, s := range orig.Stmts {
+			if keptIdx < len(kept.Stmts) && kept.Stmts[keptIdx].Base().ID == s.Base().ID {
+				flush()
+				ks := kept.Stmts[keptIdx]
+				out = append(out, ks)
+				keptIdx++
+				// recurse into structured statements
+				switch os := s.(type) {
+				case *csrc.IfStmt:
+					if ki, ok := ks.(*csrc.IfStmt); ok {
+						patchInto(&inserted, os.Then, ki.Then, patch)
+						patchInto(&inserted, os.Else, ki.Else, patch)
+					}
+				case *csrc.ForStmt:
+					if kf, ok := ks.(*csrc.ForStmt); ok {
+						patchInto(&inserted, os.Body, kf.Body, patch)
+					}
+				case *csrc.WhileStmt:
+					if kw, ok := ks.(*csrc.WhileStmt); ok {
+						patchInto(&inserted, os.Body, kw.Body, patch)
+					}
+				case *csrc.Block:
+					if kb, ok := ks.(*csrc.Block); ok {
+						patchInto(&inserted, os, kb, patch)
+					}
+				}
+				continue
+			}
+			// statement was dropped: count it if it is a leaf-ish compute
+			// statement (declarations are free; skip them)
+			switch s.(type) {
+			case *csrc.AssignStmt, *csrc.ExprStmt:
+				dropped++
+			}
+		}
+		flush()
+		kept.Stmts = out
+	}
+
+	for _, fn := range m.file.Funcs {
+		kfn := kernel.Func(fn.Name)
+		if kfn == nil {
+			continue
+		}
+		patch(fn.Body, kfn.Body)
+	}
+	return inserted
+}
+
+func patchInto(inserted *int, orig, kept *csrc.Block, patch func(orig, kept *csrc.Block)) {
+	if orig == nil || kept == nil {
+		return
+	}
+	patch(orig, kept)
+}
+
+func formatFlops(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// removeBlindWrites drops H5Dwrite statements that are overwritten by a
+// later H5Dwrite to the same dataset variable within the same block, with
+// no intervening H5Dread of that variable ("blind writes" in the
+// write-after-write sense). The last write to each dataset is always kept,
+// so the file's final contents — and the bytes the tuner's objective
+// depends on per unique region — are preserved while redundant overwrite
+// traffic is elided. Returns the number of writes removed.
+func removeBlindWrites(f *csrc.File) int {
+	removed := 0
+	var visitBlock func(b *csrc.Block)
+	visitBlock = func(b *csrc.Block) {
+		if b == nil {
+			return
+		}
+		// find H5Dwrite statements at this block level keyed by dataset arg
+		type writeAt struct {
+			idx int
+			ds  string
+		}
+		var writes []writeAt
+		reads := map[string][]int{} // dataset -> stmt indices with reads
+		for i, s := range b.Stmts {
+			es, ok := s.(*csrc.ExprStmt)
+			if !ok {
+				// nested structures invalidate straight-line reasoning for
+				// datasets they touch; recurse and treat them as barriers
+				switch st := s.(type) {
+				case *csrc.Block:
+					visitBlock(st)
+				case *csrc.IfStmt:
+					visitBlock(st.Then)
+					visitBlock(st.Else)
+				case *csrc.ForStmt:
+					visitBlock(st.Body)
+				case *csrc.WhileStmt:
+					visitBlock(st.Body)
+				}
+				continue
+			}
+			call, ok := es.X.(*csrc.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				continue
+			}
+			ds := rootIdent(call.Args[0])
+			switch call.Fun {
+			case "H5Dwrite":
+				if ds != "" {
+					writes = append(writes, writeAt{idx: i, ds: ds})
+				}
+			case "H5Dread":
+				if ds != "" {
+					reads[ds] = append(reads[ds], i)
+				}
+			}
+		}
+		// a write is blind if a later write to the same dataset exists in
+		// this block with no read in between
+		drop := map[int]bool{}
+		for wi := 0; wi < len(writes); wi++ {
+			for wj := wi + 1; wj < len(writes); wj++ {
+				if writes[wi].ds != writes[wj].ds {
+					continue
+				}
+				blocked := false
+				for _, ri := range reads[writes[wi].ds] {
+					if ri > writes[wi].idx && ri < writes[wj].idx {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					drop[writes[wi].idx] = true
+				}
+				break
+			}
+		}
+		if len(drop) > 0 {
+			var out []csrc.Stmt
+			for i, s := range b.Stmts {
+				if drop[i] {
+					removed++
+					continue
+				}
+				out = append(out, s)
+			}
+			b.Stmts = out
+		}
+	}
+	for _, fn := range f.Funcs {
+		visitBlock(fn.Body)
+	}
+	return removed
+}

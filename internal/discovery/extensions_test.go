@@ -1,0 +1,151 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"tunio/internal/csrc"
+)
+
+func TestSimulateComputeInsertsCalls(t *testing.T) {
+	src := `
+int main() {
+    double a = 1.0;
+    a = a * 2.0;
+    a = a + 3.0;
+    hid_t f = H5Fcreate("x.h5", 0, 0, 0);
+    double b = 4.0;
+    b = b * 5.0;
+    H5Fclose(f);
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{SimulateCompute: true})
+	if k.SimulatedComputeCalls == 0 {
+		t.Fatalf("no compute calls inserted:\n%s", k.Source)
+	}
+	if !strings.Contains(k.Source, ComputeSimBuiltin) {
+		t.Fatalf("builtin missing:\n%s", k.Source)
+	}
+	// compute variables themselves stay removed
+	if strings.Contains(k.Source, "a * 2.0") {
+		t.Fatalf("compute arithmetic kept:\n%s", k.Source)
+	}
+	// kernel still parses
+	if _, err := csrc.Parse(k.Source); err != nil {
+		t.Fatalf("kernel does not reparse: %v\n%s", err, k.Source)
+	}
+}
+
+func TestSimulateComputeInsideLoops(t *testing.T) {
+	src := `
+int main() {
+    hid_t d = H5Dopen(0, "x", 0);
+    double t = 0.0;
+    for (int i = 0; i < 10; i++) {
+        t = t + 0.5;
+        t = t * 1.1;
+        H5Dwrite(d, 0, 0, 0, 0, 0);
+    }
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{SimulateCompute: true})
+	// the loop body's dropped statements become one compute call in place
+	idx := strings.Index(k.Source, "for (")
+	if idx < 0 {
+		t.Fatalf("loop lost:\n%s", k.Source)
+	}
+	body := k.Source[idx:]
+	if !strings.Contains(body, ComputeSimBuiltin) {
+		t.Fatalf("loop compute not simulated:\n%s", k.Source)
+	}
+	// wait: t feeds nothing I/O-related, so both t-statements drop
+	if strings.Contains(k.Source, "t = ") {
+		t.Fatalf("compute statements kept:\n%s", k.Source)
+	}
+}
+
+func TestSimulateComputeOffByDefault(t *testing.T) {
+	k := mustDiscover(t, fig5, Options{})
+	if k.SimulatedComputeCalls != 0 || strings.Contains(k.Source, ComputeSimBuiltin+"(") &&
+		!strings.Contains(fig5, ComputeSimBuiltin) {
+		t.Fatal("compute simulation ran without being requested")
+	}
+}
+
+func TestRemoveBlindWrites(t *testing.T) {
+	src := `
+int main() {
+    hid_t d = H5Dopen(0, "x", 0);
+    H5Dwrite(d, 0, 0, 0, 0, 0);
+    H5Dwrite(d, 0, 0, 0, 0, 0);
+    H5Dwrite(d, 0, 0, 0, 0, 0);
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{RemoveBlindWrites: true})
+	if k.RemovedBlindWrites != 2 {
+		t.Fatalf("removed %d blind writes, want 2:\n%s", k.RemovedBlindWrites, k.Source)
+	}
+	if got := strings.Count(k.Source, "H5Dwrite"); got != 1 {
+		t.Fatalf("%d H5Dwrite calls survive, want 1 (the last)", got)
+	}
+}
+
+func TestRemoveBlindWritesKeepsReadBoundary(t *testing.T) {
+	src := `
+int main() {
+    hid_t d = H5Dopen(0, "x", 0);
+    H5Dwrite(d, 0, 0, 0, 0, 0);
+    H5Dread(d, 0, 0, 0, 0, 0);
+    H5Dwrite(d, 0, 0, 0, 0, 0);
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{RemoveBlindWrites: true})
+	if k.RemovedBlindWrites != 0 {
+		t.Fatalf("write before a read removed:\n%s", k.Source)
+	}
+	if strings.Count(k.Source, "H5Dwrite") != 2 {
+		t.Fatal("writes lost")
+	}
+}
+
+func TestRemoveBlindWritesDistinctDatasets(t *testing.T) {
+	src := `
+int main() {
+    hid_t a = H5Dopen(0, "a", 0);
+    hid_t b = H5Dopen(0, "b", 0);
+    H5Dwrite(a, 0, 0, 0, 0, 0);
+    H5Dwrite(b, 0, 0, 0, 0, 0);
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{RemoveBlindWrites: true})
+	if k.RemovedBlindWrites != 0 {
+		t.Fatalf("writes to distinct datasets removed:\n%s", k.Source)
+	}
+}
+
+func TestRemoveBlindWritesDoesNotCrossLoops(t *testing.T) {
+	// Writes inside a loop are not straight-line blind relative to writes
+	// after it (the loop writes repeatedly); each is kept.
+	src := `
+int main() {
+    hid_t d = H5Dopen(0, "x", 0);
+    for (int i = 0; i < 4; i++) {
+        H5Dwrite(d, 0, 0, 0, 0, 0);
+    }
+    H5Dwrite(d, 0, 0, 0, 0, 0);
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{RemoveBlindWrites: true})
+	if k.RemovedBlindWrites != 0 {
+		t.Fatalf("loop write removed:\n%s", k.Source)
+	}
+	if strings.Count(k.Source, "H5Dwrite") != 2 {
+		t.Fatal("writes lost")
+	}
+}

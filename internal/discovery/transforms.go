@@ -1,0 +1,177 @@
+package discovery
+
+import (
+	"fmt"
+
+	"tunio/internal/csrc"
+)
+
+// reduceLoops rewrites the bound of outermost for loops that contain I/O
+// calls so only `fraction` of iterations run (Loop Reduction, §III-B).
+// A loop `for (i = a; i < bound; i++)` becomes
+// `for (i = a; i < __loop_reduce(bound); i++)`; the interpreter evaluates
+// the builtin as max(1, floor(bound * fraction)). Nested I/O loops inside
+// an already-reduced loop are left alone so reductions do not compound.
+// Returns the number of loops rewritten.
+func reduceLoops(f *csrc.File, fraction float64, isIO func(string) bool) int {
+	reduced := 0
+	var visitBlock func(b *csrc.Block, insideReduced bool)
+	var visit func(s csrc.Stmt, insideReduced bool)
+
+	visitBlock = func(b *csrc.Block, insideReduced bool) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			visit(s, insideReduced)
+		}
+	}
+	visit = func(s csrc.Stmt, insideReduced bool) {
+		switch st := s.(type) {
+		case *csrc.Block:
+			visitBlock(st, insideReduced)
+		case *csrc.IfStmt:
+			visitBlock(st.Then, insideReduced)
+			visitBlock(st.Else, insideReduced)
+		case *csrc.WhileStmt:
+			visitBlock(st.Body, insideReduced)
+		case *csrc.ForStmt:
+			if !insideReduced && blockHasIO(st.Body, isIO) {
+				if rewriteBound(st, fraction) {
+					reduced++
+					visitBlock(st.Body, true)
+					return
+				}
+			}
+			visitBlock(st.Body, insideReduced)
+		}
+	}
+	for _, fn := range f.Funcs {
+		visitBlock(fn.Body, false)
+	}
+	return reduced
+}
+
+// blockHasIO reports whether a block tree contains an I/O call.
+func blockHasIO(b *csrc.Block, isIO func(string) bool) bool {
+	found := false
+	var visitExpr func(e csrc.Expr)
+	visitExpr = func(e csrc.Expr) {
+		csrc.WalkExpr(e, func(x csrc.Expr) bool {
+			if c, ok := x.(*csrc.CallExpr); ok && isIO(c.Fun) {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	var visit func(s csrc.Stmt)
+	visitBlock := func(bb *csrc.Block) {
+		if bb == nil {
+			return
+		}
+		for _, s := range bb.Stmts {
+			visit(s)
+		}
+	}
+	visit = func(s csrc.Stmt) {
+		if found {
+			return
+		}
+		switch st := s.(type) {
+		case *csrc.ExprStmt:
+			visitExpr(st.X)
+		case *csrc.DeclStmt:
+			visitExpr(st.Init)
+		case *csrc.AssignStmt:
+			visitExpr(st.RHS)
+		case *csrc.Block:
+			visitBlock(st)
+		case *csrc.IfStmt:
+			visitBlock(st.Then)
+			visitBlock(st.Else)
+		case *csrc.ForStmt:
+			visitBlock(st.Body)
+		case *csrc.WhileStmt:
+			visitBlock(st.Body)
+		}
+	}
+	visitBlock(b)
+	return found
+}
+
+// rewriteBound wraps the upper bound of a `i < bound` / `i <= bound`
+// condition in the loop-reduction builtin. Returns false for loop shapes
+// it cannot rewrite (the reduction is then skipped for that loop).
+func rewriteBound(st *csrc.ForStmt, fraction float64) bool {
+	cond, ok := st.Cond.(*csrc.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case "<", "<=":
+		if alreadyReduced(cond.Y) {
+			return false
+		}
+		cond.Y = &csrc.CallExpr{
+			Fun: LoopReduceBuiltin,
+			Args: []csrc.Expr{
+				cond.Y,
+				&csrc.NumberLit{Text: fmt.Sprintf("%g", fraction), IsFloat: true, Float: fraction},
+			},
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func alreadyReduced(e csrc.Expr) bool {
+	c, ok := e.(*csrc.CallExpr)
+	return ok && c.Fun == LoopReduceBuiltin
+}
+
+// pathCalls are the calls whose first string argument is a file path.
+var pathCalls = map[string]int{
+	"H5Fcreate": 0, "H5Fopen": 0, "fopen": 0, "MPI_File_open": 1,
+}
+
+// switchPaths prepends /dev/shm to path arguments of file-opening I/O
+// calls (I/O Path Switching, §III-B), so evaluation I/O targets memory.
+func switchPaths(f *csrc.File) {
+	rewrite := func(e csrc.Expr) {
+		csrc.WalkExpr(e, func(x csrc.Expr) bool {
+			c, ok := x.(*csrc.CallExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := pathCalls[c.Fun]
+			if !ok || argIdx >= len(c.Args) {
+				return true
+			}
+			if lit, ok := c.Args[argIdx].(*csrc.StringLit); ok {
+				if len(lit.Value) > 0 && lit.Value[0] == '/' && !hasMemPrefix(lit.Value) {
+					lit.Value = "/dev/shm" + lit.Value
+				} else if len(lit.Value) > 0 && lit.Value[0] != '/' && !hasMemPrefix(lit.Value) {
+					lit.Value = "/dev/shm/" + lit.Value
+				}
+			}
+			return true
+		})
+	}
+	f.WalkStmts(func(s csrc.Stmt) bool {
+		switch st := s.(type) {
+		case *csrc.ExprStmt:
+			rewrite(st.X)
+		case *csrc.DeclStmt:
+			rewrite(st.Init)
+		case *csrc.AssignStmt:
+			rewrite(st.RHS)
+		}
+		return true
+	})
+}
+
+func hasMemPrefix(p string) bool {
+	return len(p) >= 8 && p[:8] == "/dev/shm"
+}

@@ -1,0 +1,486 @@
+// Package ga is a generic genetic-algorithm engine, the Go equivalent of the
+// DEAP framework TunIO's reference tuning pipeline is built on (§III-A).
+//
+// Genomes are fixed-length vectors of small integers, each gene indexing
+// into a discrete value list (the tuner maps genes to I/O-stack parameter
+// values). The engine implements the paper's pipeline composition: elitism
+// (the best configuration found so far is always carried forward) combined
+// with tournament selection where three individuals are drawn at random and
+// the best two are carried forward as parents, which counteracts elitism's
+// tendency to over-specialize the population.
+//
+// Impact-first tuning plugs in through the active-gene mask: genes outside
+// the selected subset are pinned to their current best-known values and are
+// neither crossed nor mutated, shrinking the explored space.
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Genome is a vector of value indices, one per tuned parameter.
+type Genome []int
+
+// Clone returns a copy of g.
+func (g Genome) Clone() Genome {
+	return append(Genome(nil), g...)
+}
+
+// Individual pairs a genome with its measured fitness.
+type Individual struct {
+	Genome    Genome
+	Fitness   float64
+	Evaluated bool
+}
+
+// Selection identifies a parent-selection strategy.
+type Selection string
+
+// Supported selection strategies. TournamentKeep2 is the paper's choice;
+// Roulette exists for the ablation benchmarks.
+const (
+	TournamentKeep2 Selection = "tournament3keep2"
+	Roulette        Selection = "roulette"
+)
+
+// Config configures an Engine.
+type Config struct {
+	GenomeLen     int
+	Arity         func(gene int) int // number of values gene may take (>= 1)
+	PopSize       int                // default 16
+	CrossoverProb float64            // per-pair probability (default 0.9)
+	MutationProb  float64            // per-active-gene probability (default 0.15)
+	Elites        int                // individuals carried unchanged (default 1)
+	Selection     Selection          // default TournamentKeep2
+
+	// InitGenome, when non-nil, seeds the initial population around this
+	// genome: each individual starts from it with each gene resampled with
+	// probability InitMutation (default 0.35). Tuning pipelines use this
+	// to start exploration from the current (default) configuration
+	// instead of uniform random, giving the gradual convergence real
+	// tuners exhibit. Nil keeps uniform-random initialization.
+	InitGenome   Genome
+	InitMutation float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.PopSize == 0 {
+		c.PopSize = 16
+	}
+	if c.CrossoverProb == 0 {
+		c.CrossoverProb = 0.9
+	}
+	if c.MutationProb == 0 {
+		c.MutationProb = 0.15
+	}
+	if c.Elites == 0 {
+		c.Elites = 1
+	}
+	if c.Selection == "" {
+		c.Selection = TournamentKeep2
+	}
+}
+
+// Engine evolves a population generation by generation. The caller owns
+// evaluation: read Population, assign fitnesses with SetFitness, then call
+// NextGeneration.
+type Engine struct {
+	cfg        Config
+	rng        *rand.Rand
+	pop        []Individual
+	active     []bool // active-gene mask (impact-first subset)
+	pinned     Genome // values used for inactive genes
+	best       Individual
+	hasBest    bool
+	generation int
+}
+
+// New builds an engine with a random initial population.
+func New(cfg Config, rng *rand.Rand) (*Engine, error) {
+	if cfg.GenomeLen <= 0 {
+		return nil, fmt.Errorf("ga: GenomeLen must be positive, got %d", cfg.GenomeLen)
+	}
+	if cfg.Arity == nil {
+		return nil, fmt.Errorf("ga: Arity function is required")
+	}
+	cfg.fillDefaults()
+	if cfg.Elites >= cfg.PopSize {
+		return nil, fmt.Errorf("ga: Elites (%d) must be < PopSize (%d)", cfg.Elites, cfg.PopSize)
+	}
+	for g := 0; g < cfg.GenomeLen; g++ {
+		if cfg.Arity(g) < 1 {
+			return nil, fmt.Errorf("ga: gene %d has arity %d, want >= 1", g, cfg.Arity(g))
+		}
+	}
+	if cfg.InitGenome != nil {
+		if len(cfg.InitGenome) != cfg.GenomeLen {
+			return nil, fmt.Errorf("ga: InitGenome length %d, want %d", len(cfg.InitGenome), cfg.GenomeLen)
+		}
+		for gi, v := range cfg.InitGenome {
+			if v < 0 || v >= cfg.Arity(gi) {
+				return nil, fmt.Errorf("ga: InitGenome gene %d = %d out of range %d", gi, v, cfg.Arity(gi))
+			}
+		}
+		if cfg.InitMutation == 0 {
+			cfg.InitMutation = 0.35
+		}
+	}
+	e := &Engine{cfg: cfg, rng: rng}
+	e.active = make([]bool, cfg.GenomeLen)
+	for i := range e.active {
+		e.active[i] = true
+	}
+	e.pinned = make(Genome, cfg.GenomeLen)
+	e.pop = make([]Individual, cfg.PopSize)
+	for i := range e.pop {
+		if cfg.InitGenome != nil {
+			g := cfg.InitGenome.Clone()
+			for gi := range g {
+				if rng.Float64() < cfg.InitMutation {
+					g[gi] = e.perturb(g[gi], cfg.Arity(gi), 1)
+				}
+			}
+			e.pop[i] = Individual{Genome: g}
+		} else {
+			e.pop[i] = Individual{Genome: e.randomGenome()}
+		}
+	}
+	return e, nil
+}
+
+func (e *Engine) randomGenome() Genome {
+	g := make(Genome, e.cfg.GenomeLen)
+	for i := range g {
+		if e.active[i] {
+			g[i] = e.rng.Intn(e.cfg.Arity(i))
+		} else {
+			g[i] = e.pinned[i]
+		}
+	}
+	return g
+}
+
+// Generation returns the current generation number (0 before the first
+// NextGeneration call).
+func (e *Engine) Generation() int { return e.generation }
+
+// SetGenome replaces individual i's genome, clearing its fitness. Tuning
+// pipelines use it to seed known configurations (e.g. the library defaults)
+// into the initial population.
+func (e *Engine) SetGenome(i int, g Genome) error {
+	if i < 0 || i >= len(e.pop) {
+		return fmt.Errorf("ga: SetGenome index %d out of range %d", i, len(e.pop))
+	}
+	if len(g) != e.cfg.GenomeLen {
+		return fmt.Errorf("ga: SetGenome genome length %d, want %d", len(g), e.cfg.GenomeLen)
+	}
+	for gi, v := range g {
+		if v < 0 || v >= e.cfg.Arity(gi) {
+			return fmt.Errorf("ga: SetGenome gene %d = %d out of range %d", gi, v, e.cfg.Arity(gi))
+		}
+	}
+	e.pop[i] = Individual{Genome: g.Clone()}
+	return nil
+}
+
+// Population returns the current individuals. The slice is owned by the
+// engine; callers must not grow it but may set fitnesses via SetFitness.
+func (e *Engine) Population() []Individual { return e.pop }
+
+// SetFitness records the measured fitness of individual i.
+func (e *Engine) SetFitness(i int, fitness float64) {
+	if i < 0 || i >= len(e.pop) {
+		panic(fmt.Sprintf("ga: SetFitness index %d out of range %d", i, len(e.pop)))
+	}
+	e.pop[i].Fitness = fitness
+	e.pop[i].Evaluated = true
+	if !e.hasBest || fitness > e.best.Fitness {
+		e.best = Individual{Genome: e.pop[i].Genome.Clone(), Fitness: fitness, Evaluated: true}
+		e.hasBest = true
+	}
+}
+
+// Best returns the best individual ever evaluated (elitism guarantees it is
+// never lost). ok is false before any evaluation.
+func (e *Engine) Best() (Individual, bool) {
+	if !e.hasBest {
+		return Individual{}, false
+	}
+	return Individual{Genome: e.best.Genome.Clone(), Fitness: e.best.Fitness, Evaluated: true}, true
+}
+
+// SetActiveGenes installs the impact-first subset mask. Inactive genes are
+// pinned: in new offspring they take the value from the best genome found so
+// far (or the provided pin genome when no evaluation has happened yet).
+// A nil mask activates all genes.
+func (e *Engine) SetActiveGenes(mask []bool, pin Genome) error {
+	if mask == nil {
+		for i := range e.active {
+			e.active[i] = true
+		}
+		return nil
+	}
+	if len(mask) != e.cfg.GenomeLen {
+		return fmt.Errorf("ga: mask length %d, want %d", len(mask), e.cfg.GenomeLen)
+	}
+	any := false
+	for _, a := range mask {
+		if a {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return fmt.Errorf("ga: mask deactivates every gene")
+	}
+	copy(e.active, mask)
+	switch {
+	case pin != nil:
+		if len(pin) != e.cfg.GenomeLen {
+			return fmt.Errorf("ga: pin genome length %d, want %d", len(pin), e.cfg.GenomeLen)
+		}
+		copy(e.pinned, pin)
+	case e.hasBest:
+		copy(e.pinned, e.best.Genome)
+	}
+	// Individuals not yet evaluated (e.g. the random initial population)
+	// are re-pinned immediately so the very first iteration already
+	// explores only the active subset.
+	for i := range e.pop {
+		if !e.pop[i].Evaluated {
+			e.pin(e.pop[i].Genome)
+		}
+	}
+	return nil
+}
+
+// ActiveGenes returns a copy of the current mask.
+func (e *Engine) ActiveGenes() []bool {
+	return append([]bool(nil), e.active...)
+}
+
+// NextGeneration replaces the population with offspring: elites first, then
+// children produced by selection, crossover, and mutation. All individuals
+// must have been evaluated.
+func (e *Engine) NextGeneration() error {
+	for i := range e.pop {
+		if !e.pop[i].Evaluated {
+			return fmt.Errorf("ga: individual %d not evaluated", i)
+		}
+	}
+
+	next := make([]Individual, 0, e.cfg.PopSize)
+
+	// Elitism: carry the globally best genome, then the generation's top
+	// remaining individuals, unchanged.
+	if e.cfg.Elites > 0 && e.hasBest {
+		next = append(next, Individual{Genome: e.best.Genome.Clone()})
+	}
+	order := e.fitnessOrder()
+	for _, idx := range order {
+		if len(next) >= e.cfg.Elites {
+			break
+		}
+		next = append(next, Individual{Genome: e.pop[idx].Genome.Clone()})
+	}
+
+	for len(next) < e.cfg.PopSize {
+		p1, p2 := e.selectParents()
+		c1, c2 := p1.Clone(), p2.Clone()
+		if e.rng.Float64() < e.cfg.CrossoverProb {
+			e.crossover(c1, c2)
+		}
+		e.mutate(c1)
+		e.mutate(c2)
+		e.pin(c1)
+		e.pin(c2)
+		next = append(next, Individual{Genome: c1})
+		if len(next) < e.cfg.PopSize {
+			next = append(next, Individual{Genome: c2})
+		}
+	}
+
+	e.pop = next
+	e.generation++
+	return nil
+}
+
+// fitnessOrder returns population indices sorted by decreasing fitness.
+func (e *Engine) fitnessOrder() []int {
+	idx := make([]int, len(e.pop))
+	for i := range idx {
+		idx[i] = i
+	}
+	// simple insertion sort: populations are small
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && e.pop[idx[j]].Fitness > e.pop[idx[j-1]].Fitness; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// selectParents draws two parents per the configured strategy.
+func (e *Engine) selectParents() (Genome, Genome) {
+	switch e.cfg.Selection {
+	case Roulette:
+		return e.roulette(), e.roulette()
+	default: // TournamentKeep2: pick 3 at random, keep the best 2
+		a := e.rng.Intn(len(e.pop))
+		b := e.rng.Intn(len(e.pop))
+		c := e.rng.Intn(len(e.pop))
+		// order a, b, c by fitness descending
+		if e.pop[b].Fitness > e.pop[a].Fitness {
+			a, b = b, a
+		}
+		if e.pop[c].Fitness > e.pop[a].Fitness {
+			a, c = c, a
+		}
+		if e.pop[c].Fitness > e.pop[b].Fitness {
+			b, c = c, b
+		}
+		return e.pop[a].Genome, e.pop[b].Genome
+	}
+}
+
+func (e *Engine) roulette() Genome {
+	min := e.pop[0].Fitness
+	for _, ind := range e.pop {
+		if ind.Fitness < min {
+			min = ind.Fitness
+		}
+	}
+	total := 0.0
+	for _, ind := range e.pop {
+		total += ind.Fitness - min
+	}
+	if total <= 0 {
+		return e.pop[e.rng.Intn(len(e.pop))].Genome
+	}
+	r := e.rng.Float64() * total
+	acc := 0.0
+	for _, ind := range e.pop {
+		acc += ind.Fitness - min
+		if r <= acc {
+			return ind.Genome
+		}
+	}
+	return e.pop[len(e.pop)-1].Genome
+}
+
+// crossover performs uniform crossover over active genes, in place.
+func (e *Engine) crossover(a, b Genome) {
+	for i := range a {
+		if e.active[i] && e.rng.Float64() < 0.5 {
+			a[i], b[i] = b[i], a[i]
+		}
+	}
+}
+
+// mutate perturbs each active gene. Genes over small value lists (flags,
+// enums) resample uniformly; genes over larger ordered lists (sizes,
+// counts) take ordinal random-walk steps of +-1 or +-2, which is how
+// tuners treat ordered parameters and what produces the gradual,
+// logarithmic convergence real tuning pipelines exhibit.
+//
+// The per-gene probability scales inversely with the active-subset size so
+// each child receives a roughly constant number of mutations: this is how
+// restricting the search to a high-impact subset concentrates exploration
+// and converges in fewer generations (the paper's impact-first effect).
+func (e *Engine) mutate(g Genome) {
+	activeCount := 0
+	for _, a := range e.active {
+		if a {
+			activeCount++
+		}
+	}
+	concentration := 1
+	prob := e.cfg.MutationProb
+	if activeCount > 0 {
+		concentration = len(e.active) / activeCount
+		prob *= float64(len(e.active)) / float64(activeCount)
+	}
+	if prob > 0.5 {
+		prob = 0.5
+	}
+	for i := range g {
+		if !e.active[i] || e.rng.Float64() >= prob {
+			continue
+		}
+		g[i] = e.perturb(g[i], e.cfg.Arity(i), concentration)
+	}
+}
+
+// perturb returns a mutated value index for a gene of the given arity.
+// concentration >= 1 widens the ordinal step when mutation is focused on a
+// small active subset (the same exploration budget over fewer genes covers
+// each gene's range faster — the mechanism behind impact-first tuning's
+// accelerated convergence).
+func (e *Engine) perturb(v, arity, concentration int) int {
+	if arity <= 4 {
+		return e.rng.Intn(arity)
+	}
+	maxStep := 2 * concentration
+	if maxStep > arity/2 {
+		maxStep = arity / 2
+	}
+	if maxStep < 2 {
+		maxStep = 2
+	}
+	step := 1 + e.rng.Intn(maxStep)
+	if e.rng.Intn(2) == 0 {
+		step = -step
+	}
+	v += step
+	if v < 0 {
+		v = 0
+	}
+	if v >= arity {
+		v = arity - 1
+	}
+	return v
+}
+
+// pin forces inactive genes to their pinned values.
+func (e *Engine) pin(g Genome) {
+	for i := range g {
+		if !e.active[i] {
+			if e.hasBest {
+				g[i] = e.best.Genome[i]
+			} else {
+				g[i] = e.pinned[i]
+			}
+		}
+	}
+}
+
+// Stats summarizes the current population's fitnesses.
+type Stats struct {
+	Generation int
+	Best       float64
+	Mean       float64
+	Worst      float64
+}
+
+// PopulationStats computes Stats over the evaluated population.
+func (e *Engine) PopulationStats() Stats {
+	s := Stats{Generation: e.generation}
+	if len(e.pop) == 0 {
+		return s
+	}
+	s.Best = e.pop[0].Fitness
+	s.Worst = e.pop[0].Fitness
+	sum := 0.0
+	for _, ind := range e.pop {
+		if ind.Fitness > s.Best {
+			s.Best = ind.Fitness
+		}
+		if ind.Fitness < s.Worst {
+			s.Worst = ind.Fitness
+		}
+		sum += ind.Fitness
+	}
+	s.Mean = sum / float64(len(e.pop))
+	return s
+}

@@ -1,0 +1,415 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func arity4(int) int { return 4 }
+
+func newTestEngine(t *testing.T, cfg Config, seed int64) *Engine {
+	t.Helper()
+	e, err := New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(Config{GenomeLen: 0, Arity: arity4}, rng); err == nil {
+		t.Fatal("GenomeLen=0: want error")
+	}
+	if _, err := New(Config{GenomeLen: 3}, rng); err == nil {
+		t.Fatal("nil Arity: want error")
+	}
+	if _, err := New(Config{GenomeLen: 3, Arity: func(int) int { return 0 }}, rng); err == nil {
+		t.Fatal("zero arity: want error")
+	}
+	if _, err := New(Config{GenomeLen: 3, Arity: arity4, PopSize: 4, Elites: 4}, rng); err == nil {
+		t.Fatal("Elites >= PopSize: want error")
+	}
+}
+
+func TestInitialPopulationInRange(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 6, Arity: func(g int) int { return g + 1 }, PopSize: 20}, 2)
+	for _, ind := range e.Population() {
+		if len(ind.Genome) != 6 {
+			t.Fatalf("genome len = %d", len(ind.Genome))
+		}
+		for g, v := range ind.Genome {
+			if v < 0 || v >= g+1 {
+				t.Fatalf("gene %d = %d out of range %d", g, v, g+1)
+			}
+		}
+	}
+}
+
+func TestNextGenerationRequiresEvaluation(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 3, Arity: arity4, PopSize: 4}, 3)
+	if err := e.NextGeneration(); err == nil {
+		t.Fatal("unevaluated population: want error")
+	}
+}
+
+func TestSetFitnessValidation(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 3, Arity: arity4, PopSize: 4}, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for bad index")
+		}
+	}()
+	e.SetFitness(10, 1)
+}
+
+func TestElitismPreservesBest(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 4, Arity: arity4, PopSize: 8, Elites: 1}, 4)
+	// Evaluate with a recognizable champion.
+	for i := range e.Population() {
+		e.SetFitness(i, float64(i))
+	}
+	champion := e.Population()[7].Genome.Clone()
+	for gen := 0; gen < 5; gen++ {
+		if err := e.NextGeneration(); err != nil {
+			t.Fatal(err)
+		}
+		// Champion must be present verbatim (elite slot 0).
+		first := e.Population()[0].Genome
+		for g := range champion {
+			if first[g] != champion[g] {
+				t.Fatalf("gen %d: elite genome %v != champion %v", gen, first, champion)
+			}
+		}
+		// Re-evaluate: champion stays best.
+		for i := range e.Population() {
+			f := 0.0
+			same := true
+			for g := range champion {
+				if e.Population()[i].Genome[g] != champion[g] {
+					same = false
+					break
+				}
+			}
+			if same {
+				f = 7
+			}
+			e.SetFitness(i, f)
+		}
+	}
+	best, ok := e.Best()
+	if !ok || best.Fitness != 7 {
+		t.Fatalf("Best = %+v, %v", best, ok)
+	}
+}
+
+func TestBestBeforeEvaluation(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 2, Arity: arity4, PopSize: 4}, 5)
+	if _, ok := e.Best(); ok {
+		t.Fatal("Best before any evaluation should report ok=false")
+	}
+}
+
+// onemax fitness: count of genes equal to arity-1.
+func onemax(g Genome, arity int) float64 {
+	s := 0.0
+	for _, v := range g {
+		if v == arity-1 {
+			s++
+		}
+	}
+	return s
+}
+
+func TestConvergesOnOneMax(t *testing.T) {
+	const genomeLen, arity = 12, 4
+	e := newTestEngine(t, Config{
+		GenomeLen: genomeLen,
+		Arity:     func(int) int { return arity },
+		PopSize:   24,
+	}, 6)
+	var best float64
+	for gen := 0; gen < 60; gen++ {
+		for i := range e.Population() {
+			f := onemax(e.Population()[i].Genome, arity)
+			e.SetFitness(i, f)
+			if f > best {
+				best = f
+			}
+		}
+		if best == genomeLen {
+			break
+		}
+		if err := e.NextGeneration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if best < genomeLen-1 {
+		t.Fatalf("GA reached %v of %v on onemax after 60 generations", best, genomeLen)
+	}
+}
+
+func TestRouletteSelectionAlsoConverges(t *testing.T) {
+	const genomeLen, arity = 8, 3
+	e := newTestEngine(t, Config{
+		GenomeLen: genomeLen,
+		Arity:     func(int) int { return arity },
+		PopSize:   20,
+		Selection: Roulette,
+	}, 7)
+	var best float64
+	for gen := 0; gen < 80; gen++ {
+		for i := range e.Population() {
+			f := onemax(e.Population()[i].Genome, arity)
+			e.SetFitness(i, f)
+			if f > best {
+				best = f
+			}
+		}
+		if err := e.NextGeneration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if best < genomeLen-1 {
+		t.Fatalf("roulette GA reached %v of %v", best, genomeLen)
+	}
+}
+
+func TestActiveGeneMaskPinsInactiveGenes(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 5, Arity: arity4, PopSize: 10}, 8)
+	pin := Genome{3, 3, 3, 3, 3}
+	mask := []bool{true, false, true, false, false}
+	if err := e.SetActiveGenes(mask, pin); err != nil {
+		t.Fatal(err)
+	}
+	for i := range e.Population() {
+		e.SetFitness(i, float64(i))
+	}
+	for gen := 0; gen < 4; gen++ {
+		if err := e.NextGeneration(); err != nil {
+			t.Fatal(err)
+		}
+		for _, ind := range e.Population()[1:] { // skip elite (predates the mask)
+			for g, active := range mask {
+				if !active && ind.Genome[g] != 3 {
+					// inactive genes pin to the best genome once one exists
+					best, _ := e.Best()
+					if ind.Genome[g] != best.Genome[g] {
+						t.Fatalf("gen %d: inactive gene %d = %d, want pinned", gen, g, ind.Genome[g])
+					}
+				}
+			}
+		}
+		for i := range e.Population() {
+			e.SetFitness(i, 0)
+		}
+	}
+}
+
+func TestSetActiveGenesValidation(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 3, Arity: arity4, PopSize: 4}, 9)
+	if err := e.SetActiveGenes([]bool{true}, nil); err == nil {
+		t.Fatal("short mask: want error")
+	}
+	if err := e.SetActiveGenes([]bool{false, false, false}, nil); err == nil {
+		t.Fatal("all-inactive mask: want error")
+	}
+	if err := e.SetActiveGenes([]bool{true, true, true}, Genome{1}); err == nil {
+		t.Fatal("short pin: want error")
+	}
+	if err := e.SetActiveGenes(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range e.ActiveGenes() {
+		if !a {
+			t.Fatal("nil mask should activate all genes")
+		}
+	}
+}
+
+func TestPopulationStats(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 2, Arity: arity4, PopSize: 4}, 10)
+	for i := range e.Population() {
+		e.SetFitness(i, float64(i+1)) // 1, 2, 3, 4
+	}
+	s := e.PopulationStats()
+	if s.Best != 4 || s.Worst != 1 || s.Mean != 2.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestGenerationCounter(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 2, Arity: arity4, PopSize: 4}, 11)
+	if e.Generation() != 0 {
+		t.Fatal("initial generation != 0")
+	}
+	for i := range e.Population() {
+		e.SetFitness(i, 1)
+	}
+	if err := e.NextGeneration(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", e.Generation())
+	}
+}
+
+func TestOffspringGenesAlwaysInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		e, err := New(Config{
+			GenomeLen: 6,
+			Arity:     func(g int) int { return 2 + g%3 },
+			PopSize:   8,
+		}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		for gen := 0; gen < 5; gen++ {
+			for i := range e.Population() {
+				e.SetFitness(i, float64(seed%7)+float64(i))
+			}
+			if err := e.NextGeneration(); err != nil {
+				return false
+			}
+			for _, ind := range e.Population() {
+				for g, v := range ind.Genome {
+					if v < 0 || v >= 2+g%3 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	run := func() []Genome {
+		e, _ := New(Config{GenomeLen: 4, Arity: arity4, PopSize: 6}, rand.New(rand.NewSource(42)))
+		for gen := 0; gen < 3; gen++ {
+			for i := range e.Population() {
+				e.SetFitness(i, onemax(e.Population()[i].Genome, 4))
+			}
+			if err := e.NextGeneration(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out []Genome
+		for _, ind := range e.Population() {
+			out = append(out, ind.Genome.Clone())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		for g := range a[i] {
+			if a[i][g] != b[i][g] {
+				t.Fatal("same seed produced different evolution")
+			}
+		}
+	}
+}
+
+func TestRouletteDegenerateFitness(t *testing.T) {
+	// All-equal fitness: roulette must still pick parents (uniform path).
+	e := newTestEngine(t, Config{GenomeLen: 3, Arity: arity4, PopSize: 6, Selection: Roulette}, 21)
+	for i := range e.Population() {
+		e.SetFitness(i, 5) // zero spread
+	}
+	if err := e.NextGeneration(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitGenomeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	if _, err := New(Config{GenomeLen: 3, Arity: arity4, InitGenome: Genome{0}}, rng); err == nil {
+		t.Fatal("short InitGenome: want error")
+	}
+	if _, err := New(Config{GenomeLen: 3, Arity: arity4, InitGenome: Genome{0, 9, 0}}, rng); err == nil {
+		t.Fatal("out-of-range InitGenome: want error")
+	}
+}
+
+func TestInitGenomeSeedsNearby(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seed := Genome{2, 2, 2, 2, 2, 2}
+	e, err := New(Config{
+		GenomeLen: 6, Arity: func(int) int { return 8 }, PopSize: 20,
+		InitGenome: seed, InitMutation: 0.3,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// most genes should remain at the seed value
+	same, total := 0, 0
+	for _, ind := range e.Population() {
+		for g, v := range ind.Genome {
+			total++
+			if v == seed[g] {
+				same++
+			}
+		}
+	}
+	if frac := float64(same) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.0f%% of genes kept the seed value", frac*100)
+	}
+}
+
+func TestSetGenomeValidation(t *testing.T) {
+	e := newTestEngine(t, Config{GenomeLen: 3, Arity: arity4, PopSize: 4}, 24)
+	if err := e.SetGenome(99, Genome{0, 0, 0}); err == nil {
+		t.Fatal("bad index: want error")
+	}
+	if err := e.SetGenome(0, Genome{0}); err == nil {
+		t.Fatal("short genome: want error")
+	}
+	if err := e.SetGenome(0, Genome{0, 9, 0}); err == nil {
+		t.Fatal("out-of-range gene: want error")
+	}
+	if err := e.SetGenome(0, Genome{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Population()[0].Evaluated {
+		t.Fatal("SetGenome must clear evaluation state")
+	}
+}
+
+func TestConcentratedMutationTakesBiggerSteps(t *testing.T) {
+	// With one active high-arity gene, offspring must reach distant value
+	// indices quickly (the impact-first acceleration mechanism).
+	rng := rand.New(rand.NewSource(25))
+	e, err := New(Config{
+		GenomeLen:  12,
+		Arity:      func(int) int { return 16 },
+		PopSize:    10,
+		InitGenome: make(Genome, 12), // all zeros
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]bool, 12)
+	mask[0] = true
+	if err := e.SetActiveGenes(mask, make(Genome, 12)); err != nil {
+		t.Fatal(err)
+	}
+	maxSeen := 0
+	for gen := 0; gen < 6; gen++ {
+		for i, ind := range e.Population() {
+			e.SetFitness(i, float64(ind.Genome[0])) // climb gene 0
+			if ind.Genome[0] > maxSeen {
+				maxSeen = ind.Genome[0]
+			}
+		}
+		if err := e.NextGeneration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if maxSeen < 10 {
+		t.Fatalf("concentrated walk reached only index %d of 15 in 6 generations", maxSeen)
+	}
+}

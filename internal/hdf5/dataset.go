@@ -1,0 +1,454 @@
+package hdf5
+
+import (
+	"fmt"
+	"sort"
+
+	"tunio/internal/ioreq"
+)
+
+// maxExtentsPerSlab bounds how many extents one slab materializes; beyond
+// it, segments are grouped into representative extents carrying sub-request
+// counts. This keeps evaluation cost bounded without losing request-count
+// fidelity.
+const maxExtentsPerSlab = 64
+
+// objectHeaderBytes is the metadata created per dataset.
+const objectHeaderBytes = 1024
+
+// Dataset is an HDF5 dataset, contiguous or chunked.
+type Dataset struct {
+	f     *File
+	name  string
+	space Space
+
+	// contiguous layout
+	dataOffset int64
+
+	// chunked layout
+	chunkDims  []int64
+	chunkBytes int64
+	chunkGrid  []int64         // chunks per dimension
+	chunkOff   map[int64]int64 // chunk linear index -> file offset
+	written    map[int64]int64 // bytes ever written per chunk
+}
+
+// CreateDataset creates a dataset. chunkDims nil selects contiguous layout
+// (allocated eagerly, like HDF5 with early allocation in parallel mode);
+// otherwise the dataset is chunked and chunks allocate lazily on first
+// write. Creation is collective.
+func (f *File) CreateDataset(name string, space Space, chunkDims []int64) (*Dataset, error) {
+	if f.closed {
+		return nil, fmt.Errorf("hdf5: create dataset on closed file %s", f.name)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("hdf5: empty dataset name")
+	}
+	if _, dup := f.datasets[name]; dup {
+		return nil, fmt.Errorf("hdf5: dataset %s already exists in %s", name, f.name)
+	}
+	d := &Dataset{f: f, name: name, space: space}
+	if chunkDims != nil {
+		if len(chunkDims) != len(space.Dims) {
+			return nil, fmt.Errorf("hdf5: chunk rank %d does not match dataspace rank %d", len(chunkDims), len(space.Dims))
+		}
+		d.chunkDims = append([]int64(nil), chunkDims...)
+		d.chunkBytes = space.Elem
+		d.chunkGrid = make([]int64, len(chunkDims))
+		for i, c := range chunkDims {
+			if c <= 0 || c > space.Dims[i] {
+				return nil, fmt.Errorf("hdf5: chunk dim %d is %d, want 1..%d", i, c, space.Dims[i])
+			}
+			d.chunkBytes *= c
+			d.chunkGrid[i] = (space.Dims[i] + c - 1) / c
+		}
+		d.chunkOff = make(map[int64]int64)
+		d.written = make(map[int64]int64)
+	} else {
+		d.dataOffset = f.allocate(space.TotalBytes())
+	}
+	f.addMetadata(objectHeaderBytes)
+	f.datasets[name] = d
+	if f.lib.tracer != nil {
+		f.lib.tracer.OnCreateDataset(f.name, name, space, chunkDims)
+	}
+	return d, nil
+}
+
+// OpenDataset opens an existing dataset, charging metadata reads.
+func (f *File) OpenDataset(name string) (*Dataset, error) {
+	if f.closed {
+		return nil, fmt.Errorf("hdf5: open dataset on closed file %s", f.name)
+	}
+	d, ok := f.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("hdf5: dataset %s not found in %s", name, f.name)
+	}
+	f.metaRead(2)
+	d.f = f // rebind to the current open handle
+	return d, nil
+}
+
+// Space returns the dataset's dataspace.
+func (d *Dataset) Space() Space { return d.space }
+
+// Chunked reports whether the dataset uses chunked layout.
+func (d *Dataset) Chunked() bool { return d.chunkDims != nil }
+
+// ChunkBytes returns the chunk size in bytes (0 for contiguous layout).
+func (d *Dataset) ChunkBytes() int64 { return d.chunkBytes }
+
+// Write services one collective write phase: every participating rank's
+// hyperslab, together. Returns elapsed simulated seconds.
+func (d *Dataset) Write(slabs []Slab) (float64, error) {
+	return d.transfer(slabs, true)
+}
+
+// Read services one collective read phase.
+func (d *Dataset) Read(slabs []Slab) (float64, error) {
+	return d.transfer(slabs, false)
+}
+
+func (d *Dataset) transfer(slabs []Slab, isWrite bool) (float64, error) {
+	if len(slabs) == 0 {
+		return 0, nil
+	}
+	var appBytes int64
+	for _, sl := range slabs {
+		if err := d.space.ValidateSlab(sl); err != nil {
+			return 0, err
+		}
+		appBytes += d.space.SlabBytes(sl)
+	}
+
+	if tr := d.f.lib.tracer; tr != nil {
+		tr.OnTransfer(d.f.name, d.name, slabs, isWrite)
+	}
+
+	var elapsed float64
+	var err error
+	if d.Chunked() {
+		elapsed, err = d.transferChunked(slabs, isWrite)
+	} else {
+		elapsed, err = d.transferContiguous(slabs, isWrite)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	// Application-layer accounting: one op per H5Dwrite/H5Dread call.
+	lc := d.f.lib.sim.Report.Layer("hdf5")
+	if isWrite {
+		lc.WriteOps += int64(len(slabs))
+		lc.BytesWritten += appBytes
+		lc.WriteTime += elapsed
+	} else {
+		lc.ReadOps += int64(len(slabs))
+		lc.BytesRead += appBytes
+		lc.ReadTime += elapsed
+	}
+	return elapsed, nil
+}
+
+// transferContiguous maps slabs to file extents with sieve-buffer
+// coalescing of small strided segments.
+func (d *Dataset) transferContiguous(slabs []Slab, isWrite bool) (float64, error) {
+	d.f.metaTouch(int64(len(slabs))) // object header revisits
+	var extents []ioreq.Extent
+	for _, sl := range slabs {
+		extents = append(extents, d.slabExtents(sl)...)
+	}
+	if isWrite {
+		return d.f.writePhase(extents)
+	}
+	return d.f.readPhase(extents)
+}
+
+// slabExtents converts one slab into file extents for contiguous layout.
+func (d *Dataset) slabExtents(sl Slab) []ioreq.Extent {
+	g := d.space.Geometry(sl)
+	totalBytes := g.SegBytes * g.NSegments
+
+	// Sieve buffer: small strided segments coalesce into sieve-sized
+	// requests over the slab's span, reducing the effective request count.
+	effSegs := g.NSegments
+	if sieve := d.f.lib.cfg.SieveBufSize; sieve > 0 && g.NSegments > 1 && g.SegBytes < sieve {
+		perSieve := sieve / g.SegBytes
+		if perSieve > 1 {
+			effSegs = (g.NSegments + perSieve - 1) / perSieve
+		}
+	}
+
+	if g.NSegments == 1 {
+		return []ioreq.Extent{{
+			Offset: d.dataOffset + g.FirstByte,
+			Size:   totalBytes,
+			Rank:   sl.Rank,
+		}}
+	}
+
+	// Group segments into at most maxExtentsPerSlab representative extents.
+	groups := effSegs
+	if groups > maxExtentsPerSlab {
+		groups = maxExtentsPerSlab
+	}
+	segsPerGroup := (g.NSegments + groups - 1) / groups
+	reqsPerGroup := (effSegs + groups - 1) / groups
+
+	var out []ioreq.Extent
+	var cur int64
+	var groupStart int64 = -1
+	var groupBytes int64
+	var inGroup int64
+	d.space.ForEachSegment(sl, func(off, size int64) bool {
+		if groupStart < 0 {
+			groupStart = off
+		}
+		groupBytes += size
+		inGroup++
+		cur++
+		if inGroup == segsPerGroup || cur == g.NSegments {
+			out = append(out, ioreq.Extent{
+				Offset: d.dataOffset + groupStart,
+				Size:   groupBytes,
+				Rank:   sl.Rank,
+				Count:  reqsPerGroup,
+				Span:   off + size - groupStart, // true strided footprint
+			})
+			groupStart = -1
+			groupBytes = 0
+			inGroup = 0
+		}
+		return true
+	})
+	return out
+}
+
+// chunkIndexOf returns the linear index of the chunk holding coordinate c.
+func (d *Dataset) chunkIndexOf(coord []int64) int64 {
+	idx := int64(0)
+	for i := range coord {
+		idx = idx*d.chunkGrid[i] + coord[i]/d.chunkDims[i]
+	}
+	return idx
+}
+
+// forEachTouchedChunk invokes fn for every chunk a slab intersects, with
+// the chunk's linear index and grid coordinates.
+func (d *Dataset) forEachTouchedChunk(sl Slab, fn func(linear int64, gridCoord []int64)) {
+	n := len(d.chunkDims)
+	lo := make([]int64, n)
+	hi := make([]int64, n)
+	for i := 0; i < n; i++ {
+		lo[i] = sl.Start[i] / d.chunkDims[i]
+		hi[i] = (sl.Start[i] + sl.Count[i] - 1) / d.chunkDims[i]
+	}
+	coord := append([]int64(nil), lo...)
+	for {
+		linear := int64(0)
+		for i := 0; i < n; i++ {
+			linear = linear*d.chunkGrid[i] + coord[i]
+		}
+		fn(linear, coord)
+		carry := true
+		for i := n - 1; i >= 0 && carry; i-- {
+			coord[i]++
+			if coord[i] <= hi[i] {
+				carry = false
+			} else {
+				coord[i] = lo[i]
+			}
+		}
+		if carry {
+			return
+		}
+	}
+}
+
+// transferChunked services a phase against a chunked dataset: it resolves
+// touched chunks, performs read-modify-write for partially covered,
+// uncached, previously written chunks, and writes covered bytes.
+func (d *Dataset) transferChunked(slabs []Slab, isWrite bool) (float64, error) {
+	type chunkWork struct {
+		linear  int64
+		covered int64
+		pieces  []ioreq.Extent // in-chunk extents (chunk-relative)
+	}
+	work := make(map[int64]*chunkWork)
+
+	for _, sl := range slabs {
+		d.forEachTouchedChunk(sl, func(linear int64, gridCoord []int64) {
+			boxStart := make([]int64, len(gridCoord))
+			boxCount := make([]int64, len(gridCoord))
+			for i, gc := range gridCoord {
+				boxStart[i] = gc * d.chunkDims[i]
+				boxCount[i] = min64s(d.chunkDims[i], d.space.Dims[i]-boxStart[i])
+			}
+			inter, ok := d.space.intersect(sl, boxStart, boxCount)
+			if !ok {
+				return
+			}
+			// chunk-relative slab in chunk-local space
+			local := Slab{Rank: sl.Rank, Start: make([]int64, len(gridCoord)), Count: inter.Count}
+			for i := range gridCoord {
+				local.Start[i] = inter.Start[i] - boxStart[i]
+			}
+			chunkSpace := Space{Dims: d.chunkDims, Elem: d.space.Elem}
+			g := chunkSpace.Geometry(local)
+			bytes := chunkSpace.SlabBytes(local)
+
+			w := work[linear]
+			if w == nil {
+				w = &chunkWork{linear: linear}
+				work[linear] = w
+			}
+			w.covered += bytes
+			w.pieces = append(w.pieces, ioreq.Extent{
+				Offset: g.FirstByte, // chunk-relative; rebased below
+				Size:   bytes,
+				Rank:   sl.Rank,
+				Count:  g.NSegments,
+				Span:   g.SpanBytes,
+			})
+		})
+	}
+
+	// Deterministic ordering of chunks.
+	order := make([]int64, 0, len(work))
+	for linear := range work {
+		order = append(order, linear)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var readExtents, dataExtents []ioreq.Extent
+	var metaTouches int64
+	for _, linear := range order {
+		w := work[linear]
+		off, allocated := d.chunkOff[linear]
+		if !allocated {
+			off = d.f.allocate(d.chunkBytes)
+			d.chunkOff[linear] = off
+			d.f.addMetadata(metaItemSize) // chunk index entry
+		}
+		metaTouches++ // chunk index lookup
+
+		if isWrite {
+			prior := d.written[linear]
+			partial := w.covered < d.chunkBytes
+			if partial && prior > 0 && !d.f.cache.contains(d.name, linear) {
+				// read-modify-write: fetch the chunk first
+				readExtents = append(readExtents, ioreq.Extent{
+					Offset: off, Size: d.chunkBytes, Rank: w.pieces[0].Rank,
+				})
+			}
+			d.f.cache.insert(d.name, linear, d.chunkBytes)
+			d.written[linear] = min64s(prior+w.covered, d.chunkBytes)
+			for _, p := range w.pieces {
+				p.Offset += off
+				dataExtents = append(dataExtents, p)
+			}
+		} else {
+			if d.f.cache.contains(d.name, linear) {
+				continue // served from cache
+			}
+			// HDF5 reads whole chunks through the cache.
+			dataExtents = append(dataExtents, ioreq.Extent{
+				Offset: off, Size: d.chunkBytes, Rank: w.pieces[0].Rank,
+			})
+			d.f.cache.insert(d.name, linear, d.chunkBytes)
+		}
+	}
+
+	d.f.metaTouch(metaTouches)
+
+	var elapsed float64
+	if len(readExtents) > 0 {
+		e, err := d.f.readPhase(readExtents)
+		if err != nil {
+			return 0, err
+		}
+		elapsed += e
+	}
+	if len(dataExtents) > 0 {
+		var e float64
+		var err error
+		if isWrite {
+			e, err = d.f.writePhase(dataExtents)
+		} else {
+			e, err = d.f.readPhase(dataExtents)
+		}
+		if err != nil {
+			return 0, err
+		}
+		elapsed += e
+	}
+	return elapsed, nil
+}
+
+// chunkCache is an LRU cache of chunks, keyed by (dataset, chunk index).
+// It models the aggregate effect of the per-process raw data chunk cache.
+type chunkCache struct {
+	capacity int64
+	used     int64
+	entries  map[string]int64 // key -> bytes
+	lru      []string
+}
+
+func newChunkCache(capacity int64) *chunkCache {
+	return &chunkCache{capacity: capacity, entries: make(map[string]int64)}
+}
+
+func cacheKey(dataset string, linear int64) string {
+	return fmt.Sprintf("%s#%d", dataset, linear)
+}
+
+func (c *chunkCache) contains(dataset string, linear int64) bool {
+	_, ok := c.entries[cacheKey(dataset, linear)]
+	return ok
+}
+
+func (c *chunkCache) insert(dataset string, linear, bytes int64) {
+	if bytes > c.capacity {
+		return // chunk larger than the cache never caches (like HDF5)
+	}
+	key := cacheKey(dataset, linear)
+	if _, ok := c.entries[key]; ok {
+		c.touch(key)
+		return
+	}
+	for c.used+bytes > c.capacity && len(c.lru) > 0 {
+		victim := c.lru[0]
+		c.lru = c.lru[1:]
+		c.used -= c.entries[victim]
+		delete(c.entries, victim)
+	}
+	c.entries[key] = bytes
+	c.used += bytes
+	c.lru = append(c.lru, key)
+}
+
+func (c *chunkCache) touch(key string) {
+	for i, k := range c.lru {
+		if k == key {
+			c.lru = append(c.lru[:i], c.lru[i+1:]...)
+			c.lru = append(c.lru, key)
+			return
+		}
+	}
+}
+
+// WriteAttribute attaches an attribute to the dataset (object-header
+// metadata, like File.WriteAttribute).
+func (d *Dataset) WriteAttribute(name string, size int64) error {
+	if d.f.closed {
+		return fmt.Errorf("hdf5: attribute on closed file %s", d.f.name)
+	}
+	if name == "" {
+		return fmt.Errorf("hdf5: empty attribute name")
+	}
+	if size < attributeHeaderBytes {
+		size = attributeHeaderBytes
+	}
+	d.f.addMetadata(size)
+	return nil
+}

@@ -1,0 +1,324 @@
+package hdf5
+
+import (
+	"fmt"
+
+	"tunio/internal/cluster"
+	"tunio/internal/ioreq"
+	"tunio/internal/mpiio"
+)
+
+// metaItemSize is the modeled size of one metadata item (object header
+// chunk, B-tree node fragment, heap entry).
+const metaItemSize = 512
+
+// superblockBytes is the metadata written when a file is created.
+const superblockBytes = 2048
+
+// Tracer observes library operations; trace-based kernel generation
+// (internal/replay) attaches one to record a run's I/O phases.
+type Tracer interface {
+	OnCreateFile(name string)
+	OnCloseFile(name string)
+	OnCreateDataset(file, name string, space Space, chunk []int64)
+	OnTransfer(file, dataset string, slabs []Slab, isWrite bool)
+}
+
+// Library is the HDF5-like library instance bound to one simulation.
+type Library struct {
+	sim     *cluster.Sim
+	backend func(path string) ioreq.Backend
+	hints   mpiio.Hints
+	cfg     Config
+	nprocs  int
+	files   map[string]*File
+	tracer  Tracer
+}
+
+// SetTracer installs (or with nil removes) an operation tracer.
+func (l *Library) SetTracer(t Tracer) { l.tracer = t }
+
+// NewLibrary builds a library. backend resolves a path to its storage
+// target (so /dev/shm paths route to the memory backend); hints configure
+// the MPI-IO layer; nprocs is the size of the simulated communicator.
+func NewLibrary(sim *cluster.Sim, backend func(path string) ioreq.Backend, hints mpiio.Hints, cfg Config, nprocs int) (*Library, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("hdf5: nil backend resolver")
+	}
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("hdf5: nprocs must be positive, got %d", nprocs)
+	}
+	return &Library{
+		sim:     sim,
+		backend: backend,
+		hints:   hints,
+		cfg:     cfg,
+		nprocs:  nprocs,
+		files:   make(map[string]*File),
+	}, nil
+}
+
+// Config returns the library configuration.
+func (l *Library) Config() Config { return l.cfg }
+
+// Nprocs returns the communicator size.
+func (l *Library) Nprocs() int { return l.nprocs }
+
+// Sim returns the simulation context.
+func (l *Library) Sim() *cluster.Sim { return l.sim }
+
+// File is an open HDF5 file.
+type File struct {
+	lib    *Library
+	name   string
+	mpf    *mpiio.File
+	eof    int64 // allocator high-water mark
+	closed bool
+
+	datasets map[string]*Dataset
+
+	// metadata model
+	metaPendingBytes int64 // dirty metadata awaiting flush
+	metaPendingItems int64
+	cache            *chunkCache
+	groups           map[string]bool
+}
+
+// CreateFile creates (truncates) a file; collective across the communicator.
+func (l *Library) CreateFile(name string) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("hdf5: empty file name")
+	}
+	mpf, err := mpiio.Open(l.sim, l.backend(name), name, l.nprocs, l.hints)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		lib:      l,
+		name:     name,
+		mpf:      mpf,
+		datasets: make(map[string]*Dataset),
+		cache:    newChunkCache(l.cfg.ChunkCacheBytes),
+	}
+	f.addMetadata(superblockBytes) // superblock + root group header
+	l.files[name] = f
+	if l.tracer != nil {
+		l.tracer.OnCreateFile(name)
+	}
+	return f, nil
+}
+
+// OpenFile opens an existing file created in this simulation.
+func (l *Library) OpenFile(name string) (*File, error) {
+	prev, ok := l.files[name]
+	if !ok {
+		return nil, fmt.Errorf("hdf5: open %s: no such file", name)
+	}
+	mpf, err := mpiio.Open(l.sim, l.backend(name), name, l.nprocs, l.hints)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		lib:      l,
+		name:     name,
+		mpf:      mpf,
+		eof:      prev.eof,
+		datasets: prev.datasets,
+		cache:    newChunkCache(l.cfg.ChunkCacheBytes),
+	}
+	f.metaRead(4) // superblock + root group
+	l.files[name] = f
+	return f, nil
+}
+
+// Name returns the file path.
+func (f *File) Name() string { return f.name }
+
+// EOF returns the allocator high-water mark (the file's allocated size).
+func (f *File) EOF() int64 { return f.eof }
+
+// allocate reserves size bytes, honoring the alignment policy, and returns
+// the offset.
+func (f *File) allocate(size int64) int64 {
+	off := f.lib.cfg.align(f.eof, size)
+	f.eof = off + size
+	return off
+}
+
+// allocateMeta reserves metadata space; metadata is never aligned.
+func (f *File) allocateMeta(size int64) int64 {
+	off := f.eof
+	f.eof = off + size
+	return off
+}
+
+// addMetadata records newly created dirty metadata.
+func (f *File) addMetadata(bytes int64) {
+	f.metaPendingBytes += bytes
+	items := (bytes + metaItemSize - 1) / metaItemSize
+	if items < 1 {
+		items = 1
+	}
+	f.metaPendingItems += items
+}
+
+// metaRead charges the cost of reading items metadata items from the file.
+// Without collective metadata ops every rank issues the reads; with them a
+// single rank reads and broadcasts.
+func (f *File) metaRead(items int64) {
+	if items <= 0 {
+		return
+	}
+	cfg := f.lib.cfg
+	var extents []ioreq.Extent
+	if cfg.CollMetadataOps {
+		extents = append(extents, ioreq.Extent{
+			Offset: 0, Size: items * metaItemSize, Rank: 0, Count: items,
+		})
+	} else {
+		ppn := f.lib.sim.Cluster.ProcsPerNode
+		// one representative reader per node (clients on a node share the
+		// Lustre client cache), still a metadata read storm at scale
+		nodes := (f.lib.nprocs + ppn - 1) / ppn
+		for n := 0; n < nodes; n++ {
+			extents = append(extents, ioreq.Extent{
+				Offset: 0, Size: items * metaItemSize, Rank: n * ppn, Count: items,
+			})
+		}
+	}
+	elapsed, err := f.mpf.ReadIndependent(extents)
+	if err != nil {
+		panic("hdf5: metaRead: " + err.Error())
+	}
+	f.lib.sim.Report.AddMeta("hdf5", items, elapsed)
+}
+
+// metaTouch charges repeated metadata accesses (chunk index walks, object
+// header revisits) through the metadata cache: only misses reach storage.
+func (f *File) metaTouch(items int64) {
+	if items <= 0 {
+		return
+	}
+	miss := float64(items) * (1 - f.lib.cfg.MDC.HitRate())
+	misses := int64(miss)
+	if f.lib.sim.Rand().Float64() < miss-float64(misses) {
+		misses++
+	}
+	if misses > 0 {
+		f.metaRead(misses)
+	}
+}
+
+// flushMetadata writes pending dirty metadata. With collective metadata
+// writes the items are aggregated into MetaBlockSize blocks written in one
+// phase; without, each dirty item is its own small write.
+func (f *File) flushMetadata() {
+	if f.metaPendingBytes == 0 {
+		return
+	}
+	cfg := f.lib.cfg
+	off := f.allocateMeta(f.metaPendingBytes)
+	var requests int64
+	if cfg.CollMetadataWrite {
+		block := cfg.MetaBlockSize
+		if block < metaItemSize {
+			block = metaItemSize
+		}
+		requests = (f.metaPendingBytes + block - 1) / block
+	} else {
+		requests = f.metaPendingItems
+	}
+	ext := []ioreq.Extent{{Offset: off, Size: f.metaPendingBytes, Rank: 0, Count: requests}}
+	elapsed, err := f.mpf.WriteIndependent(ext)
+	if err != nil {
+		panic("hdf5: flushMetadata: " + err.Error())
+	}
+	f.lib.sim.Report.AddMeta("hdf5", f.metaPendingItems, elapsed)
+	f.metaPendingBytes = 0
+	f.metaPendingItems = 0
+}
+
+// Close flushes metadata and the chunk cache and closes the file.
+func (f *File) Close() error {
+	if f.closed {
+		return fmt.Errorf("hdf5: close %s: already closed", f.name)
+	}
+	f.flushMetadata()
+	f.lib.sim.Barrier(f.lib.nprocs)
+	f.closed = true
+	if f.lib.tracer != nil {
+		f.lib.tracer.OnCloseFile(f.name)
+	}
+	return nil
+}
+
+// writePhase routes raw-data write extents through MPI-IO per the hints.
+func (f *File) writePhase(extents []ioreq.Extent) (float64, error) {
+	if f.closed {
+		return 0, fmt.Errorf("hdf5: write to closed file %s", f.name)
+	}
+	if f.lib.hints.CollectiveWrite {
+		return f.mpf.WriteAll(extents)
+	}
+	return f.mpf.WriteIndependent(extents)
+}
+
+// readPhase routes raw-data read extents through MPI-IO per the hints.
+func (f *File) readPhase(extents []ioreq.Extent) (float64, error) {
+	if f.closed {
+		return 0, fmt.Errorf("hdf5: read from closed file %s", f.name)
+	}
+	if f.lib.hints.CollectiveRead {
+		return f.mpf.ReadAll(extents)
+	}
+	return f.mpf.ReadIndependent(extents)
+}
+
+// groupHeaderBytes is the metadata created per group.
+const groupHeaderBytes = 512
+
+// attributeHeaderBytes is the minimum metadata footprint of an attribute.
+const attributeHeaderBytes = 256
+
+// CreateGroup creates a group (pure metadata: an object header plus a link
+// entry in the parent). Collective; charged to the metadata model.
+func (f *File) CreateGroup(name string) error {
+	if f.closed {
+		return fmt.Errorf("hdf5: create group on closed file %s", f.name)
+	}
+	if name == "" {
+		return fmt.Errorf("hdf5: empty group name")
+	}
+	if f.groups == nil {
+		f.groups = make(map[string]bool)
+	}
+	if f.groups[name] {
+		return fmt.Errorf("hdf5: group %s already exists in %s", name, f.name)
+	}
+	f.groups[name] = true
+	f.addMetadata(groupHeaderBytes)
+	return nil
+}
+
+// HasGroup reports whether the group exists.
+func (f *File) HasGroup(name string) bool { return f.groups[name] }
+
+// WriteAttribute attaches an attribute of the given payload size to the
+// file's root object. Attributes live in object-header metadata; sizes
+// below the header minimum are rounded up.
+func (f *File) WriteAttribute(name string, size int64) error {
+	if f.closed {
+		return fmt.Errorf("hdf5: attribute on closed file %s", f.name)
+	}
+	if name == "" {
+		return fmt.Errorf("hdf5: empty attribute name")
+	}
+	if size < attributeHeaderBytes {
+		size = attributeHeaderBytes
+	}
+	f.addMetadata(size)
+	return nil
+}

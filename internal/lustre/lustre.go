@@ -1,0 +1,500 @@
+// Package lustre simulates a Lustre-like parallel file system: a pool of
+// object storage targets (OSTs) that files are striped across, plus a
+// metadata server (MDS).
+//
+// The model captures the effects that make Lustre tuning matter in the
+// paper's experiments:
+//
+//   - stripe count decides how many OSTs serve a file in parallel (the
+//     Lustre default of 1 is the classic untuned bottleneck);
+//   - stripe size decides how extents split into per-OST requests: too
+//     small multiplies per-request latency, too large causes imbalance;
+//   - writes not aligned to the RAID segment pay a read-modify-write
+//     penalty at the OST;
+//   - many clients interleaving requests on one OST degrade its effective
+//     bandwidth (contention);
+//   - every open/create/stat costs an MDS round trip, so metadata storms
+//     from thousands of ranks are expensive unless issued collectively.
+//
+// Phase cost = max(client-side NIC time, slowest OST service time): the
+// network transfer and OST service overlap in a pipelined fashion.
+package lustre
+
+import (
+	"fmt"
+
+	"tunio/internal/cluster"
+	"tunio/internal/ioreq"
+)
+
+// Config describes the file system hardware.
+type Config struct {
+	OSTs             int
+	OSTBandwidth     float64 // bytes/second per OST
+	OSTLatency       float64 // seconds per request
+	RMWUnit          int64   // RAID segment size; unaligned write edges pay RMW
+	MDSLatency       float64 // seconds per metadata op
+	MDSParallel      int     // concurrent MDS service streams
+	ContentionFactor float64 // bandwidth degradation per extra client on an OST
+	MaxContention    float64 // cap on the contention multiplier
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.OSTs <= 0 {
+		return fmt.Errorf("lustre: OSTs must be positive, got %d", c.OSTs)
+	}
+	if c.OSTBandwidth <= 0 || c.OSTLatency < 0 || c.MDSLatency < 0 {
+		return fmt.Errorf("lustre: invalid timing constants")
+	}
+	if c.RMWUnit <= 0 {
+		return fmt.Errorf("lustre: RMWUnit must be positive, got %d", c.RMWUnit)
+	}
+	if c.MDSParallel <= 0 {
+		return fmt.Errorf("lustre: MDSParallel must be positive, got %d", c.MDSParallel)
+	}
+	if c.ContentionFactor < 0 || c.MaxContention < 1 {
+		return fmt.Errorf("lustre: invalid contention model")
+	}
+	return nil
+}
+
+// CoriScratch returns a configuration calibrated to Cori's scratch file
+// system (~248 OSTs, ~700 GB/s aggregate, DataDirect RAID with 1 MiB
+// segments).
+func CoriScratch() Config {
+	return Config{
+		OSTs:             248,
+		OSTBandwidth:     2.8e9,
+		OSTLatency:       0.4e-3,
+		RMWUnit:          1 << 20,
+		MDSLatency:       0.25e-3,
+		MDSParallel:      4,
+		ContentionFactor: 0.015,
+		MaxContention:    4,
+	}
+}
+
+// FS is a simulated Lustre file system bound to one simulation context.
+type FS struct {
+	cfg   Config
+	sim   *cluster.Sim
+	files map[string]*File
+	// nextOST round-robins the starting OST of new files, like Lustre's
+	// allocator spreading files across the pool.
+	nextOST int
+}
+
+// New builds a file system.
+func New(cfg Config, sim *cluster.Sim) (*FS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FS{cfg: cfg, sim: sim, files: make(map[string]*File)}, nil
+}
+
+// Config returns the file system configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// File is one striped file.
+type File struct {
+	fs          *FS
+	name        string
+	stripeCount int
+	stripeSize  int64
+	firstOST    int
+	size        int64
+}
+
+// Create makes (or truncates) a file with the given striping. stripeCount
+// is clamped to the OST pool size; stripeCount <= 0 or stripeSize <= 0
+// select the Lustre defaults (1 stripe, 1 MiB).
+func (fs *FS) Create(name string, stripeCount int, stripeSize int64) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("lustre: empty file name")
+	}
+	if stripeCount <= 0 {
+		stripeCount = 1
+	}
+	if stripeCount > fs.cfg.OSTs {
+		stripeCount = fs.cfg.OSTs
+	}
+	if stripeSize <= 0 {
+		stripeSize = 1 << 20
+	}
+	f := &File{
+		fs:          fs,
+		name:        name,
+		stripeCount: stripeCount,
+		stripeSize:  stripeSize,
+		firstOST:    fs.nextOST,
+	}
+	fs.nextOST = (fs.nextOST + stripeCount) % fs.cfg.OSTs
+	fs.files[name] = f
+	fs.MetaOps(1, 1) // create is one MDS op
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("lustre: open %s: no such file", name)
+	}
+	fs.MetaOps(1, 1)
+	return f, nil
+}
+
+// Exists reports whether a file was created in this simulation.
+func (fs *FS) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// StripeCount returns the file's stripe count.
+func (f *File) StripeCount() int { return f.stripeCount }
+
+// StripeSize returns the file's stripe size in bytes.
+func (f *File) StripeSize() int64 { return f.stripeSize }
+
+// Size returns the current file size (high-water mark of writes).
+func (f *File) Size() int64 { return f.size }
+
+// ostPiece is the load one extent places on a single OST. A piece may
+// aggregate several stripes of the same extent that land on the same OST.
+type ostPiece struct {
+	ost      int
+	size     int64
+	requests int64 // sub-requests landing in this piece
+	rank     int
+	rmwEdges int64 // request edges unaligned to RMWUnit (write RMW penalty)
+}
+
+// edgeRMW reports whether a boundary at off is a read-modify-write edge.
+func (f *File) edgeRMW(off int64, trailing bool) bool {
+	if off%f.fs.cfg.RMWUnit == 0 {
+		return false
+	}
+	if trailing && off >= f.size {
+		return false // appending past EOF: nothing to read back
+	}
+	return true
+}
+
+// split maps an extent to per-OST pieces according to the stripe layout.
+// The extent's geometric footprint (SpanLen) decides which stripes are
+// touched; its payload bytes are spread over those stripes in proportion
+// to footprint overlap, and its sub-request count distributes with the
+// payload. Extents spanning many stripe cycles aggregate into one piece
+// per participating OST so cost stays O(stripeCount) rather than
+// O(stripes).
+func (f *File) split(e ioreq.Extent) []ostPiece {
+	ss := f.stripeSize
+	sc := int64(f.stripeCount)
+	spanLen := e.SpanLen()
+	end := e.Offset + spanLen
+	firstStripe := e.Offset / ss
+	lastStripe := (end - 1) / ss
+	nStripes := lastStripe - firstStripe + 1
+
+	ostOf := func(stripe int64) int {
+		return (f.firstOST + int(stripe%sc)) % f.fs.cfg.OSTs
+	}
+
+	// Collect geometric footprint per OST slot first.
+	type slotLoad struct {
+		ost      int
+		span     int64
+		rmwEdges int64
+	}
+	var slots []slotLoad
+	bySlot := map[int]int{} // ost -> index into slots
+	add := func(stripe, span, edges int64) {
+		ost := ostOf(stripe)
+		idx, ok := bySlot[ost]
+		if !ok {
+			idx = len(slots)
+			bySlot[ost] = idx
+			slots = append(slots, slotLoad{ost: ost})
+		}
+		slots[idx].span += span
+		slots[idx].rmwEdges += edges
+	}
+
+	if nStripes <= 2*sc {
+		// exact per-stripe walk for small spans
+		off := e.Offset
+		remaining := spanLen
+		for remaining > 0 {
+			stripeIdx := off / ss
+			avail := ss - off%ss
+			n := remaining
+			if n > avail {
+				n = avail
+			}
+			var edges int64
+			if f.edgeRMW(off, false) {
+				edges++
+			}
+			if f.edgeRMW(off+n, true) {
+				edges++
+			}
+			add(stripeIdx, n, edges)
+			off += n
+			remaining -= n
+		}
+	} else {
+		// aggregated path: head/tail partial stripes plus evenly
+		// distributed full stripes
+		headBytes := int64(0)
+		if rem := e.Offset % ss; rem != 0 {
+			headBytes = ss - rem
+		}
+		tailBytes := end % ss
+		fullFirst, fullLast := firstStripe, lastStripe
+		if headBytes > 0 {
+			fullFirst++
+		}
+		if tailBytes > 0 {
+			fullLast--
+		}
+		fullCount := fullLast - fullFirst + 1
+		if headBytes > 0 {
+			var edges int64
+			if f.edgeRMW(e.Offset, false) {
+				edges++
+			}
+			add(firstStripe, headBytes, edges)
+		}
+		if tailBytes > 0 {
+			var edges int64
+			if f.edgeRMW(end, true) {
+				edges++
+			}
+			add(lastStripe, tailBytes, edges)
+		}
+		base := fullCount / sc
+		extra := fullCount % sc
+		for i := int64(0); i < sc; i++ {
+			stripe := fullFirst + i
+			if stripe > fullLast {
+				break
+			}
+			cnt := base
+			if i < extra {
+				cnt++
+			}
+			if cnt > 0 {
+				add(stripe, cnt*ss, 0)
+			}
+		}
+	}
+
+	// Convert footprint to payload: spread Size bytes and Count requests
+	// proportionally, conserving totals exactly.
+	out := make([]ostPiece, 0, len(slots))
+	var assignedBytes, assignedReqs int64
+	for i, sl := range slots {
+		size := sl.span * e.Size / spanLen
+		reqs := sl.span * e.Requests() / spanLen
+		if i == len(slots)-1 {
+			size = e.Size - assignedBytes
+			reqs = e.Requests() - assignedReqs
+		}
+		assignedBytes += size
+		assignedReqs += reqs
+		if size <= 0 {
+			continue
+		}
+		if reqs < 1 {
+			reqs = 1
+		}
+		out = append(out, ostPiece{
+			ost: sl.ost, size: size, requests: reqs, rank: e.Rank, rmwEdges: sl.rmwEdges,
+		})
+	}
+	return out
+}
+
+// phase services a set of extents and returns the elapsed simulated time.
+func (f *File) phase(extents []ioreq.Extent, isWrite bool) (float64, error) {
+	if len(extents) == 0 {
+		return 0, nil
+	}
+	type ostLoad struct {
+		bytes    int64
+		rmwBytes int64
+		requests int64
+		clients  map[int]struct{}
+	}
+	loads := make(map[int]*ostLoad)
+	perNodeBytes := make(map[int]int64)
+	procsPerNode := f.fs.sim.Cluster.ProcsPerNode
+
+	var appBytes int64
+	for _, e := range extents {
+		if err := e.Validate(); err != nil {
+			return 0, err
+		}
+		appBytes += e.Size
+		perNodeBytes[e.Rank/procsPerNode] += e.Size
+		for _, p := range f.split(e) {
+			l := loads[p.ost]
+			if l == nil {
+				l = &ostLoad{clients: make(map[int]struct{})}
+				loads[p.ost] = l
+			}
+			l.bytes += p.size
+			l.requests += p.requests
+			l.clients[p.rank] = struct{}{}
+			if isWrite {
+				subSize := p.size / p.requests
+				if subSize == 0 {
+					subSize = p.size
+				}
+				edges := p.rmwEdges
+				// Strided sub-requests smaller than the RAID segment pay
+				// interior RMW; sequential write combining absorbs half.
+				if p.requests > 1 && subSize%f.fs.cfg.RMWUnit != 0 {
+					edges += p.requests / 2
+				}
+				l.rmwBytes += edges * min64(f.fs.cfg.RMWUnit, subSize)
+			}
+		}
+		if isWrite && e.End() > f.size {
+			f.size = e.End()
+		}
+	}
+
+	// Slowest OST bounds the storage side.
+	cfg := f.fs.cfg
+	ostTime := 0.0
+	var totalRequests, totalRMW int64
+	for _, l := range loads {
+		contention := 1 + cfg.ContentionFactor*float64(len(l.clients)-1)
+		if contention > cfg.MaxContention {
+			contention = cfg.MaxContention
+		}
+		t := float64(l.requests)*cfg.OSTLatency +
+			float64(l.bytes+l.rmwBytes)/cfg.OSTBandwidth*contention
+		if t > ostTime {
+			ostTime = t
+		}
+		totalRequests += l.requests
+		totalRMW += l.rmwBytes
+	}
+
+	// Client NIC side: slowest node's injection time.
+	nicTime := 0.0
+	for _, b := range perNodeBytes {
+		t := float64(b) / f.fs.sim.Cluster.NICBandwidth
+		if t > nicTime {
+			nicTime = t
+		}
+	}
+
+	elapsed := ostTime
+	if nicTime > elapsed {
+		elapsed = nicTime
+	}
+	elapsed += cfg.OSTLatency // pipeline fill
+	elapsed = f.fs.sim.Perturb(elapsed)
+	f.fs.sim.Advance(elapsed)
+
+	rep := f.fs.sim.Report
+	if isWrite {
+		lc := rep.Layer("lustre")
+		lc.WriteOps += totalRequests
+		lc.BytesWritten += appBytes
+		lc.BytesRead += totalRMW // RMW causes OST-side reads
+		lc.WriteTime += elapsed
+	} else {
+		lc := rep.Layer("lustre")
+		lc.ReadOps += totalRequests
+		lc.BytesRead += appBytes
+		lc.ReadTime += elapsed
+	}
+	return elapsed, nil
+}
+
+// WritePhase implements ioreq.Backend semantics for this file.
+func (f *File) WritePhase(extents []ioreq.Extent) (float64, error) {
+	return f.phase(extents, true)
+}
+
+// ReadPhase services concurrent reads.
+func (f *File) ReadPhase(extents []ioreq.Extent) (float64, error) {
+	return f.phase(extents, false)
+}
+
+// MetaOps services n metadata operations issued by nclients concurrent
+// clients and returns the elapsed time. The MDS serializes operations over
+// MDSParallel service streams.
+func (fs *FS) MetaOps(n, nclients int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if nclients < 1 {
+		nclients = 1
+	}
+	d := float64(n)*fs.cfg.MDSLatency/float64(fs.cfg.MDSParallel) + fs.sim.Cluster.NICLatency
+	d = fs.sim.Perturb(d)
+	fs.sim.Advance(d)
+	fs.sim.Report.AddMeta("lustre", int64(n), d)
+	return d
+}
+
+// Backend adapts FS to the ioreq.Backend interface, resolving files by
+// name. Phases against unknown files create them with the FS's default or
+// per-call striping settings recorded via SetDefaultStriping.
+type Backend struct {
+	FS          *FS
+	StripeCount int
+	StripeSize  int64
+}
+
+var _ ioreq.Backend = (*Backend)(nil)
+
+// Name implements ioreq.Backend.
+func (b *Backend) Name() string { return "lustre" }
+
+func (b *Backend) file(name string) *File {
+	if f, ok := b.FS.files[name]; ok {
+		return f
+	}
+	f, err := b.FS.Create(name, b.StripeCount, b.StripeSize)
+	if err != nil {
+		panic("lustre: backend create: " + err.Error())
+	}
+	return f
+}
+
+// WritePhase implements ioreq.Backend.
+func (b *Backend) WritePhase(name string, extents []ioreq.Extent) float64 {
+	d, err := b.file(name).WritePhase(extents)
+	if err != nil {
+		panic("lustre: " + err.Error())
+	}
+	return d
+}
+
+// ReadPhase implements ioreq.Backend.
+func (b *Backend) ReadPhase(name string, extents []ioreq.Extent) float64 {
+	d, err := b.file(name).ReadPhase(extents)
+	if err != nil {
+		panic("lustre: " + err.Error())
+	}
+	return d
+}
+
+// MetaOps implements ioreq.Backend.
+func (b *Backend) MetaOps(n, nclients int) float64 {
+	return b.FS.MetaOps(n, nclients)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+// Package metrics implements the paper's evaluation metrics: the tuning
+// objective perf, Return on Tuning Investment (RoTI), tuning curves, and
+// the application-lifecycle viability analysis of Figure 12.
+//
+// RoTI(t) = (perf_achieved(t) - perf_achieved(0)) / t, with perf in MB/s
+// and t the cumulative tuning time in minutes: an RoTI of 40 means tuning
+// bought 40 MB/s of application bandwidth per minute invested (§IV).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is one tuning-iteration observation.
+type Point struct {
+	Iteration   int     // generation number, starting at 0 for the initial evaluation
+	TimeMinutes float64 // cumulative tuning time when the iteration finished
+	IterPerf    float64 // best perf measured within the iteration (MB/s)
+	BestPerf    float64 // best perf achieved so far (MB/s)
+}
+
+// Curve is a tuning trajectory, ordered by iteration.
+type Curve []Point
+
+// Validate checks monotonicity invariants.
+func (c Curve) Validate() error {
+	for i := range c {
+		if i == 0 {
+			continue
+		}
+		if c[i].TimeMinutes < c[i-1].TimeMinutes {
+			return fmt.Errorf("metrics: time not monotone at %d", i)
+		}
+		if c[i].BestPerf < c[i-1].BestPerf {
+			return fmt.Errorf("metrics: best perf decreased at %d", i)
+		}
+	}
+	return nil
+}
+
+// Baseline returns perf_achieved(0): the first point's best perf (the
+// default-configuration performance).
+func (c Curve) Baseline() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[0].BestPerf
+}
+
+// RoTIAt returns the RoTI of the curve at index i.
+func (c Curve) RoTIAt(i int) float64 {
+	if i < 0 || i >= len(c) {
+		return 0
+	}
+	t := c[i].TimeMinutes
+	if t <= 0 {
+		return 0
+	}
+	return (c[i].BestPerf - c.Baseline()) / t
+}
+
+// RoTISeries returns the RoTI at every point.
+func (c Curve) RoTISeries() []float64 {
+	out := make([]float64, len(c))
+	for i := range c {
+		out[i] = c.RoTIAt(i)
+	}
+	return out
+}
+
+// PeakRoTI returns the maximum RoTI on the curve, the time at which it is
+// reached, and its index. Zero-valued results for empty curves.
+func (c Curve) PeakRoTI() (value, atMinutes float64, index int) {
+	for i := range c {
+		if r := c.RoTIAt(i); r > value {
+			value = r
+			atMinutes = c[i].TimeMinutes
+			index = i
+		}
+	}
+	return value, atMinutes, index
+}
+
+// FinalBest returns the last point's best perf (0 for empty curves).
+func (c Curve) FinalBest() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].BestPerf
+}
+
+// TotalMinutes returns the curve's cumulative tuning time.
+func (c Curve) TotalMinutes() float64 {
+	if len(c) == 0 {
+		return 0
+	}
+	return c[len(c)-1].TimeMinutes
+}
+
+// FirstReaching returns the index of the first point whose best perf
+// reaches target, or -1.
+func (c Curve) FirstReaching(target float64) int {
+	for i := range c {
+		if c[i].BestPerf >= target {
+			return i
+		}
+	}
+	return -1
+}
+
+// Truncate returns the curve cut after index i (stopping at iteration i).
+func (c Curve) Truncate(i int) Curve {
+	if i < 0 {
+		return nil
+	}
+	if i >= len(c) {
+		i = len(c) - 1
+	}
+	return c[:i+1]
+}
+
+// Speedup returns final-best / baseline (1 for empty or zero baselines).
+func (c Curve) Speedup() float64 {
+	b := c.Baseline()
+	if b <= 0 {
+		return 1
+	}
+	return c.FinalBest() / b
+}
+
+// Lifecycle models Figure 12's analysis: the total time of an
+// application's life across n production executions, given the time spent
+// tuning and the per-execution runtimes before and after tuning.
+type Lifecycle struct {
+	TuneMinutes     float64 // y-intercept of the tuned line
+	TunedRunMinutes float64 // per-execution runtime after tuning
+	BaselineMinutes float64 // per-execution runtime without tuning
+}
+
+// TotalTime returns the lifecycle time for n executions under this tuning.
+func (l Lifecycle) TotalTime(n float64) float64 {
+	return l.TuneMinutes + n*l.TunedRunMinutes
+}
+
+// BaselineTotal returns the no-tuning lifecycle time for n executions.
+func (l Lifecycle) BaselineTotal(n float64) float64 {
+	return n * l.BaselineMinutes
+}
+
+// ViabilityPoint returns the execution count at which tuning pays for
+// itself versus never tuning (+Inf if tuning never pays off).
+func (l Lifecycle) ViabilityPoint() float64 {
+	saved := l.BaselineMinutes - l.TunedRunMinutes
+	if saved <= 0 {
+		return math.Inf(1)
+	}
+	return l.TuneMinutes / saved
+}
+
+// CrossoverExecutions returns the execution count at which lifecycle b
+// becomes cheaper than lifecycle a (a wins before it). +Inf when a stays
+// ahead forever; 0 when b is never behind.
+func CrossoverExecutions(a, b Lifecycle) float64 {
+	// a.Tune + n*a.Run == b.Tune + n*b.Run
+	dRun := a.TunedRunMinutes - b.TunedRunMinutes
+	dTune := b.TuneMinutes - a.TuneMinutes
+	if dRun <= 0 {
+		if dTune >= 0 {
+			return math.Inf(1) // a cheaper to set up and at least as fast
+		}
+		return 0 // b dominates from the start
+	}
+	n := dTune / dRun
+	if n < 0 {
+		return 0
+	}
+	return n
+}

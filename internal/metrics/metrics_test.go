@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func sample() Curve {
+	return Curve{
+		{Iteration: 0, TimeMinutes: 10, IterPerf: 100, BestPerf: 100},
+		{Iteration: 1, TimeMinutes: 20, IterPerf: 150, BestPerf: 150},
+		{Iteration: 2, TimeMinutes: 30, IterPerf: 120, BestPerf: 150},
+		{Iteration: 3, TimeMinutes: 40, IterPerf: 300, BestPerf: 300},
+		{Iteration: 4, TimeMinutes: 60, IterPerf: 310, BestPerf: 310},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sample()
+	bad[2].TimeMinutes = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-monotone time: want error")
+	}
+	bad2 := sample()
+	bad2[2].BestPerf = 10
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("decreasing best: want error")
+	}
+}
+
+func TestBaselineAndFinal(t *testing.T) {
+	c := sample()
+	if c.Baseline() != 100 || c.FinalBest() != 310 {
+		t.Fatalf("baseline %v final %v", c.Baseline(), c.FinalBest())
+	}
+	var empty Curve
+	if empty.Baseline() != 0 || empty.FinalBest() != 0 || empty.TotalMinutes() != 0 {
+		t.Fatal("empty curve should be zeros")
+	}
+}
+
+func TestRoTI(t *testing.T) {
+	c := sample()
+	// at index 3: (300-100)/40 = 5
+	if got := c.RoTIAt(3); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("RoTIAt(3) = %v, want 5", got)
+	}
+	if c.RoTIAt(-1) != 0 || c.RoTIAt(99) != 0 {
+		t.Fatal("out-of-range RoTI should be 0")
+	}
+	series := c.RoTISeries()
+	if len(series) != 5 || series[0] != 0 {
+		t.Fatalf("series = %v", series)
+	}
+	peak, at, idx := c.PeakRoTI()
+	if peak != 5 || at != 40 || idx != 3 {
+		t.Fatalf("peak = %v at %v idx %d", peak, at, idx)
+	}
+}
+
+func TestRoTIZeroTime(t *testing.T) {
+	c := Curve{{TimeMinutes: 0, BestPerf: 100}}
+	if c.RoTIAt(0) != 0 {
+		t.Fatal("zero-time RoTI must be 0, not Inf")
+	}
+}
+
+func TestFirstReaching(t *testing.T) {
+	c := sample()
+	if c.FirstReaching(150) != 1 {
+		t.Fatalf("FirstReaching(150) = %d", c.FirstReaching(150))
+	}
+	if c.FirstReaching(1e9) != -1 {
+		t.Fatal("unreachable target should be -1")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	c := sample()
+	cut := c.Truncate(2)
+	if len(cut) != 3 || cut.FinalBest() != 150 {
+		t.Fatalf("truncate = %v", cut)
+	}
+	if got := c.Truncate(99); len(got) != len(c) {
+		t.Fatal("over-truncate should clamp")
+	}
+	if c.Truncate(-1) != nil {
+		t.Fatal("negative truncate should be nil")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := sample().Speedup(); math.Abs(got-3.1) > 1e-12 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if (Curve{}).Speedup() != 1 {
+		t.Fatal("empty speedup should be 1")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	// Paper's Figure 12: TunIO tunes BD-CATS in 403 min; H5Tuner in 1560.
+	tunio := Lifecycle{TuneMinutes: 403, TunedRunMinutes: 10, BaselineMinutes: 10.289}
+	if got := tunio.TotalTime(0); got != 403 {
+		t.Fatalf("y-intercept = %v", got)
+	}
+	if got := tunio.TotalTime(100); math.Abs(got-1403) > 1e-9 {
+		t.Fatalf("TotalTime(100) = %v", got)
+	}
+	if got := tunio.BaselineTotal(100); math.Abs(got-1028.9) > 1e-9 {
+		t.Fatalf("BaselineTotal = %v", got)
+	}
+	// viability = 403 / 0.289 ~ 1394 executions (paper's number)
+	v := tunio.ViabilityPoint()
+	if math.Abs(v-1394.46) > 0.5 {
+		t.Fatalf("viability = %v, want ~1394", v)
+	}
+}
+
+func TestViabilityNeverPays(t *testing.T) {
+	l := Lifecycle{TuneMinutes: 100, TunedRunMinutes: 10, BaselineMinutes: 10}
+	if !math.IsInf(l.ViabilityPoint(), 1) {
+		t.Fatal("no-speedup tuning should never be viable")
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	// a tunes fast but to a slower app; b tunes slow to a faster app.
+	a := Lifecycle{TuneMinutes: 403, TunedRunMinutes: 10.0}
+	b := Lifecycle{TuneMinutes: 1560, TunedRunMinutes: 9.99971}
+	n := CrossoverExecutions(a, b)
+	// (1560-403)/(10.0-9.99971) ~ 3.99 million executions (Figure 12)
+	if n < 3e6 || n > 5e6 {
+		t.Fatalf("crossover = %v, want ~4e6", n)
+	}
+	// a strictly dominates: never crosses
+	if !math.IsInf(CrossoverExecutions(
+		Lifecycle{TuneMinutes: 1, TunedRunMinutes: 1},
+		Lifecycle{TuneMinutes: 2, TunedRunMinutes: 1},
+	), 1) {
+		t.Fatal("dominated b should never cross")
+	}
+	// b dominates from the start
+	if got := CrossoverExecutions(
+		Lifecycle{TuneMinutes: 2, TunedRunMinutes: 2},
+		Lifecycle{TuneMinutes: 1, TunedRunMinutes: 1},
+	); got != 0 {
+		t.Fatalf("dominating b should cross at 0, got %v", got)
+	}
+}

@@ -1,0 +1,257 @@
+// Package mpiio simulates the MPI-IO middleware layer (ROMIO): independent
+// I/O passes extents straight to the storage backend, while collective I/O
+// implements generalized two-phase buffering — data is shuffled over the
+// network to cb_nodes aggregator processes that stage it in cb_buffer_size
+// buffers and issue large contiguous file requests.
+//
+// This reproduces the collective-buffering tuning trade-offs the paper's
+// parameter space exercises: too few aggregators bottleneck on aggregator
+// NICs, too many re-create storage contention; small collective buffers
+// multiply the number of two-phase rounds (each paying shuffle latency),
+// huge ones waste little but are capped by memory.
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+
+	"tunio/internal/cluster"
+	"tunio/internal/ioreq"
+)
+
+// Hints are the MPI-IO tuning knobs (a subset of ROMIO's hint set).
+type Hints struct {
+	CollectiveWrite bool  // romio_cb_write
+	CollectiveRead  bool  // romio_cb_read
+	CBNodes         int   // cb_nodes: number of aggregators
+	CBBufferSize    int64 // cb_buffer_size: staging buffer per aggregator
+}
+
+// fill normalizes hints for a communicator of nprocs processes.
+func (h Hints) fill(nprocs int) Hints {
+	if h.CBNodes <= 0 {
+		h.CBNodes = 1
+	}
+	if h.CBNodes > nprocs {
+		h.CBNodes = nprocs
+	}
+	if h.CBBufferSize <= 0 {
+		h.CBBufferSize = 16 << 20 // ROMIO default
+	}
+	return h
+}
+
+// File is an MPI-IO file handle over a storage backend.
+type File struct {
+	sim     *cluster.Sim
+	backend ioreq.Backend
+	name    string
+	hints   Hints
+	nprocs  int
+}
+
+// Open opens (or creates at the backend on first write) a file for nprocs
+// processes. MPI_File_open is collective: it costs one metadata round trip
+// plus a barrier.
+func Open(sim *cluster.Sim, backend ioreq.Backend, name string, nprocs int, hints Hints) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("mpiio: empty file name")
+	}
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("mpiio: nprocs must be positive, got %d", nprocs)
+	}
+	backend.MetaOps(1, 1)
+	sim.Barrier(nprocs)
+	return &File{sim: sim, backend: backend, name: name, hints: hints.fill(nprocs), nprocs: nprocs}, nil
+}
+
+// Hints returns the normalized hints in effect.
+func (f *File) Hints() Hints { return f.hints }
+
+// WriteAll performs a collective write of the extents (one per requesting
+// rank region). Depending on hints it runs two-phase collective buffering
+// or falls through to independent I/O. Returns elapsed simulated seconds.
+func (f *File) WriteAll(extents []ioreq.Extent) (float64, error) {
+	return f.transferAll(extents, true)
+}
+
+// ReadAll is the collective read counterpart.
+func (f *File) ReadAll(extents []ioreq.Extent) (float64, error) {
+	return f.transferAll(extents, false)
+}
+
+// WriteIndependent issues the extents directly (MPI_File_write_at from each
+// rank, no coordination).
+func (f *File) WriteIndependent(extents []ioreq.Extent) (float64, error) {
+	return f.independent(extents, true)
+}
+
+// ReadIndependent issues independent reads.
+func (f *File) ReadIndependent(extents []ioreq.Extent) (float64, error) {
+	return f.independent(extents, false)
+}
+
+func (f *File) independent(extents []ioreq.Extent, isWrite bool) (float64, error) {
+	if len(extents) == 0 {
+		return 0, nil
+	}
+	total := ioreq.TotalBytes(extents)
+	var elapsed float64
+	if isWrite {
+		elapsed = f.backend.WritePhase(f.name, extents)
+		f.sim.Report.AddWrite("mpiio", total, elapsed)
+	} else {
+		elapsed = f.backend.ReadPhase(f.name, extents)
+		f.sim.Report.AddRead("mpiio", total, elapsed)
+	}
+	return elapsed, nil
+}
+
+func (f *File) transferAll(extents []ioreq.Extent, isWrite bool) (float64, error) {
+	if len(extents) == 0 {
+		return 0, nil
+	}
+	for _, e := range extents {
+		if err := e.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	collective := f.hints.CollectiveWrite
+	if !isWrite {
+		collective = f.hints.CollectiveRead
+	}
+	if !collective {
+		return f.independent(extents, isWrite)
+	}
+
+	total := ioreq.TotalBytes(extents)
+	runs := coverageRuns(extents)
+
+	// Partition the covered byte range among aggregators in contiguous
+	// file-domain slices, then stage cb_buffer_size bytes per aggregator
+	// per round.
+	agg := f.hints.CBNodes
+	var covered int64
+	for _, r := range runs {
+		covered += r.Size
+	}
+	domain := (covered + int64(agg) - 1) / int64(agg)
+	if domain == 0 {
+		domain = 1
+	}
+	rounds := int((domain + f.hints.CBBufferSize - 1) / f.hints.CBBufferSize)
+	if rounds == 0 {
+		rounds = 1
+	}
+
+	// Aggregators are spread evenly over the ranks (ROMIO picks one per
+	// node where possible), so count the distinct nodes they land on.
+	ppn := f.sim.Cluster.ProcsPerNode
+	spacing := f.nprocs / agg
+	if spacing < 1 {
+		spacing = 1
+	}
+	aggNodeSet := make(map[int]struct{}, agg)
+	for a := 0; a < agg; a++ {
+		aggNodeSet[(a*spacing)/ppn] = struct{}{}
+	}
+	aggNodes := len(aggNodeSet)
+	srcNodes := f.nprocs / ppn
+	if f.nprocs%ppn != 0 {
+		srcNodes++
+	}
+
+	elapsed := 0.0
+	perRound := f.hints.CBBufferSize
+	for round := 0; round < rounds; round++ {
+		var roundExtents []ioreq.Extent
+		var roundBytes int64
+		for a := 0; a < agg; a++ {
+			// aggregator a's coverage-space slice for this round
+			lo := int64(a)*domain + int64(round)*perRound
+			hi := lo + perRound
+			if cap := int64(a+1) * domain; hi > cap {
+				hi = cap
+			}
+			if lo >= hi {
+				continue
+			}
+			aggRank := a * spacing
+			pieces := sliceRuns(runs, lo, hi, aggRank)
+			for _, p := range pieces {
+				roundBytes += p.Size
+			}
+			roundExtents = append(roundExtents, pieces...)
+		}
+		if len(roundExtents) == 0 {
+			continue
+		}
+		if isWrite {
+			// Phase 1: shuffle rank data to aggregators; ~one message per
+			// (rank, aggregator) pair that exchanges data, bounded by ranks.
+			elapsed += f.sim.NetworkShuffle(roundBytes, srcNodes, aggNodes, f.nprocs)
+			elapsed += f.backend.WritePhase(f.name, roundExtents)
+		} else {
+			elapsed += f.backend.ReadPhase(f.name, roundExtents)
+			elapsed += f.sim.NetworkShuffle(roundBytes, aggNodes, srcNodes, f.nprocs)
+		}
+	}
+	elapsed += f.sim.Barrier(f.nprocs)
+
+	if isWrite {
+		f.sim.Report.AddWrite("mpiio", total, elapsed)
+	} else {
+		f.sim.Report.AddRead("mpiio", total, elapsed)
+	}
+	return elapsed, nil
+}
+
+// coverageRuns merges all extents (ignoring rank) into disjoint sorted
+// runs of geometric coverage. Strided extents contribute their full span:
+// in the interleaved patterns collective buffering serves, the gaps are
+// tiled by other ranks' payloads, so the union is the data the aggregators
+// move.
+func coverageRuns(extents []ioreq.Extent) []ioreq.Extent {
+	sorted := make([]ioreq.Extent, len(extents))
+	copy(sorted, extents)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	var runs []ioreq.Extent
+	for _, e := range sorted {
+		end := e.Offset + e.SpanLen()
+		if n := len(runs); n > 0 && e.Offset <= runs[n-1].End() {
+			if end > runs[n-1].End() {
+				runs[n-1].Size = end - runs[n-1].Offset
+			}
+			continue
+		}
+		runs = append(runs, ioreq.Extent{Offset: e.Offset, Size: e.SpanLen()})
+	}
+	return runs
+}
+
+// sliceRuns maps the coverage-space byte range [lo, hi) back to file-space
+// extents, attributing them to aggregator rank aggRank.
+func sliceRuns(runs []ioreq.Extent, lo, hi int64, aggRank int) []ioreq.Extent {
+	var out []ioreq.Extent
+	var pos int64 // coverage-space cursor at the start of each run
+	for _, r := range runs {
+		runLo, runHi := pos, pos+r.Size
+		pos = runHi
+		if hi <= runLo || lo >= runHi {
+			continue
+		}
+		s, e := lo, hi
+		if s < runLo {
+			s = runLo
+		}
+		if e > runHi {
+			e = runHi
+		}
+		out = append(out, ioreq.Extent{
+			Offset: r.Offset + (s - runLo),
+			Size:   e - s,
+			Rank:   aggRank,
+		})
+	}
+	return out
+}

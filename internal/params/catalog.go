@@ -1,0 +1,51 @@
+package params
+
+import "math"
+
+// LibraryInfo records the user-level configurable parameter counts of one
+// HPC I/O library, as used by Figure 1 of the paper: permutations are
+// computed with a lower bound of two values per discrete parameter and five
+// per continuous parameter.
+type LibraryInfo struct {
+	Name       string
+	Discrete   int
+	Continuous int
+}
+
+// Permutations returns the library's parameter-value permutation count
+// under the Figure 1 convention (2^discrete * 5^continuous).
+func (l LibraryInfo) Permutations() float64 {
+	return math.Pow(2, float64(l.Discrete)) * math.Pow(5, float64(l.Continuous))
+}
+
+// Params returns the total parameter count.
+func (l LibraryInfo) Params() int { return l.Discrete + l.Continuous }
+
+// LibraryCatalog returns the Figure 1 library set with parameter counts
+// (lower bounds) drawn from each library's configuration reference.
+func LibraryCatalog() []LibraryInfo {
+	return []LibraryInfo{
+		{Name: "HDF5", Discrete: 18, Continuous: 9},
+		{Name: "PNetCDF", Discrete: 8, Continuous: 6},
+		{Name: "MPI", Discrete: 14, Continuous: 8},
+		{Name: "ADIOS", Discrete: 20, Continuous: 10},
+		{Name: "OpenSHMEM-X", Discrete: 10, Continuous: 4},
+		{Name: "Hermes", Discrete: 12, Continuous: 8},
+	}
+}
+
+// StackPermutations multiplies the permutation counts of the named
+// libraries (a full-stack tune explores their product; e.g. HDF5+MPI is
+// on the order of 10^21, Figure 1's headline number).
+func StackPermutations(names ...string) float64 {
+	cat := LibraryCatalog()
+	total := 1.0
+	for _, n := range names {
+		for _, l := range cat {
+			if l.Name == n {
+				total *= l.Permutations()
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,199 @@
+package params
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tunio/internal/hdf5"
+)
+
+func TestSpaceSize(t *testing.T) {
+	space := Space()
+	if len(space) != 12 {
+		t.Fatalf("space has %d parameters, want 12 (paper §IV)", len(space))
+	}
+	total := TotalPermutations(space)
+	if total <= 2_180_000_000 {
+		t.Fatalf("permutations = %d, paper requires > 2.18 billion", total)
+	}
+}
+
+func TestSpaceLayers(t *testing.T) {
+	counts := map[Layer]int{}
+	for _, p := range Space() {
+		counts[p.Layer]++
+	}
+	if counts[LayerHDF5] != 7 || counts[LayerMPI] != 3 || counts[LayerLustre] != 2 {
+		t.Fatalf("layer distribution = %v", counts)
+	}
+}
+
+func TestDefaultsValid(t *testing.T) {
+	for _, p := range Space() {
+		if p.Default < 0 || p.Default >= len(p.Values) {
+			t.Errorf("%s: default index %d out of range %d", p.Name, p.Default, len(p.Values))
+		}
+		if len(p.Values) < 2 {
+			t.Errorf("%s: needs at least 2 values", p.Name)
+		}
+	}
+}
+
+func TestDefaultAssignmentMatchesLibraryDefaults(t *testing.T) {
+	a := DefaultAssignment(Space())
+	s := a.Settings()
+	if s.StripeCount != 1 {
+		t.Fatalf("default stripe count = %d, want 1 (Lustre default)", s.StripeCount)
+	}
+	if s.Hints.CollectiveWrite {
+		t.Fatal("default must be independent I/O")
+	}
+	d := hdf5.DefaultConfig()
+	if s.HDF5.SieveBufSize != d.SieveBufSize || s.HDF5.ChunkCacheBytes != d.ChunkCacheBytes ||
+		s.HDF5.Alignment != d.Alignment || s.HDF5.MetaBlockSize != d.MetaBlockSize {
+		t.Fatalf("default HDF5 config %+v does not match library defaults %+v", s.HDF5, d)
+	}
+	if s.HDF5.MDC != hdf5.MDCDefault {
+		t.Fatal("default MDC should be MDCDefault")
+	}
+	if len(a.ChangedFromDefault()) != 0 {
+		t.Fatalf("default assignment reports changes: %v", a.ChangedFromDefault())
+	}
+}
+
+func TestGenomeRoundTrip(t *testing.T) {
+	space := Space()
+	a := DefaultAssignment(space)
+	if err := a.SetIndex(StripingFactor, 7); err != nil {
+		t.Fatal(err)
+	}
+	g := a.Genome()
+	b, err := FromGenome(space, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Value(StripingFactor) != 32 {
+		t.Fatalf("round trip lost value: %d", b.Value(StripingFactor))
+	}
+	// Genome returns a copy
+	g[0] = 99
+	if a.Genome()[0] == 99 {
+		t.Fatal("Genome not a copy")
+	}
+}
+
+func TestFromGenomeValidation(t *testing.T) {
+	space := Space()
+	if _, err := FromGenome(space, []int{1}); err == nil {
+		t.Fatal("short genome: want error")
+	}
+	bad := DefaultAssignment(space).Genome()
+	bad[0] = 999
+	if _, err := FromGenome(space, bad); err == nil {
+		t.Fatal("out-of-range gene: want error")
+	}
+}
+
+func TestSetIndexValidation(t *testing.T) {
+	a := DefaultAssignment(Space())
+	if err := a.SetIndex("nope", 0); err == nil {
+		t.Fatal("unknown name: want error")
+	}
+	if err := a.SetIndex(Alignment, 100); err == nil {
+		t.Fatal("bad index: want error")
+	}
+}
+
+func TestValueUnknownPanics(t *testing.T) {
+	a := DefaultAssignment(Space())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	a.Value("nope")
+}
+
+func TestFeaturesNormalized(t *testing.T) {
+	space := Space()
+	a := DefaultAssignment(space)
+	for i := range space {
+		a.idx[i] = len(space[i].Values) - 1
+	}
+	for i, f := range a.Features() {
+		if f != 1 {
+			t.Fatalf("feature %d = %v, want 1 at max index", i, f)
+		}
+	}
+	b := DefaultAssignment(space)
+	for i, f := range b.Features() {
+		if f < 0 || f > 1 {
+			t.Fatalf("feature %d = %v out of [0,1]", i, f)
+		}
+	}
+}
+
+func TestSettingsLowering(t *testing.T) {
+	a := DefaultAssignment(Space())
+	a.SetIndex(CollectiveWrite, 1)
+	a.SetIndex(CBNodes, 3)
+	a.SetIndex(StripingFactor, 9)
+	a.SetIndex(StripingUnit, 6)
+	a.SetIndex(CollMetadataOps, 1)
+	a.SetIndex(MDCConfig, 3)
+	s := a.Settings()
+	if !s.Hints.CollectiveWrite || !s.Hints.CollectiveRead {
+		t.Fatal("collective not lowered")
+	}
+	if s.Hints.CBNodes != 8 {
+		t.Fatalf("cb_nodes = %d", s.Hints.CBNodes)
+	}
+	if s.StripeCount != 64 || s.StripeSize != 4<<20 {
+		t.Fatalf("striping = %d/%d", s.StripeCount, s.StripeSize)
+	}
+	if !s.HDF5.CollMetadataOps || s.HDF5.MDC != hdf5.MDCAggressive {
+		t.Fatal("hdf5 settings not lowered")
+	}
+	changed := a.ChangedFromDefault()
+	if len(changed) != 6 {
+		t.Fatalf("ChangedFromDefault = %v", changed)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := DefaultAssignment(Space()).String()
+	if !strings.Contains(s, "striping_factor=1") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	space := Space()
+	if Index(space, SieveBufSize) != 0 {
+		t.Fatal("index of first param")
+	}
+	if Index(space, "nope") != -1 {
+		t.Fatal("unknown should be -1")
+	}
+}
+
+func TestLibraryCatalogFig1(t *testing.T) {
+	cat := LibraryCatalog()
+	if len(cat) != 6 {
+		t.Fatalf("catalog has %d libraries, want 6", len(cat))
+	}
+	for _, l := range cat {
+		if l.Permutations() <= 0 || l.Params() != l.Discrete+l.Continuous {
+			t.Fatalf("bad library %+v", l)
+		}
+	}
+	// Figure 1 headline: HDF5+MPI stack on the order of 10^21.
+	p := StackPermutations("HDF5", "MPI")
+	if math.Log10(p) < 20 || math.Log10(p) > 23 {
+		t.Fatalf("HDF5+MPI permutations = %g, want ~1e21 (paper: 3.81e21)", p)
+	}
+	if StackPermutations("nope") != 1 {
+		t.Fatal("unknown library should contribute factor 1")
+	}
+}

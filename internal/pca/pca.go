@@ -1,0 +1,269 @@
+// Package pca implements principal component analysis over parameter-sweep
+// observations.
+//
+// TunIO's Smart Configuration Generation agent is trained offline from
+// parameter sweeps on representative I/O kernels: after sweeping, a PCA is
+// performed on the (parameter values, perf) observations to isolate the
+// parameters with the highest impact on the tuning objective (§III-C of the
+// paper). This package provides that analysis: standardization, covariance,
+// a Jacobi eigensolver (sufficient for the ~12-dimensional spaces TunIO
+// tunes), and an impact ranking that weights each parameter's loadings by
+// the variance explained and by its correlation with perf.
+package pca
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tunio/internal/mat"
+)
+
+// Result holds a fitted PCA.
+type Result struct {
+	// Components holds one principal axis per row, in decreasing
+	// eigenvalue order, expressed in standardized-feature space.
+	Components *mat.Matrix
+	// Eigenvalues are the variances along each component, decreasing.
+	Eigenvalues []float64
+	// Means and Stds are the per-feature standardization constants.
+	Means, Stds []float64
+}
+
+// Fit computes a PCA of the rows of x (observations x features).
+func Fit(x *mat.Matrix) (*Result, error) {
+	n, d := x.Rows, x.Cols
+	if n < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 observations, have %d", n)
+	}
+	if d == 0 {
+		return nil, fmt.Errorf("pca: no features")
+	}
+
+	means := make([]float64, d)
+	stds := make([]float64, d)
+	for j := 0; j < d; j++ {
+		col := x.Col(j)
+		means[j] = mat.Mean(col)
+		// Sample (n-1) standard deviation, matching the covariance
+		// normalization below so standardized features have unit variance.
+		stds[j] = math.Sqrt(mat.Variance(col) * float64(n) / float64(n-1))
+		if stds[j] == 0 {
+			stds[j] = 1 // constant feature: contributes nothing after centering
+		}
+	}
+
+	// standardized copy
+	z := mat.New(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			z.Set(i, j, (x.At(i, j)-means[j])/stds[j])
+		}
+	}
+
+	// covariance = z^T z / (n-1)
+	cov, err := mat.Mul(z.T(), z)
+	if err != nil {
+		return nil, err
+	}
+	cov.Scale(1 / float64(n-1))
+
+	vals, vecs := jacobiEigen(cov)
+
+	// sort by decreasing eigenvalue
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+
+	comps := mat.New(d, d)
+	sortedVals := make([]float64, d)
+	for r, idx := range order {
+		sortedVals[r] = vals[idx]
+		for j := 0; j < d; j++ {
+			comps.Set(r, j, vecs.At(j, idx)) // eigenvectors are columns of vecs
+		}
+	}
+
+	return &Result{Components: comps, Eigenvalues: sortedVals, Means: means, Stds: stds}, nil
+}
+
+// jacobiEigen computes eigenvalues and eigenvectors of a symmetric matrix
+// using cyclic Jacobi rotations. Eigenvectors are returned as columns.
+func jacobiEigen(a *mat.Matrix) ([]float64, *mat.Matrix) {
+	n := a.Rows
+	m := a.Clone()
+	v := mat.Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+
+				for k := 0; k < n; k++ {
+					mkp, mkq := m.At(k, p), m.At(k, q)
+					m.Set(k, p, c*mkp-s*mkq)
+					m.Set(k, q, s*mkp+c*mkq)
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m.At(p, k), m.At(q, k)
+					m.Set(p, k, c*mpk-s*mqk)
+					m.Set(q, k, s*mpk+c*mqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m.At(i, i)
+	}
+	return vals, v
+}
+
+// ExplainedVariance returns the fraction of total variance captured by each
+// component.
+func (r *Result) ExplainedVariance() []float64 {
+	total := 0.0
+	for _, v := range r.Eigenvalues {
+		if v > 0 {
+			total += v
+		}
+	}
+	out := make([]float64, len(r.Eigenvalues))
+	if total == 0 {
+		return out
+	}
+	for i, v := range r.Eigenvalues {
+		if v > 0 {
+			out[i] = v / total
+		}
+	}
+	return out
+}
+
+// Transform projects an observation (raw feature space) onto the first k
+// components.
+func (r *Result) Transform(obs []float64, k int) ([]float64, error) {
+	d := len(r.Means)
+	if len(obs) != d {
+		return nil, fmt.Errorf("pca: Transform: observation has %d features, want %d", len(obs), d)
+	}
+	if k <= 0 || k > d {
+		return nil, fmt.Errorf("pca: Transform: k=%d out of range 1..%d", k, d)
+	}
+	z := make([]float64, d)
+	for j := range z {
+		z[j] = (obs[j] - r.Means[j]) / r.Stds[j]
+	}
+	out := make([]float64, k)
+	for c := 0; c < k; c++ {
+		out[c] = mat.Dot(r.Components.RowView(c), z)
+	}
+	return out, nil
+}
+
+// ImpactScores ranks feature impact on a target column. Callers pass the
+// feature matrix x and the aligned target values y (e.g. perf); the score of
+// feature j combines (a) the PCA loadings of j weighted by explained
+// variance of each component and (b) the absolute correlation of feature j
+// with y. Both terms are normalized to [0,1]; the returned scores sum to 1.
+func ImpactScores(x *mat.Matrix, y []float64) ([]float64, error) {
+	if x.Rows != len(y) {
+		return nil, fmt.Errorf("pca: ImpactScores: %d observations vs %d targets", x.Rows, len(y))
+	}
+	res, err := Fit(x)
+	if err != nil {
+		return nil, err
+	}
+	ev := res.ExplainedVariance()
+	d := x.Cols
+
+	loading := make([]float64, d)
+	for c := 0; c < d; c++ {
+		row := res.Components.RowView(c)
+		for j := 0; j < d; j++ {
+			loading[j] += ev[c] * math.Abs(row[j])
+		}
+	}
+
+	corr := make([]float64, d)
+	for j := 0; j < d; j++ {
+		corr[j] = math.Abs(correlation(x.Col(j), y))
+	}
+
+	normalize(loading)
+	normalize(corr)
+
+	scores := make([]float64, d)
+	for j := 0; j < d; j++ {
+		scores[j] = 0.5*loading[j] + 0.5*corr[j]
+	}
+	normalize(scores)
+	return scores, nil
+}
+
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+func correlation(a, b []float64) float64 {
+	ma, mb := mat.Mean(a), mat.Mean(b)
+	num, va, vb := 0.0, 0.0, 0.0
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		num += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return num / math.Sqrt(va*vb)
+}
+
+// RankDescending returns feature indices sorted by decreasing score.
+func RankDescending(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}

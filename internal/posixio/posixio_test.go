@@ -1,0 +1,98 @@
+package posixio
+
+import (
+	"testing"
+
+	"tunio/internal/cluster"
+	"tunio/internal/ioreq"
+)
+
+func newSim(t *testing.T) *cluster.Sim {
+	t.Helper()
+	c := cluster.CoriHaswell(4, 32)
+	c.Noise = 0
+	s, err := cluster.NewSim(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIsMemPath(t *testing.T) {
+	if !IsMemPath("/dev/shm/out.h5") {
+		t.Fatal("want true")
+	}
+	if IsMemPath("/scratch/out.h5") || IsMemPath("x") {
+		t.Fatal("want false")
+	}
+}
+
+func TestWriteReadCharges(t *testing.T) {
+	sim := newSim(t)
+	m := NewMemFS(sim)
+	d := m.WritePhase("f", []ioreq.Extent{{Offset: 0, Size: 1 << 20, Rank: 0}})
+	if d <= 0 {
+		t.Fatal("write free")
+	}
+	if m.Size("f") != 1<<20 {
+		t.Fatalf("Size = %d", m.Size("f"))
+	}
+	d2 := m.ReadPhase("f", []ioreq.Extent{{Offset: 0, Size: 1 << 20, Rank: 0}})
+	if d2 <= 0 {
+		t.Fatal("read free")
+	}
+	lc := sim.Report.Layer("mem")
+	if lc.BytesWritten != 1<<20 || lc.BytesRead != 1<<20 {
+		t.Fatalf("counters %+v", lc)
+	}
+	if m.Name() != "mem" {
+		t.Fatal("name")
+	}
+}
+
+func TestMemMuchFasterThanTypicalLustreSmallIO(t *testing.T) {
+	sim := newSim(t)
+	m := NewMemFS(sim)
+	// 1000 tiny writes: mem charges ~1us each; this is the property path
+	// switching exploits.
+	var extents []ioreq.Extent
+	for i := 0; i < 1000; i++ {
+		extents = append(extents, ioreq.Extent{Offset: int64(i) * 4096, Size: 4096, Rank: i % 128})
+	}
+	d := m.WritePhase("f", extents)
+	if d > 0.01 {
+		t.Fatalf("mem small-write phase took %.4fs, want ~millisecond", d)
+	}
+}
+
+func TestMetaOpsNearFree(t *testing.T) {
+	sim := newSim(t)
+	m := NewMemFS(sim)
+	if m.MetaOps(0, 1) != 0 {
+		t.Fatal("zero ops should be free")
+	}
+	d := m.MetaOps(100, 128)
+	if d <= 0 || d > 1e-3 {
+		t.Fatalf("meta = %v", d)
+	}
+	if sim.Report.Layer("mem").MetaOps != 100 {
+		t.Fatal("meta ops not counted")
+	}
+}
+
+func TestEmptyPhaseFree(t *testing.T) {
+	m := NewMemFS(newSim(t))
+	if m.WritePhase("f", nil) != 0 || m.ReadPhase("f", nil) != 0 {
+		t.Fatal("empty phases must be free")
+	}
+}
+
+func TestInvalidExtentPanics(t *testing.T) {
+	m := NewMemFS(newSim(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	m.WritePhase("f", []ioreq.Extent{{Offset: 0, Size: -1}})
+}

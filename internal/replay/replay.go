@@ -1,0 +1,244 @@
+// Package replay implements trace-based I/O kernel generation — the
+// alternative approach the paper contrasts with in §V-B (Skel and Behzad
+// et al. generate replayable kernels from trace files or ADIOS configs
+// rather than from source). A Recorder hooks the simulated HDF5 library
+// and captures every I/O phase of a run; the resulting Trace replays as a
+// workload against any stack configuration.
+//
+// The package exists both as a usable facility and as the comparison
+// baseline for the paper's argument: a trace is pinned to the application
+// configuration it was recorded under (a new app configuration needs a new
+// run to re-trace), while TunIO's source-derived kernels adapt with the
+// source.
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tunio/internal/hdf5"
+	"tunio/internal/workload"
+)
+
+// EventKind classifies trace events.
+type EventKind string
+
+// Trace event kinds.
+const (
+	EvCreateFile    EventKind = "create_file"
+	EvCloseFile     EventKind = "close_file"
+	EvCreateDataset EventKind = "create_dataset"
+	EvWrite         EventKind = "write"
+	EvRead          EventKind = "read"
+	EvCompute       EventKind = "compute"
+)
+
+// Slab mirrors one rank's hyperslab in a phase.
+type Slab struct {
+	Rank  int     `json:"rank"`
+	Start []int64 `json:"start"`
+	Count []int64 `json:"count"`
+}
+
+// Event is one recorded operation.
+type Event struct {
+	Kind    EventKind `json:"kind"`
+	File    string    `json:"file,omitempty"`
+	Dataset string    `json:"dataset,omitempty"`
+	Dims    []int64   `json:"dims,omitempty"`
+	Elem    int64     `json:"elem,omitempty"`
+	Chunk   []int64   `json:"chunk,omitempty"`
+	Slabs   []Slab    `json:"slabs,omitempty"`
+	Flops   float64   `json:"flops,omitempty"`
+}
+
+// Trace is a recorded I/O kernel.
+type Trace struct {
+	Nprocs int     `json:"nprocs"`
+	Events []Event `json:"events"`
+}
+
+// Marshal serializes the trace (the artifact a Skel-style tool would
+// exchange).
+func (t *Trace) Marshal() ([]byte, error) { return json.Marshal(t) }
+
+// Unmarshal restores a serialized trace.
+func Unmarshal(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	if t.Nprocs <= 0 {
+		return nil, fmt.Errorf("replay: trace has no process count")
+	}
+	return &t, nil
+}
+
+// Recorder captures a run's I/O phases via the hdf5 library's tracer hook.
+type Recorder struct {
+	trace *Trace
+}
+
+// NewRecorder returns a recorder for a communicator of nprocs ranks.
+func NewRecorder(nprocs int) *Recorder {
+	return &Recorder{trace: &Trace{Nprocs: nprocs}}
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return r.trace }
+
+// Attach installs the recorder on the stack's library and returns a
+// detach function.
+func (r *Recorder) Attach(lib *hdf5.Library) func() {
+	lib.SetTracer(r)
+	return func() { lib.SetTracer(nil) }
+}
+
+// The hdf5.Tracer interface implementation.
+
+// OnCreateFile implements hdf5.Tracer.
+func (r *Recorder) OnCreateFile(name string) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvCreateFile, File: name})
+}
+
+// OnCloseFile implements hdf5.Tracer.
+func (r *Recorder) OnCloseFile(name string) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvCloseFile, File: name})
+}
+
+// OnCreateDataset implements hdf5.Tracer.
+func (r *Recorder) OnCreateDataset(file, name string, space hdf5.Space, chunk []int64) {
+	r.trace.Events = append(r.trace.Events, Event{
+		Kind: EvCreateDataset, File: file, Dataset: name,
+		Dims: append([]int64(nil), space.Dims...), Elem: space.Elem,
+		Chunk: append([]int64(nil), chunk...),
+	})
+}
+
+// OnTransfer implements hdf5.Tracer.
+func (r *Recorder) OnTransfer(file, dataset string, slabs []hdf5.Slab, isWrite bool) {
+	kind := EvRead
+	if isWrite {
+		kind = EvWrite
+	}
+	ev := Event{Kind: kind, File: file, Dataset: dataset}
+	for _, sl := range slabs {
+		ev.Slabs = append(ev.Slabs, Slab{
+			Rank:  sl.Rank,
+			Start: append([]int64(nil), sl.Start...),
+			Count: append([]int64(nil), sl.Count...),
+		})
+	}
+	r.trace.Events = append(r.trace.Events, ev)
+}
+
+// OnCompute implements hdf5.Tracer.
+func (r *Recorder) OnCompute(flops float64) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvCompute, Flops: flops})
+}
+
+// Record executes a workload once on a fresh stack and returns its trace,
+// including compute phases observed through the simulation's compute hook.
+func Record(w workload.Workload, st *workload.Stack) (*Trace, error) {
+	rec := NewRecorder(st.Lib.Nprocs())
+	detach := rec.Attach(st.Lib)
+	st.Sim.ComputeHook = rec.OnCompute
+	defer func() {
+		detach()
+		st.Sim.ComputeHook = nil
+	}()
+	if err := w.Run(st); err != nil {
+		return nil, err
+	}
+	return rec.Trace(), nil
+}
+
+// Player replays a trace as a workload.
+type Player struct {
+	T *Trace
+	// SkipCompute replays only the I/O (the trace-kernel equivalent of
+	// compute stripping).
+	SkipCompute bool
+}
+
+var _ workload.Workload = (*Player)(nil)
+
+// Name implements workload.Workload.
+func (p *Player) Name() string { return "trace-replay" }
+
+// Run implements workload.Workload: the trace's phases execute in order
+// against the stack.
+func (p *Player) Run(st *workload.Stack) error {
+	if p.T == nil {
+		return fmt.Errorf("replay: nil trace")
+	}
+	if st.Lib.Nprocs() != p.T.Nprocs {
+		return fmt.Errorf("replay: trace recorded at %d procs, stack has %d (re-trace required)",
+			p.T.Nprocs, st.Lib.Nprocs())
+	}
+	files := map[string]*hdf5.File{}
+	datasets := map[string]*hdf5.Dataset{}
+	key := func(file, ds string) string { return file + "\x00" + ds }
+
+	for i, ev := range p.T.Events {
+		switch ev.Kind {
+		case EvCreateFile:
+			f, err := st.Lib.CreateFile(ev.File)
+			if err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+			files[ev.File] = f
+		case EvCloseFile:
+			f := files[ev.File]
+			if f == nil {
+				return fmt.Errorf("replay: event %d: close of unopened %s", i, ev.File)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+		case EvCreateDataset:
+			f := files[ev.File]
+			if f == nil {
+				return fmt.Errorf("replay: event %d: dataset on unopened %s", i, ev.File)
+			}
+			space, err := hdf5.NewSpace(ev.Dims, ev.Elem)
+			if err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+			var chunk []int64
+			if len(ev.Chunk) > 0 {
+				chunk = ev.Chunk
+			}
+			ds, err := f.CreateDataset(ev.Dataset, space, chunk)
+			if err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+			datasets[key(ev.File, ev.Dataset)] = ds
+		case EvWrite, EvRead:
+			ds := datasets[key(ev.File, ev.Dataset)]
+			if ds == nil {
+				return fmt.Errorf("replay: event %d: transfer on unknown dataset %s", i, ev.Dataset)
+			}
+			slabs := make([]hdf5.Slab, len(ev.Slabs))
+			for si, sl := range ev.Slabs {
+				slabs[si] = hdf5.Slab{Rank: sl.Rank, Start: sl.Start, Count: sl.Count}
+			}
+			var err error
+			if ev.Kind == EvWrite {
+				_, err = ds.Write(slabs)
+			} else {
+				_, err = ds.Read(slabs)
+			}
+			if err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+		case EvCompute:
+			if !p.SkipCompute {
+				st.Sim.Compute(ev.Flops)
+			}
+		default:
+			return fmt.Errorf("replay: event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return nil
+}

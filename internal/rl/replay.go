@@ -1,0 +1,128 @@
+// Package rl provides the reinforcement-learning building blocks behind
+// TunIO's Smart Configuration Generation and Early Stopping components: a
+// neural contextual bandit (the paper's "State Observer"), a neural
+// Q-learning agent with experience replay and a target network (the "Subset
+// Picker" and "Action Decider"), and a delayed-reward queue implementing the
+// paper's 5-iteration reward delay.
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Transition is one (s, a, r, s') experience.
+type Transition struct {
+	State  []float64
+	Action int
+	Reward float64
+	Next   []float64
+	Done   bool
+}
+
+// ReplayBuffer is a fixed-capacity ring buffer of transitions.
+type ReplayBuffer struct {
+	cap  int
+	data []Transition
+	next int
+	full bool
+}
+
+// NewReplayBuffer returns a buffer with the given capacity.
+func NewReplayBuffer(capacity int) *ReplayBuffer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("rl: replay capacity must be positive, got %d", capacity))
+	}
+	return &ReplayBuffer{cap: capacity, data: make([]Transition, 0, capacity)}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (b *ReplayBuffer) Add(t Transition) {
+	if len(b.data) < b.cap {
+		b.data = append(b.data, t)
+	} else {
+		b.data[b.next] = t
+		b.full = true
+	}
+	b.next = (b.next + 1) % b.cap
+}
+
+// Len returns the number of stored transitions.
+func (b *ReplayBuffer) Len() int { return len(b.data) }
+
+// Sample draws k transitions uniformly with replacement.
+func (b *ReplayBuffer) Sample(k int, rng *rand.Rand) []Transition {
+	if len(b.data) == 0 {
+		return nil
+	}
+	out := make([]Transition, k)
+	for i := range out {
+		out[i] = b.data[rng.Intn(len(b.data))]
+	}
+	return out
+}
+
+// DelayedReward implements the paper's n-iteration reward delay: the reward
+// credited to the decision made at iteration i is the one observed at
+// iteration i+delay, avoiding bias from short-term gains. Pending decisions
+// are held until their reward arrives.
+type DelayedReward struct {
+	delay   int
+	pending []pendingDecision
+	tick    int
+}
+
+type pendingDecision struct {
+	state  []float64
+	action int
+	due    int
+}
+
+// NewDelayedReward returns a queue with the given delay (0 = immediate).
+func NewDelayedReward(delay int) *DelayedReward {
+	if delay < 0 {
+		panic(fmt.Sprintf("rl: negative reward delay %d", delay))
+	}
+	return &DelayedReward{delay: delay}
+}
+
+// Record registers the decision taken this iteration.
+func (d *DelayedReward) Record(state []float64, action int) {
+	d.pending = append(d.pending, pendingDecision{
+		state:  append([]float64(nil), state...),
+		action: action,
+		due:    d.tick + d.delay,
+	})
+}
+
+// Tick advances one iteration with the reward and successor state observed
+// now, returning the transitions whose delayed reward is now known.
+func (d *DelayedReward) Tick(reward float64, next []float64, done bool) []Transition {
+	var out []Transition
+	keep := d.pending[:0]
+	for _, p := range d.pending {
+		if p.due <= d.tick || done {
+			out = append(out, Transition{
+				State:  p.state,
+				Action: p.action,
+				Reward: reward,
+				Next:   append([]float64(nil), next...),
+				Done:   done,
+			})
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	d.pending = keep
+	d.tick++
+	return out
+}
+
+// Pending returns the number of decisions awaiting their delayed reward.
+func (d *DelayedReward) Pending() int { return len(d.pending) }
+
+// Reset clears pending decisions (e.g. between tuning episodes).
+func (d *DelayedReward) Reset() {
+	d.pending = d.pending[:0]
+	d.tick = 0
+}

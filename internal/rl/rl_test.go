@@ -1,0 +1,346 @@
+package rl
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReplayBufferEviction(t *testing.T) {
+	b := NewReplayBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Add(Transition{Reward: float64(i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	// Oldest (0, 1) evicted: all stored rewards must be in {2, 3, 4}.
+	rng := rand.New(rand.NewSource(1))
+	for _, tr := range b.Sample(50, rng) {
+		if tr.Reward < 2 {
+			t.Fatalf("sampled evicted transition with reward %v", tr.Reward)
+		}
+	}
+}
+
+func TestReplayBufferEmptySample(t *testing.T) {
+	b := NewReplayBuffer(3)
+	if got := b.Sample(5, rand.New(rand.NewSource(1))); got != nil {
+		t.Fatalf("Sample on empty buffer = %v, want nil", got)
+	}
+}
+
+func TestReplayBufferBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewReplayBuffer(0)
+}
+
+func TestDelayedRewardTiming(t *testing.T) {
+	d := NewDelayedReward(3)
+	d.Record([]float64{1}, 7) // decision at tick 0, due at tick 3
+	for tick := 0; tick < 3; tick++ {
+		out := d.Tick(float64(tick), []float64{0}, false)
+		if len(out) != 0 {
+			t.Fatalf("tick %d: transition emitted early", tick)
+		}
+	}
+	out := d.Tick(99, []float64{5}, false) // tick 3
+	if len(out) != 1 {
+		t.Fatalf("tick 3: got %d transitions, want 1", len(out))
+	}
+	tr := out[0]
+	if tr.Reward != 99 || tr.Action != 7 || tr.State[0] != 1 || tr.Next[0] != 5 {
+		t.Fatalf("transition = %+v", tr)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", d.Pending())
+	}
+}
+
+func TestDelayedRewardFlushOnDone(t *testing.T) {
+	d := NewDelayedReward(5)
+	d.Record([]float64{1}, 0)
+	d.Record([]float64{2}, 1)
+	out := d.Tick(3.5, []float64{9}, true)
+	if len(out) != 2 {
+		t.Fatalf("done must flush all pending: got %d", len(out))
+	}
+	for _, tr := range out {
+		if !tr.Done || tr.Reward != 3.5 {
+			t.Fatalf("flushed transition = %+v", tr)
+		}
+	}
+}
+
+func TestDelayedRewardZeroDelay(t *testing.T) {
+	d := NewDelayedReward(0)
+	d.Record([]float64{1}, 2)
+	out := d.Tick(1.5, []float64{2}, false)
+	if len(out) != 1 || out[0].Reward != 1.5 {
+		t.Fatalf("zero delay should emit immediately: %v", out)
+	}
+}
+
+func TestDelayedRewardReset(t *testing.T) {
+	d := NewDelayedReward(4)
+	d.Record([]float64{1}, 0)
+	d.Reset()
+	if d.Pending() != 0 {
+		t.Fatal("Reset did not clear pending")
+	}
+}
+
+func TestDelayedRewardCopiesState(t *testing.T) {
+	d := NewDelayedReward(0)
+	s := []float64{1, 2}
+	d.Record(s, 0)
+	s[0] = 42 // caller mutation must not leak into the recorded state
+	out := d.Tick(0, s, false)
+	if out[0].State[0] != 1 {
+		t.Fatal("DelayedReward did not copy state")
+	}
+}
+
+func TestNewQAgentValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewQAgent(QConfig{StateDim: 0, Actions: 2}, rng); err == nil {
+		t.Fatal("want error for StateDim=0")
+	}
+	if _, err := NewQAgent(QConfig{StateDim: 2, Actions: 0}, rng); err == nil {
+		t.Fatal("want error for Actions=0")
+	}
+}
+
+// chainEnv is a tiny deterministic MDP: states 0..4 on a line, actions
+// {left, right}; reward 1 at state 4 (terminal), 0 elsewhere. Optimal policy
+// is always-right.
+type chainEnv struct{ pos int }
+
+func (e *chainEnv) state() []float64 {
+	s := make([]float64, 5)
+	s[e.pos] = 1
+	return s
+}
+
+func (e *chainEnv) step(action int) (reward float64, done bool) {
+	if action == 1 {
+		e.pos++
+	} else if e.pos > 0 {
+		e.pos--
+	}
+	if e.pos >= 4 {
+		return 1, true
+	}
+	return 0, false
+}
+
+func TestQAgentLearnsChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	agent, err := NewQAgent(QConfig{
+		StateDim: 5, Actions: 2, Hidden: []int{16},
+		Gamma: 0.9, LR: 5e-3, EpsilonDecay: 0.99, BatchSize: 16, TargetSync: 20,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ep := 0; ep < 150; ep++ {
+		env := &chainEnv{}
+		for step := 0; step < 20; step++ {
+			s := env.state()
+			a := agent.SelectAction(s, rng)
+			r, done := env.step(a)
+			agent.Observe(Transition{State: s, Action: a, Reward: r, Next: env.state(), Done: done})
+			agent.TrainStep(rng)
+			if done {
+				break
+			}
+		}
+	}
+	// Greedy policy must be "right" from every non-terminal state.
+	for pos := 0; pos < 4; pos++ {
+		env := &chainEnv{pos: pos}
+		if got := agent.GreedyAction(env.state()); got != 1 {
+			t.Fatalf("greedy action at pos %d = %d, want 1 (Q=%v)", pos, got, agent.QValues(env.state()))
+		}
+	}
+}
+
+func TestQAgentEpsilonDecays(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	agent, _ := NewQAgent(QConfig{StateDim: 2, Actions: 2, BatchSize: 4, EpsilonDecay: 0.9, EpsilonMin: 0.1}, rng)
+	for i := 0; i < 100; i++ {
+		agent.Observe(Transition{State: []float64{0, 1}, Action: i % 2, Reward: 0, Next: []float64{1, 0}})
+		agent.TrainStep(rng)
+	}
+	if agent.Epsilon() != 0.1 {
+		t.Fatalf("epsilon = %v, want floor 0.1", agent.Epsilon())
+	}
+	agent.SetEpsilon(0.5)
+	if agent.Epsilon() != 0.5 {
+		t.Fatal("SetEpsilon ignored")
+	}
+}
+
+func TestQAgentObserveValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	agent, _ := NewQAgent(QConfig{StateDim: 2, Actions: 2}, rng)
+	for _, f := range []func(){
+		func() { agent.Observe(Transition{State: []float64{1}, Action: 0}) },
+		func() { agent.Observe(Transition{State: []float64{1, 2}, Action: 5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQAgentTrainStepNoopWhenEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	agent, _ := NewQAgent(QConfig{StateDim: 2, Actions: 2, BatchSize: 8}, rng)
+	if loss := agent.TrainStep(rng); loss != 0 {
+		t.Fatalf("TrainStep with empty buffer = %v, want 0", loss)
+	}
+}
+
+func TestQAgentSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, _ := NewQAgent(QConfig{StateDim: 3, Actions: 2, Hidden: []int{8}}, rng)
+	a.SetEpsilon(0.123)
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b QAgent
+	if err := json.Unmarshal(blob, &b); err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{0.1, 0.2, 0.3}
+	qa, qb := a.QValues(state), b.QValues(state)
+	for i := range qa {
+		if math.Abs(qa[i]-qb[i]) > 1e-12 {
+			t.Fatalf("Q mismatch after round trip: %v vs %v", qa, qb)
+		}
+	}
+	if b.Epsilon() != 0.123 {
+		t.Fatalf("epsilon not restored: %v", b.Epsilon())
+	}
+	// Restored agent must be usable for further training.
+	b.Observe(Transition{State: state, Action: 0, Reward: 1, Next: state})
+	b.TrainStep(rng)
+}
+
+func TestQAgentUnmarshalRejectsCorrupt(t *testing.T) {
+	var a QAgent
+	if err := json.Unmarshal([]byte(`{"cfg":{"StateDim":0,"Actions":0},"net":{"layers":[{"in":1,"out":1,"act":"linear","w":[1],"b":[0]}]}}`), &a); err == nil {
+		t.Fatal("want error for invalid config")
+	}
+}
+
+func TestBanditValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewContextualBandit(BanditConfig{ContextDim: 0, Arms: 2}, rng); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := NewContextualBandit(BanditConfig{ContextDim: 2, Arms: 0}, rng); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestBanditLearnsContextDependentArm(t *testing.T) {
+	// Arm 0 pays when context[0] > 0.5, arm 1 otherwise.
+	rng := rand.New(rand.NewSource(12))
+	b, err := NewContextualBandit(BanditConfig{ContextDim: 1, Arms: 2, Hidden: []int{12}, LR: 5e-3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		ctx := []float64{rng.Float64()}
+		arm := b.SelectArm(ctx, rng)
+		reward := 0.0
+		if (ctx[0] > 0.5 && arm == 0) || (ctx[0] <= 0.5 && arm == 1) {
+			reward = 1
+		}
+		b.Update(ctx, arm, reward)
+	}
+	hi := b.Predict([]float64{0.9})
+	lo := b.Predict([]float64{0.1})
+	if hi[0] <= hi[1] {
+		t.Fatalf("high context: Q = %v, want arm 0 preferred", hi)
+	}
+	if lo[1] <= lo[0] {
+		t.Fatalf("low context: Q = %v, want arm 1 preferred", lo)
+	}
+}
+
+func TestBanditObserveEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b, _ := NewContextualBandit(BanditConfig{ContextDim: 3, Arms: 2, Hidden: []int{10, 6}}, rng)
+	obs := b.Observe([]float64{0.1, 0.2, 0.3})
+	if len(obs) != 6 || len(obs) != b.ObservationDim() {
+		t.Fatalf("observation dim = %d, want 6", len(obs))
+	}
+	// Deterministic for the same context.
+	obs2 := b.Observe([]float64{0.1, 0.2, 0.3})
+	for i := range obs {
+		if obs[i] != obs2[i] {
+			t.Fatal("Observe not deterministic")
+		}
+	}
+	// Different contexts should (generically) produce different embeddings.
+	obs3 := b.Observe([]float64{0.9, -0.8, 0.7})
+	same := true
+	for i := range obs {
+		if math.Abs(obs[i]-obs3[i]) > 1e-12 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct contexts produced identical embeddings")
+	}
+}
+
+func TestBanditUpdateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b, _ := NewContextualBandit(BanditConfig{ContextDim: 1, Arms: 2}, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for bad arm")
+		}
+	}()
+	b.Update([]float64{0}, 5, 1)
+}
+
+func TestBanditSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a, _ := NewContextualBandit(BanditConfig{ContextDim: 2, Arms: 3}, rng)
+	a.Update([]float64{0.5, 0.5}, 1, 2.0)
+	blob, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b ContextualBandit
+	if err := json.Unmarshal(blob, &b); err != nil {
+		t.Fatal(err)
+	}
+	ctx := []float64{0.3, 0.7}
+	pa, pb := a.Predict(ctx), b.Predict(ctx)
+	for i := range pa {
+		if math.Abs(pa[i]-pb[i]) > 1e-12 {
+			t.Fatalf("prediction mismatch: %v vs %v", pa, pb)
+		}
+	}
+	if b.Arms() != 3 {
+		t.Fatal("arms not restored")
+	}
+}

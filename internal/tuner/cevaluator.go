@@ -1,0 +1,46 @@
+package tuner
+
+import (
+	"tunio/internal/cinterp"
+	"tunio/internal/cluster"
+	"tunio/internal/csrc"
+	"tunio/internal/params"
+	"tunio/internal/workload"
+)
+
+// CSourceEvaluator measures configurations by interpreting a C program
+// (a full application or a discovered I/O kernel) SPMD on a fresh
+// simulated stack — the evaluation path the paper's Configuration
+// Evaluation step uses once Application I/O Discovery has produced a
+// kernel binary.
+type CSourceEvaluator struct {
+	Prog    *csrc.File
+	Cluster *cluster.Cluster
+	Reps    int   // default 3
+	Seed    int64 // base seed
+	evals   int
+}
+
+// Evaluate implements Evaluator.
+func (e *CSourceEvaluator) Evaluate(a *params.Assignment, iteration int) (float64, float64, error) {
+	reps := e.Reps
+	if reps == 0 {
+		reps = 3
+	}
+	e.evals++
+	var perfSum, minutes float64
+	for r := 0; r < reps; r++ {
+		seed := e.Seed + int64(e.evals)*104729 + int64(iteration)*1299709 + int64(r)*7919
+		st, err := workload.BuildStack(e.Cluster, a.Settings(), seed)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := cinterp.Run(e.Prog, st.Lib); err != nil {
+			return 0, 0, err
+		}
+		perf, _ := workload.Perf(st.Sim.Report)
+		perfSum += perf
+		minutes += st.Sim.Now() / 60
+	}
+	return perfSum / float64(reps), minutes, nil
+}

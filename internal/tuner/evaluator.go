@@ -1,0 +1,43 @@
+package tuner
+
+import (
+	"tunio/internal/cluster"
+	"tunio/internal/params"
+	"tunio/internal/workload"
+)
+
+// WorkloadEvaluator measures configurations by executing a workload on a
+// fresh simulated stack, averaging Reps runs per configuration (3 in the
+// paper, to mitigate platform volatility). The time of all runs counts
+// toward the tuning investment.
+type WorkloadEvaluator struct {
+	Workload workload.Workload
+	Cluster  *cluster.Cluster
+	Reps     int   // default 3
+	Seed     int64 // base seed; evaluation seeds derive from it
+	evals    int
+}
+
+// Evaluate implements Evaluator.
+func (e *WorkloadEvaluator) Evaluate(a *params.Assignment, iteration int) (float64, float64, error) {
+	reps := e.Reps
+	if reps == 0 {
+		reps = 3
+	}
+	e.evals++
+	seed := e.Seed + int64(e.evals)*104729 + int64(iteration)*1299709
+	res, err := workload.ExecuteAveraged(e.Workload, e.Cluster, a.Settings(), seed, reps)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Perf, res.Runtime / 60, nil
+}
+
+// FuncEvaluator adapts a plain function (used by tests and the synthetic
+// log-curve training environments).
+type FuncEvaluator func(a *params.Assignment, iteration int) (float64, float64, error)
+
+// Evaluate implements Evaluator.
+func (f FuncEvaluator) Evaluate(a *params.Assignment, iteration int) (float64, float64, error) {
+	return f(a, iteration)
+}

@@ -1,0 +1,34 @@
+package tuner
+
+import (
+	"tunio/internal/params"
+)
+
+// FallbackEvaluator implements the paper's kernel-error recovery (§III-B):
+// "if the I/O kernel of the application causes an error, TunIO will revert
+// to using the full application". Evaluations go to Primary (the kernel);
+// on the first Primary error the evaluator permanently switches to
+// Fallback (the full application) and re-evaluates the failed
+// configuration there.
+type FallbackEvaluator struct {
+	Primary  Evaluator
+	Fallback Evaluator
+
+	// FellBack reports whether the switch happened, and KernelErr records
+	// the error that triggered it.
+	FellBack  bool
+	KernelErr error
+}
+
+// Evaluate implements Evaluator.
+func (e *FallbackEvaluator) Evaluate(a *params.Assignment, iteration int) (float64, float64, error) {
+	if !e.FellBack {
+		perf, cost, err := e.Primary.Evaluate(a, iteration)
+		if err == nil {
+			return perf, cost, nil
+		}
+		e.FellBack = true
+		e.KernelErr = err
+	}
+	return e.Fallback.Evaluate(a, iteration)
+}

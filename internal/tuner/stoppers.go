@@ -1,0 +1,94 @@
+package tuner
+
+// NoStop never stops: the pipeline runs its full budget (the paper's
+// "HSTuner with No Stop" baseline).
+type NoStop struct{}
+
+// Stop implements Stopper.
+func (NoStop) Stop(int, float64) bool { return false }
+
+// Reset implements Stopper.
+func (NoStop) Reset() {}
+
+// HeuristicStopper is the traditional early stopper the paper compares
+// against (after Golovin et al.): stop when the best perf has not improved
+// by at least MinImprovement (relative) over the last Window iterations.
+// The paper's baseline uses 5% over 5 iterations.
+type HeuristicStopper struct {
+	Window         int     // default 5
+	MinImprovement float64 // default 0.05
+
+	history []float64
+}
+
+// NewHeuristicStopper returns the paper's 5%/5-iteration configuration.
+func NewHeuristicStopper() *HeuristicStopper {
+	return &HeuristicStopper{Window: 5, MinImprovement: 0.05}
+}
+
+// Stop implements Stopper.
+func (h *HeuristicStopper) Stop(iteration int, bestPerf float64) bool {
+	if h.Window <= 0 {
+		h.Window = 5
+	}
+	if h.MinImprovement == 0 {
+		h.MinImprovement = 0.05
+	}
+	h.history = append(h.history, bestPerf)
+	if len(h.history) <= h.Window {
+		return false
+	}
+	ref := h.history[len(h.history)-1-h.Window]
+	if ref <= 0 {
+		return false
+	}
+	return (bestPerf-ref)/ref < h.MinImprovement
+}
+
+// Reset implements Stopper.
+func (h *HeuristicStopper) Reset() { h.history = h.history[:0] }
+
+// OracleStopper stops the moment best perf reaches a known target — the
+// paper's "Maximizing Performance" stopping policy, which assumes a
+// perfect model that recognizes the optimum immediately (§IV-C).
+type OracleStopper struct {
+	Target float64
+}
+
+// Stop implements Stopper.
+func (o *OracleStopper) Stop(_ int, bestPerf float64) bool {
+	return bestPerf >= o.Target
+}
+
+// Reset implements Stopper.
+func (o *OracleStopper) Reset() {}
+
+// BudgetStopper stops after a fixed number of iterations regardless of
+// progress (a user-imposed tuning budget).
+type BudgetStopper struct {
+	MaxIterations int
+}
+
+// Stop implements Stopper.
+func (b *BudgetStopper) Stop(iteration int, _ float64) bool {
+	return iteration+1 >= b.MaxIterations
+}
+
+// Reset implements Stopper.
+func (b *BudgetStopper) Reset() {}
+
+// AllParams is the HSTuner baseline picker: every parameter is tuned every
+// iteration.
+type AllParams struct{}
+
+// NextSubset implements SubsetPicker.
+func (AllParams) NextSubset(_ float64, current []bool) []bool {
+	out := make([]bool, len(current))
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// Reset implements SubsetPicker.
+func (AllParams) Reset() {}

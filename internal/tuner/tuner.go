@@ -1,0 +1,221 @@
+// Package tuner implements the tuning pipelines of the paper's evaluation:
+// the HSTuner-style genetic-algorithm pipeline (DEAP composition with
+// elitism and tournament selection, §III-A) with pluggable early-stopping
+// policies and configuration-subset pickers. TunIO is this pipeline with
+// the RL stopper and RL subset picker from internal/core attached; the
+// baselines are the same pipeline with heuristic or no stopping and
+// all-parameter tuning.
+package tuner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tunio/internal/ga"
+	"tunio/internal/metrics"
+	"tunio/internal/params"
+)
+
+// Evaluator measures a configuration's objective. Implementations charge
+// the tuning investment: costMinutes is the (simulated) time the
+// evaluation consumed, which accumulates into the tuning curve.
+type Evaluator interface {
+	Evaluate(a *params.Assignment, iteration int) (perfMBs, costMinutes float64, err error)
+}
+
+// Stopper decides whether to stop the pipeline after an iteration — the
+// Table I `stop(current_iteration, best_perf)` interface.
+type Stopper interface {
+	// Stop is called once per completed iteration with the best perf so far.
+	Stop(iteration int, bestPerf float64) bool
+	// Reset clears state between tuning episodes.
+	Reset()
+}
+
+// SubsetPicker selects the parameter subset to tune next — the Table I
+// `subset_picker(perf, current_parameter_set)` interface. The returned
+// mask has one entry per parameter in the space.
+type SubsetPicker interface {
+	NextSubset(perf float64, current []bool) []bool
+	Reset()
+}
+
+// Config configures a pipeline run.
+type Config struct {
+	Space         []params.Parameter
+	PopSize       int     // default 16
+	MaxIterations int     // default 50
+	Seed          int64   // RNG seed for the GA and agents
+	Overhead      float64 // per-evaluation pipeline overhead in minutes (job launch etc.)
+	Selection     ga.Selection
+
+	Stopper Stopper      // nil = never stop early
+	Picker  SubsetPicker // nil = tune all parameters every iteration (HSTuner)
+
+	// StartFrom seeds the pipeline at a known configuration instead of the
+	// library defaults: iteration 0 evaluates it (defining the RoTI
+	// baseline) and the population initializes around it. Interactive
+	// refinement sessions pass the previous round's best.
+	StartFrom *params.Assignment
+}
+
+func (c *Config) fillDefaults() {
+	if c.PopSize == 0 {
+		c.PopSize = 16
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 50
+	}
+	if c.Overhead == 0 {
+		c.Overhead = 0.05 // ~3s job-step launch per evaluation
+	}
+}
+
+// Result summarizes a pipeline run.
+type Result struct {
+	Curve        metrics.Curve
+	Best         *params.Assignment
+	BestPerf     float64
+	StoppedEarly bool
+	StoppedAt    int // iteration index after which the pipeline stopped
+	Evaluations  int
+	// SubsetTrace records the active mask per iteration (nil entries when
+	// no picker is attached).
+	SubsetTrace [][]bool
+}
+
+// Run executes the pipeline until the stopper fires or MaxIterations is
+// reached.
+func Run(cfg Config, eval Evaluator) (*Result, error) {
+	if len(cfg.Space) == 0 {
+		return nil, fmt.Errorf("tuner: empty parameter space")
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("tuner: nil evaluator")
+	}
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// The population is seeded around the starting configuration (the
+	// library defaults unless the caller resumes from a known one):
+	// tuning starts there — which also defines the RoTI baseline — and
+	// drifts away generation by generation, giving the gradual
+	// logarithmic convergence real tuners exhibit (Figure 2).
+	start := cfg.StartFrom
+	if start == nil {
+		start = params.DefaultAssignment(cfg.Space)
+	}
+	defGenome := ga.Genome(start.Genome())
+	engine, err := ga.New(ga.Config{
+		GenomeLen:  len(cfg.Space),
+		Arity:      func(g int) int { return len(cfg.Space[g].Values) },
+		PopSize:    cfg.PopSize,
+		Selection:  cfg.Selection,
+		InitGenome: defGenome,
+	}, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.SetGenome(0, defGenome); err != nil {
+		return nil, err
+	}
+
+	if cfg.Stopper != nil {
+		cfg.Stopper.Reset()
+	}
+	if cfg.Picker != nil {
+		cfg.Picker.Reset()
+	}
+
+	res := &Result{}
+	var cumMinutes float64
+	mask := make([]bool, len(cfg.Space))
+	for i := range mask {
+		mask[i] = true
+	}
+
+	// Iteration 0 measures the default configuration: perf_achieved(0) in
+	// the paper's RoTI definition is the untuned performance, and its
+	// evaluation time is part of the tuning investment.
+	perf0, cost0, err := eval.Evaluate(start, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: baseline evaluation: %w", err)
+	}
+	res.Evaluations++
+	cumMinutes += cost0 + cfg.Overhead
+	bestPerf := perf0
+	bestGenome := defGenome.Clone()
+	res.Curve = append(res.Curve, metrics.Point{
+		Iteration: 0, TimeMinutes: cumMinutes, IterPerf: perf0, BestPerf: perf0,
+	})
+	res.SubsetTrace = append(res.SubsetTrace, nil)
+
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		if cfg.Picker != nil {
+			next := cfg.Picker.NextSubset(bestPerf, mask)
+			if len(next) == len(mask) {
+				mask = next
+				pin := bestGenome
+				if pin == nil {
+					pin = defGenome // before any evaluation, pin to defaults
+				}
+				if err := engine.SetActiveGenes(mask, pin); err != nil {
+					return nil, fmt.Errorf("tuner: iteration %d: %w", iter, err)
+				}
+			}
+			res.SubsetTrace = append(res.SubsetTrace, append([]bool(nil), mask...))
+		} else {
+			res.SubsetTrace = append(res.SubsetTrace, nil)
+		}
+
+		iterBest := 0.0
+		pop := engine.Population()
+		for i := range pop {
+			a, err := params.FromGenome(cfg.Space, pop[i].Genome)
+			if err != nil {
+				return nil, err
+			}
+			perf, cost, err := eval.Evaluate(a, iter)
+			if err != nil {
+				return nil, fmt.Errorf("tuner: iteration %d eval %d: %w", iter, i, err)
+			}
+			res.Evaluations++
+			cumMinutes += cost + cfg.Overhead
+			engine.SetFitness(i, perf)
+			if perf > iterBest {
+				iterBest = perf
+			}
+			if perf > bestPerf {
+				bestPerf = perf
+				bestGenome = ga.Genome(pop[i].Genome).Clone()
+			}
+		}
+
+		res.Curve = append(res.Curve, metrics.Point{
+			Iteration:   iter,
+			TimeMinutes: cumMinutes,
+			IterPerf:    iterBest,
+			BestPerf:    bestPerf,
+		})
+
+		if cfg.Stopper != nil && cfg.Stopper.Stop(iter, bestPerf) {
+			res.StoppedEarly = iter < cfg.MaxIterations
+			res.StoppedAt = iter
+			break
+		}
+		res.StoppedAt = iter
+		if iter < cfg.MaxIterations {
+			if err := engine.NextGeneration(); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	best, err := params.FromGenome(cfg.Space, bestGenome)
+	if err != nil {
+		return nil, err
+	}
+	res.Best = best
+	res.BestPerf = bestPerf
+	return res, nil
+}

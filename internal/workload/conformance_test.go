@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"tunio/internal/cinterp"
+	"tunio/internal/csrc"
+)
+
+// TestCSourceConformance asserts each workload's C-source form, executed
+// by the SPMD interpreter, emits the same application-level I/O footprint
+// as the native Go form.
+func TestCSourceConformance(t *testing.T) {
+	c := testCluster()
+	settings := defaultSettings()
+
+	shrink := func(w Workload) {
+		switch x := w.(type) {
+		case *VPIC:
+			x.ParticlesPerRank = 16 << 10
+			x.ComputeFlops = 1e9
+		case *HACC:
+			x.ParticlesPerRank = 16 << 10
+		case *FLASH:
+			x.BlocksPerRank = 8
+			x.Unknowns = 3
+		case *BDCATS:
+			x.ParticlesPerRank = 16 << 10
+		case *MACSio:
+			x.PartsPerRank = 2
+			x.PartBytes = 256 << 10
+			x.Dumps = 3
+		}
+	}
+
+	for _, name := range []string{"vpic", "hacc", "flash", "bdcats", "macsio"} {
+		w, err := ByName(name, c.Procs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shrink(w)
+		cw, ok := w.(HasCSource)
+		if !ok {
+			t.Fatalf("%s has no C source form", name)
+		}
+
+		// native Go form
+		native, err := Execute(w, c, settings, 99)
+		if err != nil {
+			t.Fatalf("%s native: %v", name, err)
+		}
+
+		// C form through the interpreter
+		prog, err := csrc.Parse(cw.CSource())
+		if err != nil {
+			t.Fatalf("%s C source does not parse: %v", name, err)
+		}
+		st, err := BuildStack(c, settings, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cinterp.Run(prog, st.Lib); err != nil {
+			t.Fatalf("%s C form failed: %v", name, err)
+		}
+
+		nApp := native.Report.App()
+		cApp := st.Sim.Report.App()
+		if nApp.BytesWritten != cApp.BytesWritten {
+			t.Errorf("%s: C form wrote %d bytes, native %d", name, cApp.BytesWritten, nApp.BytesWritten)
+		}
+		if nApp.BytesRead != cApp.BytesRead {
+			t.Errorf("%s: C form read %d bytes, native %d", name, cApp.BytesRead, nApp.BytesRead)
+		}
+		if nApp.WriteOps != cApp.WriteOps {
+			t.Errorf("%s: C form %d write ops, native %d", name, cApp.WriteOps, nApp.WriteOps)
+		}
+	}
+}

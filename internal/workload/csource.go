@@ -1,0 +1,288 @@
+package workload
+
+import "fmt"
+
+// The C-source forms of the workloads feed TunIO's Application I/O
+// Discovery pipeline: the discovery component extracts their I/O kernels,
+// and the interpreter executes them SPMD against the simulated stack. A
+// conformance test asserts each C form emits the same application-level
+// I/O footprint as its native Go form.
+
+// CSource generates the VPIC-IO C source with this workload's parameters
+// baked in. The program interleaves field-solver compute with per-variable
+// particle dumps, mirroring the structure of the paper's Figure 5 example.
+func (v *VPIC) CSource() string {
+	return fmt.Sprintf(`
+#include <hdf5.h>
+#include <mpi.h>
+#define PARTICLES %d
+#define VARS %d
+#define STEPS %d
+#define SEGMENTS %d
+#define PERSEG (PARTICLES / SEGMENTS)
+
+double advance_particles(double dt) {
+    double energy = dt * 0.5 + 2.0;
+    return energy;
+}
+
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+
+    double dt = 0.01;
+    double energy = 0.0;
+    double* buf = (double*)malloc(PARTICLES * sizeof(double));
+
+    hid_t file = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    for (int step = 0; step < STEPS; step++) {
+        compute_flops(%g);
+        energy = advance_particles(dt);
+        energy = energy * 1.001;
+        for (int v = 0; v < VARS; v++) {
+            hsize_t dims[2] = {SEGMENTS, 0};
+            dims[1] = nprocs * PERSEG;
+            hid_t sp = H5Screate_simple(2, dims, NULL);
+            hsize_t start[2] = {0, 0};
+            hsize_t count[2] = {SEGMENTS, PERSEG};
+            start[1] = rank * PERSEG;
+            H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+            int dsid = step * VARS + v;
+            hid_t dset = H5Dcreate(file, dsname(dsid), H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+            H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, buf);
+            H5Dclose(dset);
+            H5Sclose(sp);
+        }
+    }
+    H5Fclose(file);
+    free(buf);
+    if (rank == 0) {
+        printf("vpic done\n");
+    }
+    MPI_Finalize();
+    return 0;
+}
+`, v.ParticlesPerRank, v.Vars, v.Steps, v.Segments, v.Path, v.ComputeFlops)
+}
+
+// CSource generates the HACC-IO C source.
+func (h *HACC) CSource() string {
+	return fmt.Sprintf(`
+#include <hdf5.h>
+#include <mpi.h>
+#define PARTICLES %d
+#define VARS 9
+#define STEPS %d
+#define SEGMENTS %d
+#define PERSEG (PARTICLES / SEGMENTS)
+
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    double* buf = (double*)malloc(PARTICLES * sizeof(double));
+    hid_t file = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    for (int step = 0; step < STEPS; step++) {
+        compute_flops(%g);
+        for (int v = 0; v < VARS; v++) {
+            hsize_t dims[2] = {SEGMENTS, 0};
+            dims[1] = nprocs * PERSEG;
+            hid_t sp = H5Screate_simple(2, dims, NULL);
+            hsize_t start[2] = {0, 0};
+            hsize_t count[2] = {SEGMENTS, PERSEG};
+            start[1] = rank * PERSEG;
+            H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+            int dsid = step * VARS + v;
+            hid_t dset = H5Dcreate(file, dsname(dsid), H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+            H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, buf);
+            H5Dclose(dset);
+            H5Sclose(sp);
+        }
+    }
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`, h.ParticlesPerRank, h.Steps, h.Segments, h.Path, h.ComputeFlops)
+}
+
+// CSource generates the FLASH-IO checkpoint C source (chunked 4-D
+// datasets).
+func (fl *FLASH) CSource() string {
+	return fmt.Sprintf(`
+#include <hdf5.h>
+#include <mpi.h>
+#define BLOCKS %d
+#define NXB %d
+#define NYB %d
+#define NZB %d
+#define UNKNOWNS %d
+#define STEPS %d
+
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    hid_t file = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    for (int step = 0; step < STEPS; step++) {
+        compute_flops(%g);
+        for (int u = 0; u < UNKNOWNS; u++) {
+            hsize_t dims[4] = {0, NXB, NYB, NZB};
+            dims[0] = nprocs * BLOCKS;
+            hid_t sp = H5Screate_simple(4, dims, NULL);
+            hid_t dcpl = H5Pcreate(H5P_DATASET_CREATE);
+            hsize_t chunk[4] = {8, NXB, NYB, NZB};
+            H5Pset_chunk(dcpl, 4, chunk);
+            int dsid = step * UNKNOWNS + u;
+            hid_t dset = H5Dcreate(file, dsname(dsid), H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, dcpl, H5P_DEFAULT);
+            hsize_t start[4] = {0, 0, 0, 0};
+            hsize_t count[4] = {BLOCKS, NXB, NYB, NZB};
+            start[0] = rank * BLOCKS;
+            H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+            H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+            H5Dclose(dset);
+            H5Pclose(dcpl);
+            H5Sclose(sp);
+        }
+    }
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`, fl.BlocksPerRank, fl.NXB, fl.NYB, fl.NZB, fl.Unknowns, fl.Steps, fl.Path, fl.ComputeFlops)
+}
+
+// CSource generates the MACSio C source: the workload generator's dump
+// loop with a compute phase per dump (the structure Figure 8's experiments
+// reduce with loop reduction).
+func (m *MACSio) CSource() string {
+	return fmt.Sprintf(`
+#include <hdf5.h>
+#include <mpi.h>
+#define PER_RANK %d
+#define DUMPS %d
+#define PARTS %d
+#define PERSEG (PER_RANK / PARTS)
+
+double mesh_update(double t) {
+    double q = t * t + 1.0;
+    return q;
+}
+
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+    double t = 0.0;
+    double quality = 0.0;
+    double* buf = (double*)malloc(PER_RANK * sizeof(double));
+    hid_t file = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    for (int dump = 0; dump < DUMPS; dump++) {
+        compute_flops(%g);
+        t = t + 1.0;
+        quality = mesh_update(t);
+        quality = quality * 0.5;
+        hsize_t dims[2] = {PARTS, 0};
+        dims[1] = nprocs * PERSEG;
+        hid_t sp = H5Screate_simple(2, dims, NULL);
+        hsize_t start[2] = {0, 0};
+        hsize_t count[2] = {PARTS, PERSEG};
+        start[1] = rank * PERSEG;
+        H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+        hid_t dset = H5Dcreate(file, dsname(dump), H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+        H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, buf);
+        H5Dclose(dset);
+        H5Sclose(sp);
+    }
+    H5Fclose(file);
+    MPI_Finalize();
+    return 0;
+}
+`, m.PartsPerRank*m.PartBytes/8, m.Dumps, m.PartsPerRank, m.Path, m.ComputeFlops)
+}
+
+// CSource generates the BD-CATS C source: stage a particle dump, read it
+// back for clustering, and write cluster labels.
+func (b *BDCATS) CSource() string {
+	return fmt.Sprintf(`
+#include <hdf5.h>
+#include <mpi.h>
+#define PARTICLES %d
+#define VARS %d
+#define SEGMENTS %d
+#define PERSEG (PARTICLES / SEGMENTS)
+
+int main(int argc, char** argv) {
+    int rank;
+    int nprocs;
+    MPI_Init(0, 0);
+    MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+    MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
+
+    hid_t in = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    for (int v = 0; v < VARS; v++) {
+        hsize_t dims[2] = {SEGMENTS, 0};
+        dims[1] = nprocs * PERSEG;
+        hid_t sp = H5Screate_simple(2, dims, NULL);
+        hsize_t start[2] = {0, 0};
+        hsize_t count[2] = {SEGMENTS, PERSEG};
+        start[1] = rank * PERSEG;
+        H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+        hid_t dset = H5Dcreate(in, dsname(v), H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+        H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+        H5Dclose(dset);
+        H5Sclose(sp);
+    }
+
+    for (int v = 0; v < VARS; v++) {
+        hsize_t dims[2] = {SEGMENTS, 0};
+        dims[1] = nprocs * PERSEG;
+        hid_t sp = H5Screate_simple(2, dims, NULL);
+        hsize_t start[2] = {0, 0};
+        hsize_t count[2] = {SEGMENTS, PERSEG};
+        start[1] = rank * PERSEG;
+        H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+        hid_t dset = H5Dopen(in, dsname(v), H5P_DEFAULT);
+        H5Dread(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+        H5Dclose(dset);
+        H5Sclose(sp);
+    }
+
+    compute_flops(%g);
+
+    hid_t out = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+    hsize_t total[1] = {0};
+    total[0] = nprocs * PARTICLES;
+    hid_t sp = H5Screate_simple(1, total, NULL);
+    hsize_t start[1] = {0};
+    hsize_t count[1] = {PARTICLES};
+    start[0] = rank * PARTICLES;
+    H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+    hid_t labels = H5Dcreate(out, "cluster_id", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    H5Dwrite(labels, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    H5Dclose(labels);
+    H5Sclose(sp);
+    H5Fclose(out);
+    H5Fclose(in);
+    MPI_Finalize();
+    return 0;
+}
+`, b.ParticlesPerRank, b.Vars, b.Segments, b.InPath, b.ComputeFlops+1, b.OutPath)
+}
+
+// HasCSource is implemented by workloads with a C-source form. The
+// generated sources call the interpreter builtin dsname(i) to derive
+// unique dataset names.
+type HasCSource interface {
+	Workload
+	CSource() string
+}

@@ -1,0 +1,228 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tunio/internal/cluster"
+	"tunio/internal/params"
+)
+
+// TestStackInvariantsUnderRandomConfigs checks cross-layer conservation
+// laws over random configurations and workloads: whatever the tuner tries,
+// the simulated stack must never lose or invent application bytes, time
+// must be positive and monotone, and perf must stay below the machine's
+// hard ceilings.
+func TestStackInvariantsUnderRandomConfigs(t *testing.T) {
+	space := params.Space()
+	c := cluster.CoriHaswell(2, 16)
+	names := []string{"vpic", "hacc", "flash", "macsio", "bdcats"}
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		genome := make([]int, len(space))
+		for gi := range genome {
+			genome[gi] = rng.Intn(len(space[gi].Values))
+		}
+		a, err := params.FromGenome(space, genome)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		name := names[int(uint64(seed)%uint64(len(names)))]
+		w, err := ByName(name, c.Procs())
+		if err != nil {
+			return false
+		}
+		shrinkFor(w)
+		res, err := Execute(w, c, a.Settings(), seed)
+		if err != nil {
+			t.Logf("seed %d (%s): %v", seed, name, err)
+			return false
+		}
+		app := res.Report.App()
+		lus := res.Report.Layer("lustre")
+		mem := res.Report.Layer("mem")
+
+		// 1. Application bytes are conserved through the stack: the
+		//    storage layers received at least the app payload (metadata
+		//    writes add more; RMW adds reads).
+		if lus.BytesWritten+mem.BytesWritten < app.BytesWritten {
+			t.Logf("seed %d (%s): storage wrote %d+%d < app %d",
+				seed, name, lus.BytesWritten, mem.BytesWritten, app.BytesWritten)
+			return false
+		}
+		// 2. Time is positive and bandwidths are finite.
+		if res.Runtime <= 0 || res.Perf <= 0 {
+			t.Logf("seed %d (%s): runtime %v perf %v", seed, name, res.Runtime, res.Perf)
+			return false
+		}
+		// 3. Perf never exceeds hard hardware ceilings: total OST
+		//    bandwidth and total NIC bandwidth (x2 slack for noise).
+		nicCeil := float64(c.Nodes) * c.NICBandwidth / 1e6
+		ostCeil := 248 * 2.8e9 / 1e6
+		ceil := nicCeil
+		if ostCeil < ceil {
+			ceil = ostCeil
+		}
+		if res.Perf > 2*ceil {
+			t.Logf("seed %d (%s): perf %.0f MB/s exceeds ceiling %.0f", seed, name, res.Perf, ceil)
+			return false
+		}
+		// 4. Alpha is a valid fraction.
+		if res.Alpha < 0 || res.Alpha > 1 {
+			t.Logf("seed %d (%s): alpha %v", seed, name, res.Alpha)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// shrinkFor reduces workload sizes so the property test stays fast.
+func shrinkFor(w Workload) {
+	switch x := w.(type) {
+	case *VPIC:
+		x.ParticlesPerRank = 32 << 10
+		x.Steps = 1
+	case *HACC:
+		x.ParticlesPerRank = 32 << 10
+		x.Steps = 1
+	case *FLASH:
+		x.BlocksPerRank = 8
+		x.Unknowns = 3
+	case *BDCATS:
+		x.ParticlesPerRank = 32 << 10
+	case *MACSio:
+		x.PartsPerRank = 2
+		x.PartBytes = 512 << 10
+		x.Dumps = 3
+	}
+}
+
+// TestMetadataKnobsOnlyAffectMetadata asserts that toggling the pure
+// metadata parameters changes neither the application's data footprint
+// nor the raw bytes stored.
+func TestMetadataKnobsOnlyAffectMetadata(t *testing.T) {
+	c := testCluster()
+	w := NewVPIC(c.Procs())
+	w.ParticlesPerRank = 64 << 10
+	base := params.DefaultAssignment(params.Space())
+	tweaked := params.DefaultAssignment(params.Space())
+	tweaked.SetIndex(params.CollMetadataOps, 1)
+	tweaked.SetIndex(params.CollMetadataWrite, 1)
+	tweaked.SetIndex(params.MDCConfig, 3)
+	tweaked.SetIndex(params.MetaBlockSize, 7)
+
+	rb, err := Execute(w, c, base.Settings(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Execute(w, c, tweaked.Settings(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Report.App().BytesWritten != rt.Report.App().BytesWritten {
+		t.Fatalf("metadata knobs changed app bytes: %d vs %d",
+			rb.Report.App().BytesWritten, rt.Report.App().BytesWritten)
+	}
+	if rb.Report.App().WriteOps != rt.Report.App().WriteOps {
+		t.Fatal("metadata knobs changed app write ops")
+	}
+}
+
+// TestStripingNeverChangesFootprint sweeps striping_factor over its whole
+// range: bandwidth may change arbitrarily but the application footprint
+// must not.
+func TestStripingNeverChangesFootprint(t *testing.T) {
+	c := testCluster()
+	w := NewHACC(c.Procs())
+	w.ParticlesPerRank = 32 << 10
+	w.Steps = 1
+	space := params.Space()
+	var refBytes, refOps int64
+	for vi := range space[params.Index(space, params.StripingFactor)].Values {
+		a := params.DefaultAssignment(space)
+		a.SetIndex(params.StripingFactor, vi)
+		r, err := Execute(w, c, a.Settings(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := r.Report.App()
+		if vi == 0 {
+			refBytes, refOps = app.BytesWritten, app.WriteOps
+			continue
+		}
+		if app.BytesWritten != refBytes || app.WriteOps != refOps {
+			t.Fatalf("stripe idx %d changed footprint: %d/%d vs %d/%d",
+				vi, app.BytesWritten, app.WriteOps, refBytes, refOps)
+		}
+	}
+}
+
+func TestIORSharedFile(t *testing.T) {
+	c := testCluster()
+	b := NewIOR(c.Procs())
+	b.BlockSize = 4 << 20
+	b.Segments = 2
+	res, err := Execute(b, c, defaultSettings(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := res.Report.App()
+	wantW := int64(c.Procs()) * b.BlockSize * int64(b.Segments)
+	if app.BytesWritten != wantW || app.BytesRead != wantW {
+		t.Fatalf("ior footprint: wrote %d read %d, want %d each", app.BytesWritten, app.BytesRead, wantW)
+	}
+	if res.Alpha != 0.5 {
+		t.Fatalf("alpha = %v, want 0.5 (write+read)", res.Alpha)
+	}
+	// tuning must move IOR too
+	tun, err := Execute(b, c, tunedSettings(t), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tun.Perf <= res.Perf {
+		t.Fatalf("tuned IOR %.0f not above default %.0f", tun.Perf, res.Perf)
+	}
+}
+
+func TestIORFilePerProc(t *testing.T) {
+	c := cluster.CoriHaswell(1, 8)
+	c.Noise = 0
+	b := NewIOR(c.Procs())
+	b.FilePerProc = true
+	b.ReadBack = false
+	b.BlockSize = 1 << 20
+	b.Segments = 1
+	res, err := Execute(b, c, defaultSettings(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(c.Procs()) * b.BlockSize
+	if res.Report.App().BytesWritten != want {
+		t.Fatalf("fpp wrote %d, want %d", res.Report.App().BytesWritten, want)
+	}
+}
+
+func TestIORValidation(t *testing.T) {
+	c := cluster.CoriHaswell(1, 2)
+	c.Noise = 0
+	bad := NewIOR(c.Procs())
+	bad.TransferSize = 3 << 10
+	bad.BlockSize = 10 << 10 // not a multiple
+	if _, err := Execute(bad, c, defaultSettings(), 10); err == nil {
+		t.Fatal("bad geometry: want error")
+	}
+	zero := NewIOR(c.Procs())
+	zero.Segments = 0
+	if _, err := Execute(zero, c, defaultSettings(), 10); err == nil {
+		t.Fatal("zero segments: want error")
+	}
+	if w, err := ByName("ior", 8); err != nil || w.Name() != "ior" {
+		t.Fatal("ByName(ior) broken")
+	}
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+
+	"tunio/internal/hdf5"
+)
+
+// IOR models the ubiquitous IOR benchmark in its HDF5 backend: every rank
+// writes (and optionally reads back) BlockSize bytes per segment in
+// TransferSize chunks, either into a shared file (the default, matching
+// the paper's shared-dataset workloads) or conceptually file-per-process
+// (FilePerProc). It is the canonical synthetic probe a downstream user
+// would reach for to explore the simulated stack's behavior.
+type IOR struct {
+	Procs        int
+	TransferSize int64 // bytes per I/O request (-t)
+	BlockSize    int64 // bytes per rank per segment (-b)
+	Segments     int   // repetitions (-s)
+	ReadBack     bool  // -r: read verification pass
+	FilePerProc  bool  // -F: one file per process
+	Path         string
+}
+
+// NewIOR returns an IOR configuration with the classic defaults
+// (t=1MiB, b=16MiB, s=4, shared file, write+read).
+func NewIOR(procs int) *IOR {
+	return &IOR{
+		Procs:        procs,
+		TransferSize: 1 << 20,
+		BlockSize:    16 << 20,
+		Segments:     4,
+		ReadBack:     true,
+		Path:         "/scratch/ior.h5",
+	}
+}
+
+// Name implements Workload.
+func (b *IOR) Name() string { return "ior" }
+
+// TotalBytes returns written bytes (plus the same again read when
+// ReadBack is set).
+func (b *IOR) TotalBytes() int64 {
+	total := int64(b.Procs) * b.BlockSize * int64(b.Segments)
+	if b.ReadBack {
+		total *= 2
+	}
+	return total
+}
+
+// Run implements Workload.
+func (b *IOR) Run(st *Stack) error {
+	if b.TransferSize <= 0 || b.BlockSize <= 0 || b.Segments <= 0 {
+		return fmt.Errorf("ior: invalid geometry t=%d b=%d s=%d", b.TransferSize, b.BlockSize, b.Segments)
+	}
+	if b.BlockSize%b.TransferSize != 0 {
+		return fmt.Errorf("ior: BlockSize %d not a multiple of TransferSize %d", b.BlockSize, b.TransferSize)
+	}
+	transfers := b.BlockSize / b.TransferSize
+
+	if b.FilePerProc {
+		return b.runFilePerProc(st, transfers)
+	}
+
+	// Shared file: a [transfers, procs*perSeg] dataspace per segment, each
+	// rank writing a strided column of TransferSize rows — IOR's
+	// "segmented" shared layout.
+	f, err := st.Lib.CreateFile(b.Path)
+	if err != nil {
+		return err
+	}
+	perSeg := b.TransferSize / 8
+	dims := []int64{transfers, int64(b.Procs) * perSeg}
+	slabs := make([]hdf5.Slab, b.Procs)
+	for r := 0; r < b.Procs; r++ {
+		slabs[r] = hdf5.Slab{
+			Rank:  r,
+			Start: []int64{0, int64(r) * perSeg},
+			Count: []int64{transfers, perSeg},
+		}
+	}
+	var sets []*hdf5.Dataset
+	for s := 0; s < b.Segments; s++ {
+		space, err := hdf5.NewSpace(dims, 8)
+		if err != nil {
+			return err
+		}
+		ds, err := f.CreateDataset(fmt.Sprintf("seg%03d", s), space, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := ds.Write(slabs); err != nil {
+			return err
+		}
+		sets = append(sets, ds)
+	}
+	if b.ReadBack {
+		for _, ds := range sets {
+			if _, err := ds.Read(slabs); err != nil {
+				return err
+			}
+		}
+	}
+	return f.Close()
+}
+
+// runFilePerProc writes one file per process: no sharing, so collective
+// buffering is irrelevant but metadata (one create per rank) dominates at
+// scale.
+func (b *IOR) runFilePerProc(st *Stack, transfers int64) error {
+	perSeg := b.TransferSize / 8
+	for r := 0; r < b.Procs; r++ {
+		f, err := st.Lib.CreateFile(fmt.Sprintf("%s.%05d", b.Path, r))
+		if err != nil {
+			return err
+		}
+		for s := 0; s < b.Segments; s++ {
+			space, err := hdf5.NewSpace([]int64{transfers, perSeg}, 8)
+			if err != nil {
+				return err
+			}
+			ds, err := f.CreateDataset(fmt.Sprintf("seg%03d", s), space, nil)
+			if err != nil {
+				return err
+			}
+			slab := []hdf5.Slab{{Rank: r, Start: []int64{0, 0}, Count: []int64{transfers, perSeg}}}
+			if _, err := ds.Write(slab); err != nil {
+				return err
+			}
+			if b.ReadBack {
+				if _, err := ds.Read(slab); err != nil {
+					return err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+// Package tunio is an AI-powered framework for optimizing HPC I/O: a Go
+// reproduction of "TunIO: An AI-powered Framework for Optimizing HPC I/O"
+// (IPDPS 2024).
+//
+// TunIO attaches three optimizations to any I/O tuning pipeline:
+//
+//   - Application I/O Discovery (DiscoverIO): reduce application source to
+//     an I/O kernel so objective evaluations run only the statements that
+//     matter to I/O, optionally with loop reduction and I/O path switching;
+//   - Smart Configuration Generation (TunIO.SubsetPicker): an RL agent
+//     that selects the high-impact parameter subset to tune each iteration;
+//   - Early Stopping (TunIO.Stop): an RL agent that ends tuning when
+//     further investment stops paying off.
+//
+// The package also ships everything those components need to be exercised
+// end to end without a supercomputer: a simulated HDF5/MPI-IO/Lustre
+// stack, the paper's workloads (VPIC, HACC, FLASH, BD-CATS, MACSio), an
+// HSTuner-style genetic tuning pipeline, and a benchmark harness that
+// regenerates every figure and table of the paper's evaluation.
+//
+// Quick start:
+//
+//	agent, err := tunio.Train(tunio.TrainConfig{Seed: 1})
+//	if err != nil { ... }
+//	res, err := tunio.Tune(tunio.TuneOptions{
+//		Workload: "flash",
+//		Agent:    agent,
+//		Seed:     1,
+//	})
+//	fmt.Printf("tuned %s: %.0f MB/s after %d iterations (%.0f minutes)\n",
+//		"flash", res.BestPerf, res.StoppedAt, res.Curve.TotalMinutes())
+package tunio
+
+import (
+	"fmt"
+
+	"tunio/internal/cluster"
+	"tunio/internal/core"
+	"tunio/internal/discovery"
+	"tunio/internal/metrics"
+	"tunio/internal/params"
+	"tunio/internal/tuner"
+	"tunio/internal/workload"
+)
+
+// Re-exported component types (Table I of the paper).
+type (
+	// TunIO bundles the trained Early Stopping and Smart Configuration
+	// Generation agents.
+	TunIO = core.TunIO
+	// TrainConfig configures offline training.
+	TrainConfig = core.TrainConfig
+	// DiscoveryOptions configure Application I/O Discovery.
+	DiscoveryOptions = discovery.Options
+	// Kernel is a discovered I/O kernel.
+	Kernel = discovery.Kernel
+	// Curve is a tuning trajectory with RoTI accessors.
+	Curve = metrics.Curve
+	// Parameter is one tunable I/O-stack knob.
+	Parameter = params.Parameter
+	// Result is a tuning-pipeline outcome.
+	Result = tuner.Result
+	// Session refines a configuration interactively across tuning rounds.
+	Session = core.Session
+)
+
+// NewSession starts an interactive refinement session (§VI of the paper):
+// successive Refine rounds resume from the best configuration found so
+// far while the agents keep learning.
+func NewSession(agent *TunIO, space []Parameter) (*Session, error) {
+	return core.NewSession(agent, space)
+}
+
+// Train performs TunIO's offline training: a parameter sweep on the
+// representative kernels plus PCA for the subset picker, and synthetic
+// log-curve episodes for the early stopper.
+func Train(cfg TrainConfig) (*TunIO, error) {
+	return core.Train(cfg)
+}
+
+// DiscoverIO reduces application source code to its I/O kernel.
+func DiscoverIO(sourceCode string, options DiscoveryOptions) (*Kernel, error) {
+	return core.DiscoverIO(sourceCode, options)
+}
+
+// ParameterSpace returns the 12-parameter HDF5/MPI-IO/Lustre tuning space
+// used throughout the paper's evaluation.
+func ParameterSpace() []Parameter {
+	return params.Space()
+}
+
+// TuneOptions configure a full tuning run on the simulated stack.
+type TuneOptions struct {
+	// Workload is one of "vpic", "hacc", "flash", "bdcats", "macsio".
+	Workload string
+	// Nodes/ProcsPerNode size the simulated allocation (default 4x32).
+	Nodes        int
+	ProcsPerNode int
+	// Agent attaches TunIO's RL components; nil runs the plain HSTuner
+	// pipeline (all parameters, no early stopping).
+	Agent *TunIO
+	// Heuristic attaches the 5%/5-iteration heuristic stopper instead of
+	// the RL stopper (mutually exclusive with Agent's stopper).
+	Heuristic bool
+	// PopSize and MaxIterations bound the genetic pipeline (default 16/50).
+	PopSize       int
+	MaxIterations int
+	// Reps is the number of runs averaged per evaluation (default 3).
+	Reps int
+	// Seed drives the whole run.
+	Seed int64
+}
+
+// Tune runs a tuning pipeline over the simulated I/O stack and returns
+// its result (curve, best configuration, stopping iteration).
+func Tune(opts TuneOptions) (*Result, error) {
+	nodes, ppn := opts.Nodes, opts.ProcsPerNode
+	if nodes == 0 {
+		nodes = 4
+	}
+	if ppn == 0 {
+		ppn = 32
+	}
+	c := cluster.CoriHaswell(nodes, ppn)
+	w, err := workload.ByName(opts.Workload, c.Procs())
+	if err != nil {
+		return nil, err
+	}
+	cfg := tuner.Config{
+		Space:         params.Space(),
+		PopSize:       opts.PopSize,
+		MaxIterations: opts.MaxIterations,
+		Seed:          opts.Seed,
+	}
+	switch {
+	case opts.Agent != nil && opts.Heuristic:
+		return nil, fmt.Errorf("tunio: Agent and Heuristic are mutually exclusive")
+	case opts.Agent != nil:
+		opts.Agent.Reset()
+		cfg.Stopper = opts.Agent.Stopper
+		cfg.Picker = opts.Agent.Picker
+	case opts.Heuristic:
+		cfg.Stopper = tuner.NewHeuristicStopper()
+	}
+	eval := &tuner.WorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
+	return tuner.Run(cfg, eval)
+}
