@@ -6,7 +6,7 @@
 // Usage:
 //
 //	iodiscover [-loop-reduction 0.01] [-path-switch] [-keep fn1,fn2]
-//	           [-marked] [-o kernel.c] input.c
+//	           [-precise] [-marked] [-o kernel.c] input.c
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	keep := flag.String("keep", "", "comma-separated function names to keep whole (manual keep regions)")
 	simCompute := flag.Bool("simulate-compute", false, "replace removed compute with synthetic compute_flops calls")
 	blindWrites := flag.Bool("remove-blind-writes", false, "drop writes overwritten before any read")
+	precise := flag.Bool("precise", false, "slice on CFG def-use chains instead of per-line fixpoint marking")
 	showMarked := flag.Bool("marked", false, "print the marking report instead of the kernel")
 	out := flag.String("o", "", "write the kernel to this file (default stdout)")
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 		PathSwitch:        *pathSwitch,
 		SimulateCompute:   *simCompute,
 		RemoveBlindWrites: *blindWrites,
+		PreciseSlice:      *precise,
 	}
 	if *keep != "" {
 		opts.KeepFuncs = strings.Split(*keep, ",")
@@ -71,6 +73,9 @@ func main() {
 		return
 	}
 
+	for _, w := range kernel.Warnings {
+		fmt.Fprintf(os.Stderr, "iodiscover: %s\n", w)
+	}
 	if kernel.RemovedBlindWrites > 0 {
 		fmt.Fprintf(os.Stderr, "iodiscover: removed %d blind write(s)\n", kernel.RemovedBlindWrites)
 	}

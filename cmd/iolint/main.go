@@ -1,0 +1,91 @@
+// Command iolint runs TunIO's static I/O diagnostics over application
+// source code: unreachable I/O calls, writes overwritten before any read,
+// I/O inside loops that never exit, unused variables, locals shadowing
+// I/O library names, and unclosed file handles.
+//
+// Usage:
+//
+//	iolint [-json] [-verify] input.c ...
+//
+// The exit code is 0 when no diagnostic reaches error severity, 1 when at
+// least one does, and 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tunio/internal/analysis"
+	"tunio/internal/csrc"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	verify := flag.Bool("verify", false, "also run transform-safety checks (loop reduction, path switching, blind-write removal)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: iolint [-json] [-verify] input.c ...")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	type fileDiag struct {
+		File string `json:"file"`
+		analysis.Diagnostic
+	}
+	var all []fileDiag
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iolint:", err)
+			os.Exit(2)
+		}
+		f, err := csrc.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iolint: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		diags := analysis.Lint(f, analysis.LintOptions{})
+		if *verify {
+			diags = append(diags, analysis.VerifyTransforms(f, analysis.TransformOptions{
+				LoopReduction:     true,
+				PathSwitch:        true,
+				RemoveBlindWrites: true,
+				IsIOCall:          analysis.DefaultIsIOCall,
+			})...)
+		}
+		for _, d := range diags {
+			all = append(all, fileDiag{File: path, Diagnostic: d})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []fileDiag{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "iolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range all {
+			fmt.Printf("%s: %s\n", d.File, d.Diagnostic)
+		}
+		if len(all) == 0 {
+			fmt.Println("iolint: no findings")
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	for _, d := range all {
+		diags = append(diags, d.Diagnostic)
+	}
+	if analysis.MaxSeverity(diags) >= analysis.SevError {
+		os.Exit(1)
+	}
+}

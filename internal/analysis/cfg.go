@@ -1,0 +1,310 @@
+package analysis
+
+import "tunio/internal/csrc"
+
+// BasicBlock is a maximal straight-line statement sequence. Control
+// headers (If/For/While) appear as the final statement of the block that
+// evaluates their condition; their use sets are the condition's variables.
+type BasicBlock struct {
+	ID    int
+	Stmts []csrc.Stmt
+	Succs []*BasicBlock
+	Preds []*BasicBlock
+}
+
+// LoopInfo records one loop's blocks for lint queries.
+type LoopInfo struct {
+	// Stmt is the ForStmt or WhileStmt header.
+	Stmt csrc.Stmt
+	// Header evaluates the loop condition.
+	Header *BasicBlock
+	// After is the block control reaches when the loop exits normally; it
+	// has no predecessors when the loop can never exit (no false edge and
+	// no break).
+	After *BasicBlock
+}
+
+// CFG is one function's control-flow graph.
+type CFG struct {
+	Fn     *csrc.FuncDecl
+	Entry  *BasicBlock
+	Exit   *BasicBlock
+	Blocks []*BasicBlock
+	Loops  []LoopInfo
+
+	reach map[int]bool        // block ID -> reachable from entry
+	idom  map[int]*BasicBlock // block ID -> immediate dominator
+	// stmtBlock maps statement ID -> containing block.
+	stmtBlock map[int]*BasicBlock
+}
+
+// Reachable reports whether the block can execute (is reachable from the
+// function entry).
+func (c *CFG) Reachable(b *BasicBlock) bool { return c.reach[b.ID] }
+
+// BlockOf returns the basic block holding the statement, or nil.
+func (c *CFG) BlockOf(s csrc.Stmt) *BasicBlock { return c.stmtBlock[s.Base().ID] }
+
+// IDom returns the immediate dominator of b (nil for the entry block and
+// unreachable blocks).
+func (c *CFG) IDom(b *BasicBlock) *BasicBlock { return c.idom[b.ID] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (c *CFG) Dominates(a, b *BasicBlock) bool {
+	for n := b; n != nil; n = c.idom[n.ID] {
+		if n == a {
+			return true
+		}
+	}
+	return false
+}
+
+type loopCtx struct {
+	breakTo    *BasicBlock
+	continueTo *BasicBlock
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	nextID int
+}
+
+func (b *cfgBuilder) newBlock() *BasicBlock {
+	blk := &BasicBlock{ID: b.nextID}
+	b.nextID++
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *BasicBlock) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *cfgBuilder) put(blk *BasicBlock, s csrc.Stmt) {
+	blk.Stmts = append(blk.Stmts, s)
+	b.cfg.stmtBlock[s.Base().ID] = blk
+}
+
+// condAlwaysTrue reports whether a loop condition can never be false (nil
+// condition or a non-zero literal).
+func condAlwaysTrue(e csrc.Expr) bool {
+	if e == nil {
+		return true
+	}
+	if n, ok := e.(*csrc.NumberLit); ok {
+		if n.IsFloat {
+			return n.Float != 0
+		}
+		return n.Int != 0
+	}
+	return false
+}
+
+// BuildCFG constructs the control-flow graph of one function and computes
+// reachability and dominators.
+func BuildCFG(fn *csrc.FuncDecl) *CFG {
+	c := &CFG{Fn: fn, stmtBlock: map[int]*BasicBlock{}}
+	b := &cfgBuilder{cfg: c}
+	c.Entry = b.newBlock()
+	c.Exit = b.newBlock()
+	cur := b.stmts(fn.Body, c.Entry, nil)
+	edge(cur, c.Exit) // falling off the end returns
+	c.computeReachability()
+	c.computeDominators()
+	return c
+}
+
+// stmts lowers a block's statements starting in cur, returning the block
+// control is in afterwards.
+func (b *cfgBuilder) stmts(body *csrc.Block, cur *BasicBlock, loops []loopCtx) *BasicBlock {
+	if body == nil {
+		return cur
+	}
+	for _, s := range body.Stmts {
+		cur = b.stmt(s, cur, loops)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s csrc.Stmt, cur *BasicBlock, loops []loopCtx) *BasicBlock {
+	switch st := s.(type) {
+	case *csrc.Block:
+		return b.stmts(st, cur, loops)
+
+	case *csrc.IfStmt:
+		b.put(cur, st) // condition evaluation
+		thenEntry := b.newBlock()
+		edge(cur, thenEntry)
+		thenExit := b.stmts(st.Then, thenEntry, loops)
+		join := b.newBlock()
+		edge(thenExit, join)
+		if st.Else != nil {
+			elseEntry := b.newBlock()
+			edge(cur, elseEntry)
+			elseExit := b.stmts(st.Else, elseEntry, loops)
+			edge(elseExit, join)
+		} else {
+			edge(cur, join)
+		}
+		return join
+
+	case *csrc.ForStmt:
+		if st.Init != nil {
+			b.stmt(st.Init, cur, loops)
+		}
+		header := b.newBlock()
+		edge(cur, header)
+		b.put(header, st) // condition evaluation
+		after := b.newBlock()
+		if !condAlwaysTrue(st.Cond) {
+			edge(header, after)
+		}
+		bodyEntry := b.newBlock()
+		edge(header, bodyEntry)
+		continueTo := header
+		var post *BasicBlock
+		if st.Post != nil {
+			post = b.newBlock()
+			b.stmt(st.Post, post, nil)
+			edge(post, header)
+			continueTo = post
+		}
+		bodyExit := b.stmts(st.Body, bodyEntry, append(loops, loopCtx{breakTo: after, continueTo: continueTo}))
+		edge(bodyExit, continueTo)
+		b.cfg.Loops = append(b.cfg.Loops, LoopInfo{Stmt: st, Header: header, After: after})
+		return after
+
+	case *csrc.WhileStmt:
+		header := b.newBlock()
+		edge(cur, header)
+		b.put(header, st)
+		after := b.newBlock()
+		if !condAlwaysTrue(st.Cond) {
+			edge(header, after)
+		}
+		bodyEntry := b.newBlock()
+		edge(header, bodyEntry)
+		bodyExit := b.stmts(st.Body, bodyEntry, append(loops, loopCtx{breakTo: after, continueTo: header}))
+		edge(bodyExit, header)
+		b.cfg.Loops = append(b.cfg.Loops, LoopInfo{Stmt: st, Header: header, After: after})
+		return after
+
+	case *csrc.ReturnStmt:
+		b.put(cur, st)
+		edge(cur, b.cfg.Exit)
+		return b.newBlock() // statements after a return are unreachable
+
+	case *csrc.BreakStmt:
+		b.put(cur, st)
+		if len(loops) > 0 {
+			edge(cur, loops[len(loops)-1].breakTo)
+		}
+		return b.newBlock()
+
+	case *csrc.ContinueStmt:
+		b.put(cur, st)
+		if len(loops) > 0 {
+			edge(cur, loops[len(loops)-1].continueTo)
+		}
+		return b.newBlock()
+
+	default: // DeclStmt, AssignStmt, ExprStmt
+		b.put(cur, s)
+		return cur
+	}
+}
+
+func (c *CFG) computeReachability() {
+	c.reach = map[int]bool{}
+	stack := []*BasicBlock{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.reach[b.ID] {
+			continue
+		}
+		c.reach[b.ID] = true
+		stack = append(stack, b.Succs...)
+	}
+}
+
+// reversePostorder returns reachable blocks in reverse postorder.
+func (c *CFG) reversePostorder() []*BasicBlock {
+	seen := map[int]bool{}
+	var post []*BasicBlock
+	var dfs func(b *BasicBlock)
+	dfs = func(b *BasicBlock) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(c.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// computeDominators runs the iterative dominator algorithm (Cooper,
+// Harvey, Kennedy) over reachable blocks.
+func (c *CFG) computeDominators() {
+	rpo := c.reversePostorder()
+	index := map[int]int{} // block ID -> RPO index
+	for i, b := range rpo {
+		index[b.ID] = i
+	}
+	c.idom = map[int]*BasicBlock{}
+	c.idom[c.Entry.ID] = nil
+	doms := make([]*BasicBlock, len(rpo)) // RPO index -> idom
+	doms[0] = c.Entry
+
+	intersect := func(a, b *BasicBlock) *BasicBlock {
+		fa, fb := index[a.ID], index[b.ID]
+		for fa != fb {
+			for fa > fb {
+				a = doms[fa]
+				fa = index[a.ID]
+			}
+			for fb > fa {
+				b = doms[fb]
+				fb = index[b.ID]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < len(rpo); i++ {
+			b := rpo[i]
+			var newIdom *BasicBlock
+			for _, p := range b.Preds {
+				pi, ok := index[p.ID]
+				if !ok { // unreachable predecessor
+					continue
+				}
+				if doms[pi] == nil && p != c.Entry {
+					continue // not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && doms[i] != newIdom {
+				doms[i] = newIdom
+				changed = true
+			}
+		}
+	}
+	for i := 1; i < len(rpo); i++ {
+		c.idom[rpo[i].ID] = doms[i]
+	}
+}

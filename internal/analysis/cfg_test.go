@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"testing"
+
+	"tunio/internal/csrc"
+)
+
+// mustParse parses test source or fails the test.
+func mustParse(t *testing.T, src string) *csrc.File {
+	t.Helper()
+	f, err := csrc.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+// mustFunc returns a named function from the parsed file.
+func mustFunc(t *testing.T, f *csrc.File, name string) *csrc.FuncDecl {
+	t.Helper()
+	fn := f.Func(name)
+	if fn == nil {
+		t.Fatalf("function %q not found", name)
+	}
+	return fn
+}
+
+// stmtAt returns the first statement of fn whose source line is line.
+func stmtAt(t *testing.T, fn *csrc.FuncDecl, line int) csrc.Stmt {
+	t.Helper()
+	var found csrc.Stmt
+	walkFuncStmts(fn, func(s csrc.Stmt) bool {
+		if found == nil && s.Base().Pos == line {
+			found = s
+		}
+		return found == nil
+	})
+	if found == nil {
+		t.Fatalf("no statement at line %d", line)
+	}
+	return found
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// reachableLines / unreachableLines: source lines whose statements
+		// must (not) be reachable.
+		reachableLines   []int
+		unreachableLines []int
+		// dominators: line a must dominate line b.
+		dominates [][2]int
+		// notDominates: line a must not dominate line b.
+		notDominates [][2]int
+	}{
+		{
+			name: "branch",
+			src: `int main() {
+    int a = 1;
+    if (a > 0) {
+        a = 2;
+    } else {
+        a = 3;
+    }
+    return a;
+}`,
+			reachableLines: []int{2, 3, 4, 6, 8},
+			dominates:      [][2]int{{2, 8}, {3, 4}, {3, 6}, {3, 8}},
+			notDominates:   [][2]int{{4, 8}, {6, 8}, {4, 6}},
+		},
+		{
+			name: "nested loops",
+			src: `int main() {
+    int s = 0;
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            s = s + j;
+        }
+    }
+    return s;
+}`,
+			reachableLines: []int{2, 3, 4, 5, 8},
+			dominates:      [][2]int{{3, 4}, {4, 5}, {3, 8}},
+			notDominates:   [][2]int{{4, 8}, {5, 4}},
+		},
+		{
+			name: "break and continue",
+			src: `int main() {
+    int s = 0;
+    while (s < 10) {
+        s = s + 1;
+        if (s > 5) {
+            break;
+        }
+        if (s == 2) {
+            continue;
+        }
+        s = s + 2;
+    }
+    return s;
+}`,
+			reachableLines: []int{3, 4, 6, 9, 11, 13},
+			dominates:      [][2]int{{3, 13}, {4, 11}, {8, 11}},
+			notDominates:   [][2]int{{11, 13}, {6, 11}},
+		},
+		{
+			name: "early return",
+			src: `int main() {
+    int a = 1;
+    if (a) {
+        return 0;
+    }
+    a = 2;
+    return a;
+}`,
+			reachableLines: []int{2, 3, 4, 6, 7},
+			dominates:      [][2]int{{3, 6}},
+			notDominates:   [][2]int{{4, 6}},
+		},
+		{
+			name: "code after return is unreachable",
+			src: `int main() {
+    return 0;
+    fclose(0);
+}`,
+			reachableLines:   []int{2},
+			unreachableLines: []int{3},
+		},
+		{
+			name: "code after break is unreachable",
+			src: `int main() {
+    while (1) {
+        break;
+        fclose(0);
+    }
+    return 0;
+}`,
+			reachableLines:   []int{3, 6},
+			unreachableLines: []int{4},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fn := mustFunc(t, mustParse(t, tc.src), "main")
+			cfg := BuildCFG(fn)
+			for _, ln := range tc.reachableLines {
+				b := cfg.BlockOf(stmtAt(t, fn, ln))
+				if b == nil {
+					t.Fatalf("line %d: no block", ln)
+				}
+				if !cfg.Reachable(b) {
+					t.Errorf("line %d: want reachable", ln)
+				}
+			}
+			for _, ln := range tc.unreachableLines {
+				b := cfg.BlockOf(stmtAt(t, fn, ln))
+				if b == nil {
+					t.Fatalf("line %d: no block", ln)
+				}
+				if cfg.Reachable(b) {
+					t.Errorf("line %d: want unreachable", ln)
+				}
+			}
+			for _, p := range tc.dominates {
+				a := cfg.BlockOf(stmtAt(t, fn, p[0]))
+				b := cfg.BlockOf(stmtAt(t, fn, p[1]))
+				if !cfg.Dominates(a, b) {
+					t.Errorf("line %d should dominate line %d", p[0], p[1])
+				}
+			}
+			for _, p := range tc.notDominates {
+				a := cfg.BlockOf(stmtAt(t, fn, p[0]))
+				b := cfg.BlockOf(stmtAt(t, fn, p[1]))
+				if cfg.Dominates(a, b) {
+					t.Errorf("line %d should not dominate line %d", p[0], p[1])
+				}
+			}
+		})
+	}
+}
+
+func TestCFGEntryDominatesEverything(t *testing.T) {
+	src := `int main() {
+    int s = 0;
+    for (int i = 0; i < 3; i++) {
+        if (i == 1) {
+            continue;
+        }
+        s = s + i;
+    }
+    return s;
+}`
+	fn := mustFunc(t, mustParse(t, src), "main")
+	cfg := BuildCFG(fn)
+	for _, b := range cfg.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		if !cfg.Dominates(cfg.Entry, b) {
+			t.Errorf("entry must dominate block %d", b.ID)
+		}
+		if b != cfg.Entry && cfg.IDom(b) == nil {
+			t.Errorf("reachable block %d has no idom", b.ID)
+		}
+	}
+}
+
+func TestCFGLoopInfo(t *testing.T) {
+	src := `int main() {
+    while (1) {
+        fwrite(0, 1, 1, 0);
+    }
+    for (int i = 0; i < 3; i++) {
+        fwrite(0, 1, 1, 0);
+    }
+    return 0;
+}`
+	fn := mustFunc(t, mustParse(t, src), "main")
+	cfg := BuildCFG(fn)
+	if len(cfg.Loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(cfg.Loops))
+	}
+	for _, loop := range cfg.Loops {
+		switch loop.Stmt.(type) {
+		case *csrc.WhileStmt:
+			if len(loop.After.Preds) != 0 {
+				t.Errorf("while(1) after-block should have no preds, got %d", len(loop.After.Preds))
+			}
+		case *csrc.ForStmt:
+			if len(loop.After.Preds) == 0 {
+				t.Errorf("bounded for-loop after-block should be reachable")
+			}
+		}
+	}
+}

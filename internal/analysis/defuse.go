@@ -1,0 +1,158 @@
+package analysis
+
+import "tunio/internal/csrc"
+
+// VarDef is one variable definition site.
+type VarDef struct {
+	Var string
+	// Strong definitions overwrite the whole variable and kill prior
+	// definitions; weak ones (array element stores, writes through
+	// pointers, &x output arguments of calls) may leave earlier
+	// definitions visible.
+	Strong bool
+	// Arg marks a conjectured write through a bare call argument (no &):
+	// the C subset carries no types, so an array or pointer passed by name
+	// to an unknown function may be written through. Arg defs keep the
+	// slicer sound, but diagnostics must not warn on them — most such
+	// arguments (I/O handles, buffers being written out) are only read.
+	Arg bool
+}
+
+// DefUse is the variables a statement defines and uses. For control
+// headers (If/For/While) only the condition is considered: their bodies
+// are separate statements, and a For header's Init/Post are analyzed as
+// the standalone statements the CFG builder placed them in.
+type DefUse struct {
+	Defs []VarDef
+	Uses []string
+}
+
+// rootIdent returns the base variable of an lvalue (a, a[i], *a, a[i][j]).
+func rootIdent(e csrc.Expr) string {
+	switch x := e.(type) {
+	case *csrc.Ident:
+		return x.Name
+	case *csrc.IndexExpr:
+		return rootIdent(x.X)
+	case *csrc.UnaryExpr:
+		return rootIdent(x.X)
+	default:
+		return ""
+	}
+}
+
+// exprOutArgs returns variables a call expression tree may write through
+// its arguments: explicit &x output arguments, and — because the C subset
+// carries no type information — bare identifier arguments of any call not
+// known to be side-effect-free (arrays and pointers decay to their name at
+// the call site, so sprintf(name, ...) or fread(buf, ...) writes through a
+// plain ident). Bare-ident writes are always weak: the callee may write
+// all, part, or none of the object.
+func exprOutArgs(e csrc.Expr) []VarDef {
+	var out []VarDef
+	csrc.WalkExpr(e, func(x csrc.Expr) bool {
+		if c, ok := x.(*csrc.CallExpr); ok {
+			argSafe := knownBuiltins[c.Fun]
+			for _, a := range c.Args {
+				switch arg := a.(type) {
+				case *csrc.UnaryExpr:
+					if arg.Op == "&" {
+						if id, ok := arg.X.(*csrc.Ident); ok {
+							out = append(out, VarDef{Var: id.Name})
+						}
+					}
+				case *csrc.Ident:
+					if !argSafe {
+						out = append(out, VarDef{Var: arg.Name, Arg: true})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// StmtDefUse computes the def/use sets of a single statement.
+func StmtDefUse(s csrc.Stmt) DefUse {
+	var du DefUse
+	addUses := func(e csrc.Expr) {
+		du.Uses = append(du.Uses, csrc.ExprVars(e)...)
+		du.Defs = append(du.Defs, exprOutArgs(e)...)
+	}
+	switch st := s.(type) {
+	case *csrc.DeclStmt:
+		addUses(st.Init)
+		if st.ArrayLen != nil {
+			addUses(st.ArrayLen)
+		}
+		for _, e := range st.InitList {
+			addUses(e)
+		}
+		du.Defs = append(du.Defs, VarDef{Var: st.Name, Strong: true})
+	case *csrc.AssignStmt:
+		if base := rootIdent(st.LHS); base != "" {
+			_, plain := st.LHS.(*csrc.Ident)
+			du.Defs = append(du.Defs, VarDef{Var: base, Strong: plain})
+			if plain {
+				if st.Op != "=" {
+					// compound assignment and inc/dec read the prior value
+					du.Uses = append(du.Uses, base)
+				}
+			} else {
+				// array element / pointer stores read the base pointer and
+				// all subscripts
+				addUses(st.LHS)
+			}
+		} else {
+			addUses(st.LHS)
+		}
+		addUses(st.RHS)
+	case *csrc.ExprStmt:
+		addUses(st.X)
+	case *csrc.IfStmt:
+		addUses(st.Cond)
+	case *csrc.ForStmt:
+		addUses(st.Cond)
+	case *csrc.WhileStmt:
+		addUses(st.Cond)
+	case *csrc.ReturnStmt:
+		addUses(st.X)
+	}
+	return du
+}
+
+// stmtCalls returns the function names called anywhere in the statement
+// (headers: condition only).
+func stmtCalls(s csrc.Stmt) []string {
+	var exprs []csrc.Expr
+	switch st := s.(type) {
+	case *csrc.DeclStmt:
+		exprs = append(exprs, st.Init, st.ArrayLen)
+		for _, e := range st.InitList {
+			exprs = append(exprs, e)
+		}
+	case *csrc.AssignStmt:
+		exprs = append(exprs, st.LHS, st.RHS)
+	case *csrc.ExprStmt:
+		exprs = append(exprs, st.X)
+	case *csrc.IfStmt:
+		exprs = append(exprs, st.Cond)
+	case *csrc.ForStmt:
+		exprs = append(exprs, st.Cond)
+	case *csrc.WhileStmt:
+		exprs = append(exprs, st.Cond)
+	case *csrc.ReturnStmt:
+		exprs = append(exprs, st.X)
+	}
+	var out []string
+	for _, e := range exprs {
+		csrc.WalkExpr(e, func(x csrc.Expr) bool {
+			if c, ok := x.(*csrc.CallExpr); ok {
+				out = append(out, c.Fun)
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tunio/internal/csrc"
+)
+
+// LintOptions configure the diagnostics engine.
+type LintOptions struct {
+	// IsIOCall classifies I/O library calls; when nil a default matching
+	// the discovery package's call set (HDF5, MPI-IO, stdio) is used.
+	IsIOCall func(string) bool
+}
+
+// defaultIOPrefixes mirror the discovery package's I/O call set for
+// standalone lint runs.
+var defaultIOPrefixes = []string{"H5", "MPI_File", "fopen", "fclose", "fwrite", "fread", "fprintf", "fseek"}
+
+// DefaultIsIOCall is the lint engine's default I/O classifier.
+func DefaultIsIOCall(name string) bool {
+	for _, p := range defaultIOPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// openCalls map file-opening calls to their closing counterparts for the
+// unclosed-handle check.
+var openCalls = map[string]string{
+	"H5Fcreate": "H5Fclose", "H5Fopen": "H5Fclose", "fopen": "fclose",
+}
+
+// Lint analyzes a parsed file and returns diagnostics sorted by source
+// line:
+//
+//   - IO001 (error): an I/O call in unreachable code — after a return,
+//     break, continue, or a loop that never exits.
+//   - IO002 (warning): a dataset write overwritten by a later write with
+//     no intervening read (wasted I/O traffic).
+//   - IO003 (warning): I/O inside a loop with no exit — the program never
+//     finishes its I/O.
+//   - IO004 (info): a declared variable that is never read.
+//   - IO005 (warning): a local name shadows an I/O library call name,
+//     which defeats name-based I/O discovery.
+//   - IO006 (warning): a file handle that is opened but never closed in
+//     its function (the tuner never sees the close barrier).
+func Lint(f *csrc.File, opts LintOptions) []Diagnostic {
+	isIO := opts.IsIOCall
+	if isIO == nil {
+		isIO = DefaultIsIOCall
+	}
+	l := &linter{file: f, isIO: isIO, locals: LocalNames(f)}
+	for _, fn := range f.Funcs {
+		l.lintFunc(fn)
+	}
+	l.unusedGlobals()
+	sort.SliceStable(l.diags, func(i, j int) bool { return l.diags[i].Line < l.diags[j].Line })
+	return l.diags
+}
+
+type linter struct {
+	file   *csrc.File
+	isIO   func(string) bool
+	locals map[string]map[string]bool
+	diags  []Diagnostic
+}
+
+func (l *linter) add(code string, sev Severity, pos int, fn, format string, args ...interface{}) {
+	l.diags = append(l.diags, Diagnostic{
+		Code: code, Severity: sev, Line: pos, Func: fn,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ioCallsOf returns the I/O library calls a statement makes, shadowing
+// aware.
+func (l *linter) ioCallsOf(s csrc.Stmt, fn string) []string {
+	var out []string
+	for _, c := range stmtCalls(s) {
+		if l.isIO(c) && !l.locals[fn][c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (l *linter) lintFunc(fn *csrc.FuncDecl) {
+	cfg := BuildCFG(fn)
+
+	// IO001: I/O calls in unreachable blocks
+	for _, b := range cfg.Blocks {
+		if cfg.Reachable(b) {
+			continue
+		}
+		for _, s := range b.Stmts {
+			for _, c := range l.ioCallsOf(s, fn.Name) {
+				l.add(CodeUnreachableIO, SevError, s.Base().Pos, fn.Name,
+					"I/O call %s is unreachable", c)
+			}
+		}
+	}
+
+	// IO003: I/O inside loops that never exit
+	for _, loop := range cfg.Loops {
+		if !cfg.Reachable(loop.Header) || len(loop.After.Preds) > 0 {
+			continue
+		}
+		var loopIO []string
+		var body *csrc.Block
+		switch st := loop.Stmt.(type) {
+		case *csrc.ForStmt:
+			body = st.Body
+		case *csrc.WhileStmt:
+			body = st.Body
+		}
+		walkStmtTree(body, func(s csrc.Stmt) {
+			loopIO = append(loopIO, l.ioCallsOf(s, fn.Name)...)
+		})
+		if len(loopIO) > 0 {
+			l.add(CodeUnboundedIOLoop, SevWarning, loop.Stmt.Base().Pos, fn.Name,
+				"%s inside a loop that never exits", loopIO[0])
+		}
+	}
+
+	// IO002 + IO004 + IO005 + IO006 via a single walk
+	l.blindWrites(fn)
+	l.unusedLocals(fn)
+	l.shadowedNames(fn)
+	l.unclosedHandles(fn)
+}
+
+// blindWrites reports write-after-write pairs per straight-line block,
+// treating handle aliases (x = y copies) as the same dataset.
+func (l *linter) blindWrites(fn *csrc.FuncDecl) {
+	var visitBlock func(b *csrc.Block)
+	visitBlock = func(b *csrc.Block) {
+		if b == nil {
+			return
+		}
+		type writeAt struct {
+			idx int
+			ds  string
+			pos int
+		}
+		var writes []writeAt
+		alias := newAliasSets()
+		reads := map[int]string{} // stmt index -> dataset root read
+		for i, s := range b.Stmts {
+			switch st := s.(type) {
+			case *csrc.Block:
+				visitBlock(st)
+				continue
+			case *csrc.IfStmt:
+				visitBlock(st.Then)
+				visitBlock(st.Else)
+				continue
+			case *csrc.ForStmt:
+				visitBlock(st.Body)
+				continue
+			case *csrc.WhileStmt:
+				visitBlock(st.Body)
+				continue
+			case *csrc.DeclStmt:
+				if id, ok := st.Init.(*csrc.Ident); ok {
+					alias.union(st.Name, id.Name)
+				}
+			case *csrc.AssignStmt:
+				if lhs, ok := st.LHS.(*csrc.Ident); ok && st.Op == "=" {
+					if rhs, ok := st.RHS.(*csrc.Ident); ok {
+						alias.union(lhs.Name, rhs.Name)
+					}
+				}
+			case *csrc.ExprStmt:
+				if c, ok := st.X.(*csrc.CallExpr); ok && len(c.Args) > 0 {
+					ds := rootIdent(c.Args[0])
+					if ds == "" {
+						continue
+					}
+					switch c.Fun {
+					case "H5Dwrite":
+						writes = append(writes, writeAt{idx: i, ds: ds, pos: st.Pos})
+					case "H5Dread":
+						reads[i] = ds
+					}
+				}
+			}
+		}
+		for wi := 0; wi+1 < len(writes); wi++ {
+			for wj := wi + 1; wj < len(writes); wj++ {
+				if !alias.same(writes[wi].ds, writes[wj].ds) {
+					continue
+				}
+				blocked := false
+				for ri, rds := range reads {
+					if ri > writes[wi].idx && ri < writes[wj].idx && alias.same(rds, writes[wi].ds) {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					l.add(CodeWriteAfterWrite, SevWarning, writes[wi].pos, fn.Name,
+						"write to dataset %q is overwritten at line %d before any read", writes[wi].ds, writes[wj].pos)
+				}
+				break
+			}
+		}
+	}
+	visitBlock(fn.Body)
+}
+
+// unusedLocals reports declared variables never read anywhere in the
+// function.
+func (l *linter) unusedLocals(fn *csrc.FuncDecl) {
+	used := map[string]bool{}
+	walkFuncStmts(fn, func(s csrc.Stmt) bool {
+		du := StmtDefUse(s)
+		for _, v := range du.Uses {
+			used[v] = true
+		}
+		for _, d := range du.Defs {
+			if !d.Strong {
+				used[d.Var] = true // &x out-arguments imply the caller reads x later
+			}
+		}
+		return true
+	})
+	walkFuncStmts(fn, func(s csrc.Stmt) bool {
+		if d, ok := s.(*csrc.DeclStmt); ok && !used[d.Name] {
+			l.add(CodeUnusedVariable, SevInfo, d.Pos, fn.Name,
+				"variable %q is declared but never read", d.Name)
+		}
+		return true
+	})
+}
+
+// shadowedNames reports locals whose name matches an I/O library call.
+func (l *linter) shadowedNames(fn *csrc.FuncDecl) {
+	for _, p := range fn.Params {
+		if p.Name != "" && l.isIO(p.Name) {
+			l.add(CodeShadowedIOName, SevWarning, fn.Body.Pos, fn.Name,
+				"parameter %q shadows an I/O library name; calls through it are not I/O calls", p.Name)
+		}
+	}
+	walkFuncStmts(fn, func(s csrc.Stmt) bool {
+		if d, ok := s.(*csrc.DeclStmt); ok && l.isIO(d.Name) {
+			l.add(CodeShadowedIOName, SevWarning, d.Pos, fn.Name,
+				"local %q shadows an I/O library name; calls through it are not I/O calls", d.Name)
+		}
+		return true
+	})
+}
+
+// unclosedHandles reports file handles opened but never closed within the
+// function. Handles that escape (passed to a user function or returned)
+// are skipped.
+func (l *linter) unclosedHandles(fn *csrc.FuncDecl) {
+	opened := map[string]csrc.Stmt{} // var -> opening stmt
+	openCall := map[string]string{}  // var -> open call name
+	closed := map[string]bool{}
+	escaped := map[string]bool{}
+
+	openTarget := func(s csrc.Stmt) (string, csrc.Expr) {
+		switch st := s.(type) {
+		case *csrc.DeclStmt:
+			return st.Name, st.Init
+		case *csrc.AssignStmt:
+			if id, ok := st.LHS.(*csrc.Ident); ok && st.Op == "=" {
+				return id.Name, st.RHS
+			}
+		}
+		return "", nil
+	}
+
+	walkFuncStmts(fn, func(s csrc.Stmt) bool {
+		if name, init := openTarget(s); name != "" {
+			if c, ok := init.(*csrc.CallExpr); ok {
+				if _, isOpen := openCalls[c.Fun]; isOpen && !l.locals[fn.Name][c.Fun] {
+					opened[name] = s
+					openCall[name] = c.Fun
+				}
+			}
+		}
+		for _, callee := range stmtCalls(s) {
+			if close := closerOf(callee); close {
+				switch st := s.(type) {
+				case *csrc.ExprStmt:
+					if c, ok := st.X.(*csrc.CallExpr); ok && len(c.Args) > 0 {
+						if v := rootIdent(c.Args[0]); v != "" {
+							closed[v] = true
+						}
+					}
+				default:
+					_ = st
+				}
+			}
+			if l.file.Func(callee) != nil {
+				for _, u := range StmtDefUse(s).Uses {
+					escaped[u] = true
+				}
+			}
+		}
+		if r, ok := s.(*csrc.ReturnStmt); ok {
+			for _, u := range csrc.ExprVars(r.X) {
+				escaped[u] = true
+			}
+		}
+		return true
+	})
+
+	var names []string
+	for name := range opened {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !closed[name] && !escaped[name] {
+			l.add(CodeUnclosedHandle, SevWarning, opened[name].Base().Pos, fn.Name,
+				"handle %q from %s is never closed", name, openCall[name])
+		}
+	}
+}
+
+// closerOf reports whether the call is a file-closing call.
+func closerOf(name string) bool {
+	for _, c := range openCalls {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// unusedGlobals reports globals never read anywhere in the file.
+func (l *linter) unusedGlobals() {
+	used := map[string]bool{}
+	l.file.WalkStmts(func(s csrc.Stmt) bool {
+		du := StmtDefUse(s)
+		for _, v := range du.Uses {
+			used[v] = true
+		}
+		for _, d := range du.Defs {
+			if !d.Strong {
+				used[d.Var] = true
+			}
+		}
+		return true
+	})
+	for _, g := range l.file.Globals {
+		if !used[g.Name] {
+			l.add(CodeUnusedVariable, SevInfo, g.Pos, "",
+				"global %q is declared but never read", g.Name)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// runLint lints a source string with the default I/O classifier.
+func runLint(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	return Lint(mustParse(t, src), LintOptions{})
+}
+
+// findCode returns diagnostics with the given code.
+func findCode(diags []Diagnostic, code string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestLintUnreachableIO(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+	}{
+		{
+			name: "after return",
+			src: `int main() {
+    return 0;
+    fclose(0);
+}`,
+			wantLine: 3,
+		},
+		{
+			name: "after break",
+			src: `int main() {
+    while (1) {
+        break;
+        fwrite(0, 1, 1, 0);
+    }
+    return 0;
+}`,
+			wantLine: 4,
+		},
+		{
+			name: "after infinite loop",
+			src: `int main() {
+    while (1) {
+        compute_flops(1.0);
+    }
+    fclose(0);
+    return 0;
+}`,
+			wantLine: 5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := findCode(runLint(t, tc.src), CodeUnreachableIO)
+			if len(got) != 1 {
+				t.Fatalf("want 1 IO001, got %d: %v", len(got), got)
+			}
+			if got[0].Line != tc.wantLine {
+				t.Errorf("IO001 at line %d, want %d", got[0].Line, tc.wantLine)
+			}
+			if got[0].Severity != SevError {
+				t.Errorf("IO001 severity = %v, want error", got[0].Severity)
+			}
+		})
+	}
+}
+
+func TestLintReachableIONotFlagged(t *testing.T) {
+	src := `int main() {
+    hid_t f = H5Fcreate("out.h5", 0, 0, 0);
+    H5Fclose(f);
+    return 0;
+}`
+	if got := findCode(runLint(t, src), CodeUnreachableIO); len(got) != 0 {
+		t.Errorf("reachable I/O flagged: %v", got)
+	}
+}
+
+func TestLintWriteAfterWrite(t *testing.T) {
+	src := `int main() {
+    hid_t d = H5Dcreate(0, "ds", 0, 0, 0);
+    double buf[8];
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    H5Dclose(d);
+    return 0;
+}`
+	got := findCode(runLint(t, src), CodeWriteAfterWrite)
+	if len(got) != 1 || got[0].Line != 4 {
+		t.Fatalf("want one IO002 at line 4, got %v", got)
+	}
+}
+
+func TestLintWriteAfterWriteBlockedByRead(t *testing.T) {
+	src := `int main() {
+    hid_t d = H5Dcreate(0, "ds", 0, 0, 0);
+    double buf[8];
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    H5Dread(d, 0, 0, 0, 0, buf);
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    H5Dclose(d);
+    return 0;
+}`
+	if got := findCode(runLint(t, src), CodeWriteAfterWrite); len(got) != 0 {
+		t.Errorf("read-separated writes flagged: %v", got)
+	}
+}
+
+func TestLintWriteAfterWriteThroughAlias(t *testing.T) {
+	src := `int main() {
+    hid_t d = H5Dcreate(0, "ds", 0, 0, 0);
+    hid_t alias = d;
+    double buf[8];
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    H5Dwrite(alias, 0, 0, 0, 0, buf);
+    H5Dclose(d);
+    return 0;
+}`
+	got := findCode(runLint(t, src), CodeWriteAfterWrite)
+	if len(got) != 1 || got[0].Line != 5 {
+		t.Fatalf("want one IO002 at line 5 through alias, got %v", got)
+	}
+}
+
+func TestLintUnboundedIOLoop(t *testing.T) {
+	src := `int main() {
+    double buf[8];
+    while (1) {
+        fwrite(buf, 8, 1, 0);
+    }
+    return 0;
+}`
+	got := findCode(runLint(t, src), CodeUnboundedIOLoop)
+	if len(got) != 1 || got[0].Line != 3 {
+		t.Fatalf("want one IO003 at line 3, got %v", got)
+	}
+}
+
+func TestLintUnboundedLoopWithBreakNotFlagged(t *testing.T) {
+	src := `int main() {
+    double buf[8];
+    int n = 0;
+    while (1) {
+        fwrite(buf, 8, 1, 0);
+        n = n + 1;
+        if (n > 3) {
+            break;
+        }
+    }
+    return 0;
+}`
+	if got := findCode(runLint(t, src), CodeUnboundedIOLoop); len(got) != 0 {
+		t.Errorf("breakable while(1) flagged: %v", got)
+	}
+}
+
+func TestLintUnusedVariable(t *testing.T) {
+	src := `int dead_global;
+
+int main() {
+    int unused = 7;
+    int used = 1;
+    return used;
+}`
+	got := findCode(runLint(t, src), CodeUnusedVariable)
+	if len(got) != 2 {
+		t.Fatalf("want 2 IO004 (global + local), got %v", got)
+	}
+	if got[0].Line != 1 || got[0].Func != "" {
+		t.Errorf("global finding = %+v, want line 1 at global scope", got[0])
+	}
+	if got[1].Line != 4 || got[1].Func != "main" {
+		t.Errorf("local finding = %+v, want line 4 in main", got[1])
+	}
+}
+
+func TestLintOutArgCountsAsUse(t *testing.T) {
+	src := `int main() {
+    int rank;
+    MPI_Comm_rank(0, &rank);
+    return 0;
+}`
+	if got := findCode(runLint(t, src), CodeUnusedVariable); len(got) != 0 {
+		t.Errorf("out-arg variable flagged unused: %v", got)
+	}
+}
+
+func TestLintShadowedIOName(t *testing.T) {
+	src := `void takes_ptr(int fwrite) {
+    fwrite(1);
+}
+
+int main() {
+    int fread = 0;
+    takes_ptr(fread);
+    return 0;
+}`
+	got := findCode(runLint(t, src), CodeShadowedIOName)
+	if len(got) != 2 {
+		t.Fatalf("want 2 IO005 (param + local), got %v", got)
+	}
+}
+
+func TestLintUnclosedHandle(t *testing.T) {
+	src := `int main() {
+    hid_t f = H5Fcreate("out.h5", 0, 0, 0);
+    hid_t g = H5Fopen("in.h5", 0, 0);
+    H5Fclose(g);
+    return 0;
+}`
+	got := findCode(runLint(t, src), CodeUnclosedHandle)
+	if len(got) != 1 || got[0].Line != 2 {
+		t.Fatalf("want one IO006 for f at line 2, got %v", got)
+	}
+	if !strings.Contains(got[0].Message, `"f"`) {
+		t.Errorf("message should name the handle: %s", got[0].Message)
+	}
+}
+
+func TestLintEscapedHandleNotFlagged(t *testing.T) {
+	src := `void closer(hid_t h) {
+    H5Fclose(h);
+}
+
+int main() {
+    hid_t f = H5Fcreate("out.h5", 0, 0, 0);
+    closer(f);
+    return 0;
+}`
+	if got := findCode(runLint(t, src), CodeUnclosedHandle); len(got) != 0 {
+		t.Errorf("escaped handle flagged: %v", got)
+	}
+}
+
+func TestLintDiagnosticsSortedAndStringForm(t *testing.T) {
+	src := `int main() {
+    int unused = 1;
+    return 0;
+    fclose(0);
+}`
+	diags := runLint(t, src)
+	for i := 1; i < len(diags); i++ {
+		if diags[i-1].Line > diags[i].Line {
+			t.Fatalf("diagnostics not sorted by line: %v", diags)
+		}
+	}
+	errs := findCode(diags, CodeUnreachableIO)
+	if len(errs) != 1 {
+		t.Fatalf("want IO001, got %v", diags)
+	}
+	s := errs[0].String()
+	if !strings.Contains(s, "line 4") || !strings.Contains(s, "error") || !strings.Contains(s, "IO001") {
+		t.Errorf("String() = %q, want line, severity and code", s)
+	}
+	if MaxSeverity(diags) != SevError {
+		t.Errorf("MaxSeverity = %v, want error", MaxSeverity(diags))
+	}
+}
+
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	d := Diagnostic{Code: CodeUnboundedIOLoop, Severity: SevWarning, Line: 12, Func: "main", Message: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"severity": "warning"`) && !strings.Contains(string(b), `"severity":"warning"`) {
+		t.Errorf("severity should marshal as a string: %s", b)
+	}
+	var back Diagnostic
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Errorf("round trip: got %+v, want %+v", back, d)
+	}
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	src := `int main() {
+    hid_t f = H5Fcreate("out.h5", 0, 0, 0);
+    double buf[4];
+    H5Dwrite(f, 0, 0, 0, 0, buf);
+    H5Fclose(f);
+    return 0;
+}`
+	if diags := runLint(t, src); len(diags) != 0 {
+		t.Errorf("clean program produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import "tunio/internal/csrc"
+
+// SliceOptions configure the backward I/O slicer.
+type SliceOptions struct {
+	// IsIOCall classifies I/O library calls (the discovery package's call
+	// set). Shadowing is handled inside the slicer: a call through a
+	// locally-declared name is never an I/O seed.
+	IsIOCall func(string) bool
+	// KeepFuncs forces entire functions into the slice.
+	KeepFuncs []string
+}
+
+// Slice computes a backward program slice seeded at the file's I/O calls,
+// following def-use chains on each function's CFG instead of variable
+// names. The result maps statement ID -> kept. The set is parent-closed
+// (a kept statement's enclosing If/For/While headers are kept) and
+// control-exit-closed (return/break/continue statements whose enclosing
+// region is fully kept are kept, as dropping them would change control
+// flow).
+//
+// Compared to the per-line fixpoint marker, the slicer prunes definitions
+// that cannot reach any I/O use: dead re-definitions after the last I/O
+// use of a variable, compute chains feeding only dropped statements, and
+// calls shadowed by local names.
+func Slice(f *csrc.File, opts SliceOptions) map[int]bool {
+	s := &slicer{
+		file:    f,
+		opts:    opts,
+		locals:  LocalNames(f),
+		keep:    map[int]bool{},
+		parent:  map[int]csrc.Stmt{},
+		fnOf:    map[int]string{},
+		stmts:   map[int]csrc.Stmt{},
+		rd:      map[string]*ReachingDefs{},
+		needed:  map[string]bool{},
+		sites:   map[string][]csrc.Stmt{},
+		globals: map[string][]csrc.Stmt{},
+		returns: map[string][]csrc.Stmt{},
+		exits:   map[string][]csrc.Stmt{},
+		decls:   map[string]map[string][]*csrc.DeclStmt{},
+	}
+	s.sums = Summarize(f, opts.IsIOCall)
+	s.collect()
+	s.seed()
+	s.run()
+	return s.keep
+}
+
+type slicer struct {
+	file   *csrc.File
+	opts   SliceOptions
+	locals map[string]map[string]bool
+	sums   map[string]*FuncSummary
+
+	keep   map[int]bool
+	work   []csrc.Stmt
+	parent map[int]csrc.Stmt // stmt ID -> enclosing structured stmt
+	fnOf   map[int]string    // stmt ID -> enclosing function
+	stmts  map[int]csrc.Stmt // registry, source order via order
+	order  []int
+
+	rd      map[string]*ReachingDefs
+	needed  map[string]bool        // functions that must stay callable
+	sites   map[string][]csrc.Stmt // user function -> call statements
+	globals map[string][]csrc.Stmt // global var -> defining statements
+	returns map[string][]csrc.Stmt // function -> return statements
+	exits   map[string][]csrc.Stmt // function -> break/continue statements
+	// decls maps function -> var -> declarations, so a kept use keeps the
+	// declaration even when its initializer value is dead.
+	decls map[string]map[string][]*csrc.DeclStmt
+}
+
+// shadowed reports whether name is declared locally in fn (so a call
+// through it is not the library function).
+func (s *slicer) shadowed(fn, name string) bool {
+	return fn != "" && s.locals[fn][name]
+}
+
+// isIOStmt reports whether the statement makes a direct I/O library call.
+func (s *slicer) isIOStmt(st csrc.Stmt, fn string) bool {
+	for _, callee := range stmtCalls(st) {
+		if s.opts.IsIOCall(callee) && !s.shadowed(fn, callee) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *slicer) collect() {
+	var visit func(st csrc.Stmt, parent csrc.Stmt, fn string)
+	visitBlock := func(b *csrc.Block, parent csrc.Stmt, fn string) {
+		if b == nil {
+			return
+		}
+		for _, st := range b.Stmts {
+			visit(st, parent, fn)
+		}
+	}
+	visit = func(st csrc.Stmt, parent csrc.Stmt, fn string) {
+		if st == nil {
+			return
+		}
+		id := st.Base().ID
+		s.stmts[id] = st
+		s.order = append(s.order, id)
+		s.parent[id] = parent
+		s.fnOf[id] = fn
+
+		// global definitions and call sites
+		for _, d := range StmtDefUse(st).Defs {
+			if !s.locals[fn][d.Var] {
+				s.globals[d.Var] = append(s.globals[d.Var], st)
+			}
+		}
+		if d, ok := st.(*csrc.DeclStmt); ok && fn != "" {
+			if s.decls[fn] == nil {
+				s.decls[fn] = map[string][]*csrc.DeclStmt{}
+			}
+			s.decls[fn][d.Name] = append(s.decls[fn][d.Name], d)
+		}
+		for _, callee := range stmtCalls(st) {
+			if s.shadowed(fn, callee) {
+				continue
+			}
+			if s.file.Func(callee) != nil {
+				s.sites[callee] = append(s.sites[callee], st)
+			}
+		}
+
+		switch x := st.(type) {
+		case *csrc.ReturnStmt:
+			s.returns[fn] = append(s.returns[fn], st)
+		case *csrc.BreakStmt, *csrc.ContinueStmt:
+			s.exits[fn] = append(s.exits[fn], st)
+		case *csrc.Block:
+			visitBlock(x, x, fn)
+		case *csrc.IfStmt:
+			visitBlock(x.Then, x, fn)
+			visitBlock(x.Else, x, fn)
+		case *csrc.ForStmt:
+			if x.Init != nil {
+				visit(x.Init, x, fn)
+			}
+			if x.Post != nil {
+				visit(x.Post, x, fn)
+			}
+			visitBlock(x.Body, x, fn)
+		case *csrc.WhileStmt:
+			visitBlock(x.Body, x, fn)
+		}
+	}
+
+	for _, g := range s.file.Globals {
+		visit(g, nil, "")
+	}
+	for _, fn := range s.file.Funcs {
+		visitBlock(fn.Body, nil, fn.Name)
+		s.rd[fn.Name] = NewReachingDefs(BuildCFG(fn))
+	}
+}
+
+func (s *slicer) push(st csrc.Stmt) {
+	if st == nil {
+		return
+	}
+	id := st.Base().ID
+	if s.keep[id] {
+		return
+	}
+	s.keep[id] = true
+	s.work = append(s.work, st)
+}
+
+func (s *slicer) seed() {
+	keepAll := map[string]bool{}
+	for _, k := range s.opts.KeepFuncs {
+		keepAll[k] = true
+	}
+	for _, id := range s.order {
+		st := s.stmts[id]
+		fn := s.fnOf[id]
+		if keepAll[fn] || s.isIOStmt(st, fn) {
+			s.push(st)
+		}
+	}
+}
+
+func (s *slicer) run() {
+	for {
+		for len(s.work) > 0 {
+			st := s.work[len(s.work)-1]
+			s.work = s.work[:len(s.work)-1]
+			s.process(st)
+		}
+		// control-exit closure: keep return/break/continue whose enclosing
+		// region is fully kept; processing them may unlock further work
+		if !s.closeControlExits() {
+			return
+		}
+	}
+}
+
+func (s *slicer) process(st csrc.Stmt) {
+	id := st.Base().ID
+	fn := s.fnOf[id]
+
+	// control context: enclosing headers must be kept
+	s.push(s.parent[id])
+
+	// a loop header needs its init/post to execute
+	if f, ok := st.(*csrc.ForStmt); ok {
+		s.push(f.Init)
+		s.push(f.Post)
+	}
+
+	// the enclosing function must stay callable
+	s.needFunc(fn)
+
+	// data dependences: definitions that may reach each use
+	var du DefUse
+	rd := s.rd[fn]
+	if rd != nil {
+		du = rd.DefUseOf(st)
+		if len(du.Defs) == 0 && len(du.Uses) == 0 {
+			du = StmtDefUse(st)
+		}
+	} else {
+		du = StmtDefUse(st) // global declarations
+	}
+	for _, v := range du.Uses {
+		s.pushDefs(rd, st, fn, v)
+	}
+	// weak defs merge into prior contents: their earlier definitions must
+	// exist for the merged value to be right
+	for _, d := range du.Defs {
+		if !d.Strong {
+			s.pushDefs(rd, st, fn, d.Var)
+		}
+	}
+
+	// user functions called here must stay defined and correct
+	for _, callee := range stmtCalls(st) {
+		if s.shadowed(fn, callee) {
+			continue
+		}
+		if s.file.Func(callee) != nil {
+			s.needFunc(callee)
+		}
+	}
+}
+
+// pushDefs keeps the definitions of v that may flow into st, plus v's
+// declaration (required for the kernel to stay compilable even when the
+// initializer's value is dead).
+func (s *slicer) pushDefs(rd *ReachingDefs, st csrc.Stmt, fn, v string) {
+	if s.locals[fn][v] {
+		for _, d := range rd.Reaching(st, v) {
+			s.push(d)
+		}
+		for _, d := range s.decls[fn][v] {
+			s.push(d)
+		}
+	} else {
+		for _, d := range s.globals[v] {
+			s.push(d)
+		}
+	}
+}
+
+// needFunc records that a function must remain in the kernel: its call
+// sites execute it (side effects stay ordered) and its return statements
+// produce its value.
+func (s *slicer) needFunc(name string) {
+	if name == "" || s.needed[name] {
+		return
+	}
+	s.needed[name] = true
+	for _, st := range s.sites[name] {
+		s.push(st)
+	}
+	for _, st := range s.returns[name] {
+		s.push(st)
+	}
+}
+
+// closeControlExits keeps break/continue statements whose whole ancestor
+// chain is kept inside needed functions. Returns whether anything changed.
+func (s *slicer) closeControlExits() bool {
+	changed := false
+	for fn, exits := range s.exits {
+		if fn != "" && !s.needed[fn] {
+			continue
+		}
+		for _, st := range exits {
+			id := st.Base().ID
+			if s.keep[id] {
+				continue
+			}
+			kept := true
+			for p := s.parent[id]; p != nil; p = s.parent[p.Base().ID] {
+				if !s.keep[p.Base().ID] {
+					kept = false
+					break
+				}
+			}
+			if kept {
+				s.push(st)
+				changed = true
+			}
+		}
+	}
+	return changed
+}

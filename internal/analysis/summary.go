@@ -1,0 +1,144 @@
+package analysis
+
+import "tunio/internal/csrc"
+
+// knownBuiltins are interpreter-provided functions that neither perform
+// file I/O nor write caller-visible state (printf writes stdout, which the
+// tuner does not model as I/O).
+var knownBuiltins = map[string]bool{
+	"malloc": true, "calloc": true, "free": true, "printf": true,
+	"dsname": true, "sqrt": true, "exit": true, "compute_flops": true,
+	"__loop_reduce": true,
+}
+
+// FuncSummary is one function's side-effect summary, computed transitively
+// over the call graph.
+type FuncSummary struct {
+	Name string
+	// PerformsIO: the function (or a callee) makes an I/O library call.
+	PerformsIO bool
+	// WritesGlobals: the function (or a callee) assigns a variable that is
+	// not local to it.
+	WritesGlobals bool
+	// CallsUnknown: the function calls something that is neither defined
+	// in the file, a known builtin, nor an I/O library call — for example
+	// a call through a local function pointer. Unknown callees make every
+	// other field a lower bound.
+	CallsUnknown bool
+}
+
+// Pure reports that the function only computes: no I/O, no global writes,
+// no calls with unknowable effects.
+func (s *FuncSummary) Pure() bool {
+	return !s.PerformsIO && !s.WritesGlobals && !s.CallsUnknown
+}
+
+// Summarize computes side-effect summaries for every function in the
+// file. isIOCall classifies I/O library calls (shadowing by local names is
+// handled here: a call through a name declared locally is an unknown call,
+// not an I/O call).
+func Summarize(f *csrc.File, isIOCall func(string) bool) map[string]*FuncSummary {
+	locals := LocalNames(f)
+	sums := map[string]*FuncSummary{}
+	callees := map[string][]string{} // function -> user functions called
+
+	for _, fn := range f.Funcs {
+		sum := &FuncSummary{Name: fn.Name}
+		sums[fn.Name] = sum
+		loc := locals[fn.Name]
+
+		var visitStmt func(s csrc.Stmt) bool
+		visitStmt = func(s csrc.Stmt) bool {
+			du := StmtDefUse(s)
+			for _, d := range du.Defs {
+				if !loc[d.Var] {
+					sum.WritesGlobals = true
+				}
+			}
+			for _, callee := range stmtCalls(s) {
+				switch {
+				case loc[callee]:
+					// call through a local (function pointer): unknowable
+					sum.CallsUnknown = true
+				case f.Func(callee) != nil:
+					callees[fn.Name] = append(callees[fn.Name], callee)
+				case isIOCall(callee):
+					sum.PerformsIO = true
+				case !knownBuiltins[callee]:
+					sum.CallsUnknown = true
+				}
+			}
+			return true
+		}
+		walkFuncStmts(fn, visitStmt)
+	}
+
+	// propagate effects over the call graph to fixpoint
+	for changed := true; changed; {
+		changed = false
+		for name, sum := range sums {
+			for _, callee := range callees[name] {
+				cs := sums[callee]
+				if cs == nil {
+					continue
+				}
+				if cs.PerformsIO && !sum.PerformsIO {
+					sum.PerformsIO = true
+					changed = true
+				}
+				if cs.WritesGlobals && !sum.WritesGlobals {
+					sum.WritesGlobals = true
+					changed = true
+				}
+				if cs.CallsUnknown && !sum.CallsUnknown {
+					sum.CallsUnknown = true
+					changed = true
+				}
+			}
+		}
+	}
+	return sums
+}
+
+// walkFuncStmts visits every statement of one function (including loop
+// Init/Post statements and nested blocks).
+func walkFuncStmts(fn *csrc.FuncDecl, visit func(csrc.Stmt) bool) {
+	var walk func(s csrc.Stmt) bool
+	walkBlock := func(b *csrc.Block) bool {
+		if b == nil {
+			return true
+		}
+		for _, s := range b.Stmts {
+			if !walk(s) {
+				return false
+			}
+		}
+		return true
+	}
+	walk = func(s csrc.Stmt) bool {
+		if s == nil {
+			return true
+		}
+		if !visit(s) {
+			return false
+		}
+		switch st := s.(type) {
+		case *csrc.Block:
+			return walkBlock(st)
+		case *csrc.IfStmt:
+			return walkBlock(st.Then) && walkBlock(st.Else)
+		case *csrc.ForStmt:
+			if st.Init != nil && !walk(st.Init) {
+				return false
+			}
+			if st.Post != nil && !walk(st.Post) {
+				return false
+			}
+			return walkBlock(st.Body)
+		case *csrc.WhileStmt:
+			return walkBlock(st.Body)
+		}
+		return true
+	}
+	walkBlock(fn.Body)
+}

@@ -1,0 +1,388 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"tunio/internal/csrc"
+)
+
+// TransformOptions name the discovery transforms about to run, so the
+// verifier only checks preconditions of rewrites that will actually be
+// applied.
+type TransformOptions struct {
+	LoopReduction     bool
+	PathSwitch        bool
+	RemoveBlindWrites bool
+	// IsIOCall classifies I/O library calls.
+	IsIOCall func(string) bool
+}
+
+// pathCalls mirror the discovery path-switch target set: call name ->
+// index of the path argument.
+var pathCalls = map[string]int{
+	"H5Fcreate": 0, "H5Fopen": 0, "fopen": 0, "MPI_File_open": 1,
+}
+
+// VerifyTransforms checks, before the discovery transforms rewrite a
+// kernel, that each rewrite preserves the I/O request stream, and returns
+// structured warnings for regions where it cannot prove that:
+//
+//   - TR001: loop reduction would rewrite a bound whose variables the loop
+//     body mutates — the __loop_reduce wrapper would re-evaluate a moving
+//     target, making the executed iteration count unpredictable.
+//   - TR002: a value defined inside a reduced loop flows into an I/O call
+//     outside it — running fewer iterations changes that value, so the
+//     later I/O no longer matches the original application.
+//   - TR005: a loop contains I/O but has a shape loop reduction cannot
+//     rewrite — LoopScale will not account for it.
+//   - TR003: path switching cannot rewrite a computed (non-literal) path
+//     argument, so that file still lands on the original file system.
+//   - TR004: blind-write removal saw a dataset handle escape into a user
+//     function between two writes to the same dataset — the intervening
+//     call may read the dataset, making the removal unsound.
+func VerifyTransforms(f *csrc.File, opts TransformOptions) []Diagnostic {
+	v := &verifier{file: f, opts: opts, locals: LocalNames(f)}
+	if opts.LoopReduction {
+		v.checkLoopReduction()
+	}
+	if opts.PathSwitch {
+		v.checkPathSwitch()
+	}
+	if opts.RemoveBlindWrites {
+		v.checkBlindWrites()
+	}
+	sort.SliceStable(v.diags, func(i, j int) bool { return v.diags[i].Line < v.diags[j].Line })
+	return v.diags
+}
+
+type verifier struct {
+	file   *csrc.File
+	opts   TransformOptions
+	locals map[string]map[string]bool
+	diags  []Diagnostic
+}
+
+func (v *verifier) add(code string, sev Severity, pos int, fn, format string, args ...interface{}) {
+	v.diags = append(v.diags, Diagnostic{
+		Code: code, Severity: sev, Line: pos, Func: fn,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// isIO applies the I/O classifier with local-shadowing awareness.
+func (v *verifier) isIO(fn, name string) bool {
+	return v.opts.IsIOCall != nil && v.opts.IsIOCall(name) && !(fn != "" && v.locals[fn][name])
+}
+
+// stmtHasIO reports whether a statement tree contains an I/O call.
+func (v *verifier) stmtHasIO(s csrc.Stmt, fn string) bool {
+	found := false
+	walkStmtTree(s, func(st csrc.Stmt) {
+		for _, c := range stmtCalls(st) {
+			if v.isIO(fn, c) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// walkStmtTree visits st and all nested statements.
+func walkStmtTree(s csrc.Stmt, visit func(csrc.Stmt)) {
+	if s == nil {
+		return
+	}
+	visit(s)
+	walkBlockTree := func(b *csrc.Block) {
+		if b == nil {
+			return
+		}
+		for _, st := range b.Stmts {
+			walkStmtTree(st, visit)
+		}
+	}
+	switch st := s.(type) {
+	case *csrc.Block:
+		walkBlockTree(st)
+	case *csrc.IfStmt:
+		walkBlockTree(st.Then)
+		walkBlockTree(st.Else)
+	case *csrc.ForStmt:
+		if st.Init != nil {
+			walkStmtTree(st.Init, visit)
+		}
+		if st.Post != nil {
+			walkStmtTree(st.Post, visit)
+		}
+		walkBlockTree(st.Body)
+	case *csrc.WhileStmt:
+		walkBlockTree(st.Body)
+	}
+}
+
+// reducibleBound mirrors discovery's rewriteBound shape check.
+func reducibleBound(st *csrc.ForStmt) bool {
+	cond, ok := st.Cond.(*csrc.BinaryExpr)
+	if !ok {
+		return false
+	}
+	return cond.Op == "<" || cond.Op == "<="
+}
+
+// checkLoopReduction examines every loop the reduction transform would
+// select (outermost loops containing I/O) plus the I/O loops it silently
+// skips.
+func (v *verifier) checkLoopReduction() {
+	for _, fn := range v.file.Funcs {
+		cfg := BuildCFG(fn)
+		rd := NewReachingDefs(cfg)
+
+		// select outermost for-loops containing I/O, like reduceLoops
+		var targets []*csrc.ForStmt
+		var irreducible []csrc.Stmt
+		var visit func(s csrc.Stmt, insideTarget bool)
+		visitBlock := func(b *csrc.Block, inside bool) {
+			if b == nil {
+				return
+			}
+			for _, s := range b.Stmts {
+				visit(s, inside)
+			}
+		}
+		visit = func(s csrc.Stmt, inside bool) {
+			switch st := s.(type) {
+			case *csrc.Block:
+				visitBlock(st, inside)
+			case *csrc.IfStmt:
+				visitBlock(st.Then, inside)
+				visitBlock(st.Else, inside)
+			case *csrc.WhileStmt:
+				if !inside && v.stmtHasIO(st, fn.Name) {
+					irreducible = append(irreducible, st)
+				}
+				visitBlock(st.Body, inside)
+			case *csrc.ForStmt:
+				if !inside && v.stmtHasIO(st, fn.Name) {
+					if reducibleBound(st) {
+						targets = append(targets, st)
+						visitBlock(st.Body, true)
+						return
+					}
+					irreducible = append(irreducible, st)
+				}
+				visitBlock(st.Body, inside)
+			}
+		}
+		visitBlock(fn.Body, false)
+
+		for _, s := range irreducible {
+			v.add(CodeIrreducibleLoop, SevWarning, s.Base().Pos, fn.Name,
+				"loop contains I/O but its bound cannot be rewritten; LoopScale will not account for it")
+		}
+
+		for _, loop := range targets {
+			// body statements (including nested)
+			body := map[int]bool{}
+			bodyDefs := map[string]bool{}
+			walkStmtTree(loop.Body, func(st csrc.Stmt) {
+				body[st.Base().ID] = true
+				for _, d := range StmtDefUse(st).Defs {
+					if !d.Arg { // conjectured call-arg writes are not value changes
+						bodyDefs[d.Var] = true
+					}
+				}
+			})
+			if loop.Post != nil {
+				body[loop.Post.Base().ID] = true
+			}
+
+			// TR001: bound variables mutated in the body
+			if cond, ok := loop.Cond.(*csrc.BinaryExpr); ok {
+				for _, bv := range csrc.ExprVars(cond.Y) {
+					if bodyDefs[bv] {
+						v.add(CodeLoopBoundMutated, SevWarning, loop.Pos, fn.Name,
+							"loop bound variable %q is mutated in the loop body; reduced iteration count is unpredictable", bv)
+					}
+				}
+			}
+
+			// TR002: body-defined values flowing into I/O outside the loop
+			walkFuncStmts(fn, func(st csrc.Stmt) bool {
+				id := st.Base().ID
+				if body[id] || id == loop.ID {
+					return true
+				}
+				if !v.stmtHasIO(st, fn.Name) {
+					return true
+				}
+				du := StmtDefUse(st)
+				reported := map[string]bool{}
+				for _, u := range du.Uses {
+					if !bodyDefs[u] || reported[u] {
+						continue
+					}
+					for _, def := range rd.Reaching(st, u) {
+						if body[def.Base().ID] && valueDefines(def, u) {
+							reported[u] = true
+							v.add(CodeLoopCarriedIO, SevWarning, st.Base().Pos, fn.Name,
+								"I/O argument %q is computed inside the reduced loop at line %d; fewer iterations change its value", u, def.Base().Pos)
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkPathSwitch flags path arguments the switch cannot rewrite.
+func (v *verifier) checkPathSwitch() {
+	for _, fn := range v.file.Funcs {
+		walkFuncStmts(fn, func(st csrc.Stmt) bool {
+			var exprs []csrc.Expr
+			switch x := st.(type) {
+			case *csrc.ExprStmt:
+				exprs = append(exprs, x.X)
+			case *csrc.DeclStmt:
+				exprs = append(exprs, x.Init)
+			case *csrc.AssignStmt:
+				exprs = append(exprs, x.RHS)
+			}
+			for _, e := range exprs {
+				csrc.WalkExpr(e, func(x csrc.Expr) bool {
+					c, ok := x.(*csrc.CallExpr)
+					if !ok {
+						return true
+					}
+					idx, ok := pathCalls[c.Fun]
+					if !ok || v.locals[fn.Name][c.Fun] || idx >= len(c.Args) {
+						return true
+					}
+					if _, lit := c.Args[idx].(*csrc.StringLit); !lit {
+						v.add(CodeComputedPath, SevWarning, st.Base().Pos, fn.Name,
+							"%s path argument is computed, not a string literal; path switching cannot redirect it to /dev/shm", c.Fun)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// checkBlindWrites flags same-block write pairs where the dataset handle
+// (or an alias of it) escapes into a user-defined function between them.
+func (v *verifier) checkBlindWrites() {
+	for _, fn := range v.file.Funcs {
+		var visitBlock func(b *csrc.Block)
+		visitBlock = func(b *csrc.Block) {
+			if b == nil {
+				return
+			}
+			type writeAt struct {
+				idx int
+				ds  string
+			}
+			var writes []writeAt
+			alias := newAliasSets()
+			escapes := map[string][]int{} // root var -> stmt indices where it escapes
+			for i, s := range b.Stmts {
+				switch st := s.(type) {
+				case *csrc.Block:
+					visitBlock(st)
+					continue
+				case *csrc.IfStmt:
+					visitBlock(st.Then)
+					visitBlock(st.Else)
+					continue
+				case *csrc.ForStmt:
+					visitBlock(st.Body)
+					continue
+				case *csrc.WhileStmt:
+					visitBlock(st.Body)
+					continue
+				case *csrc.DeclStmt:
+					if id, ok := st.Init.(*csrc.Ident); ok {
+						alias.union(st.Name, id.Name)
+					}
+				case *csrc.AssignStmt:
+					if lhs, ok := st.LHS.(*csrc.Ident); ok && st.Op == "=" {
+						if rhs, ok := st.RHS.(*csrc.Ident); ok {
+							alias.union(lhs.Name, rhs.Name)
+						}
+					}
+				case *csrc.ExprStmt:
+					if c, ok := st.X.(*csrc.CallExpr); ok {
+						if c.Fun == "H5Dwrite" && len(c.Args) > 0 {
+							if ds := rootIdent(c.Args[0]); ds != "" {
+								writes = append(writes, writeAt{idx: i, ds: ds})
+							}
+						}
+					}
+				}
+				// any argument of a user-function call escapes
+				for _, callee := range stmtCalls(s) {
+					if v.file.Func(callee) == nil {
+						continue
+					}
+					for _, u := range StmtDefUse(s).Uses {
+						escapes[u] = append(escapes[u], i)
+					}
+				}
+			}
+			for wi := 0; wi+1 < len(writes); wi++ {
+				for wj := wi + 1; wj < len(writes); wj++ {
+					if writes[wi].ds != writes[wj].ds {
+						continue
+					}
+					for esc, idxs := range escapes {
+						if !alias.same(esc, writes[wi].ds) {
+							continue
+						}
+						for _, ei := range idxs {
+							if ei > writes[wi].idx && ei < writes[wj].idx {
+								v.add(CodeAliasedHandle, SevWarning, b.Stmts[writes[wi].idx].Base().Pos, fn.Name,
+									"dataset handle %q escapes to a user function between writes; blind-write removal may drop a read-visible write", writes[wi].ds)
+							}
+						}
+					}
+					break
+				}
+			}
+		}
+		visitBlock(fn.Body)
+	}
+}
+
+// aliasSets is a tiny union-find over variable names.
+type aliasSets struct{ parent map[string]string }
+
+func newAliasSets() *aliasSets { return &aliasSets{parent: map[string]string{}} }
+
+func (a *aliasSets) find(x string) string {
+	p, ok := a.parent[x]
+	if !ok || p == x {
+		return x
+	}
+	r := a.find(p)
+	a.parent[x] = r
+	return r
+}
+
+func (a *aliasSets) union(x, y string) { a.parent[a.find(x)] = a.find(y) }
+
+func (a *aliasSets) same(x, y string) bool { return a.find(x) == a.find(y) }
+
+// valueDefines reports whether s contains a non-conjectural definition of
+// v — an assignment, declaration, or &v output argument, as opposed to a
+// bare call-argument write the analysis only assumes for slicing safety.
+func valueDefines(s csrc.Stmt, v string) bool {
+	for _, d := range StmtDefUse(s).Defs {
+		if d.Var == v && !d.Arg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// runVerify verifies a source with all transforms enabled.
+func runVerify(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	return VerifyTransforms(mustParse(t, src), TransformOptions{
+		LoopReduction:     true,
+		PathSwitch:        true,
+		RemoveBlindWrites: true,
+		IsIOCall:          DefaultIsIOCall,
+	})
+}
+
+func TestVerifyLoopBoundMutated(t *testing.T) {
+	src := `int main() {
+    int n = 100;
+    for (int i = 0; i < n; i++) {
+        fwrite(&i, 4, 1, 0);
+        n = n - 1;
+    }
+    return 0;
+}`
+	got := findCode(runVerify(t, src), CodeLoopBoundMutated)
+	if len(got) != 1 || got[0].Line != 3 {
+		t.Fatalf("want one TR001 at line 3, got %v", got)
+	}
+	if !strings.Contains(got[0].Message, `"n"`) {
+		t.Errorf("message should name the bound variable: %s", got[0].Message)
+	}
+}
+
+func TestVerifyStableBoundNotFlagged(t *testing.T) {
+	src := `int main() {
+    int n = 100;
+    for (int i = 0; i < n; i++) {
+        fwrite(&i, 4, 1, 0);
+    }
+    return 0;
+}`
+	if got := findCode(runVerify(t, src), CodeLoopBoundMutated); len(got) != 0 {
+		t.Errorf("stable bound flagged: %v", got)
+	}
+}
+
+func TestVerifyLoopCarriedIO(t *testing.T) {
+	src := `int main() {
+    int total = 0;
+    FILE *fp = fopen("log.txt", "w");
+    for (int i = 0; i < 100; i++) {
+        fwrite(&i, 4, 1, fp);
+        total = total + 1;
+    }
+    fprintf(fp, "%d", total);
+    fclose(fp);
+    return 0;
+}`
+	got := findCode(runVerify(t, src), CodeLoopCarriedIO)
+	if len(got) != 1 || got[0].Line != 8 {
+		t.Fatalf("want one TR002 at line 8, got %v", got)
+	}
+	if !strings.Contains(got[0].Message, `"total"`) {
+		t.Errorf("message should name the carried variable: %s", got[0].Message)
+	}
+}
+
+func TestVerifyLoopLocalValueNotFlagged(t *testing.T) {
+	// total is redefined after the loop, so the loop's defs never reach the
+	// final fprintf.
+	src := `int main() {
+    int total = 0;
+    FILE *fp = fopen("log.txt", "w");
+    for (int i = 0; i < 100; i++) {
+        fwrite(&i, 4, 1, fp);
+        total = total + 1;
+    }
+    total = 42;
+    fprintf(fp, "%d", total);
+    fclose(fp);
+    return 0;
+}`
+	if got := findCode(runVerify(t, src), CodeLoopCarriedIO); len(got) != 0 {
+		t.Errorf("killed definition flagged: %v", got)
+	}
+}
+
+func TestVerifyComputedPath(t *testing.T) {
+	src := `int main() {
+    char name[64];
+    build_name(name);
+    FILE *fp = fopen(name, "w");
+    FILE *fq = fopen("fixed.txt", "w");
+    fclose(fp);
+    fclose(fq);
+    return 0;
+}`
+	got := findCode(runVerify(t, src), CodeComputedPath)
+	if len(got) != 1 || got[0].Line != 4 {
+		t.Fatalf("want one TR003 at line 4 (literal path at 5 is fine), got %v", got)
+	}
+}
+
+func TestVerifyAliasedHandleEscape(t *testing.T) {
+	src := `void touch(hid_t h) {
+    H5Dread(h, 0, 0, 0, 0, 0);
+}
+
+int main() {
+    hid_t d = H5Dcreate(0, "ds", 0, 0, 0);
+    hid_t alias = d;
+    double buf[8];
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    touch(alias);
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    H5Dclose(d);
+    return 0;
+}`
+	got := findCode(runVerify(t, src), CodeAliasedHandle)
+	if len(got) != 1 || got[0].Line != 9 {
+		t.Fatalf("want one TR004 at line 9, got %v", got)
+	}
+}
+
+func TestVerifyNoEscapeNotFlagged(t *testing.T) {
+	src := `int main() {
+    hid_t d = H5Dcreate(0, "ds", 0, 0, 0);
+    double buf[8];
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    compute_flops(1.0);
+    H5Dwrite(d, 0, 0, 0, 0, buf);
+    H5Dclose(d);
+    return 0;
+}`
+	if got := findCode(runVerify(t, src), CodeAliasedHandle); len(got) != 0 {
+		t.Errorf("builtin call between writes flagged: %v", got)
+	}
+}
+
+func TestVerifyIrreducibleIOLoop(t *testing.T) {
+	src := `int main() {
+    int more = 1;
+    while (more) {
+        fwrite(&more, 4, 1, 0);
+        more = poll();
+    }
+    return 0;
+}`
+	got := findCode(runVerify(t, src), CodeIrreducibleLoop)
+	if len(got) != 1 || got[0].Line != 3 {
+		t.Fatalf("want one TR005 at line 3, got %v", got)
+	}
+}
+
+func TestVerifyDisabledTransformsSilent(t *testing.T) {
+	src := `int main() {
+    int n = 100;
+    char name[64];
+    build_name(name);
+    FILE *fp = fopen(name, "w");
+    for (int i = 0; i < n; i++) {
+        fwrite(&i, 4, 1, fp);
+        n = n - 1;
+    }
+    fclose(fp);
+    return 0;
+}`
+	got := VerifyTransforms(mustParse(t, src), TransformOptions{IsIOCall: DefaultIsIOCall})
+	if len(got) != 0 {
+		t.Errorf("no transforms enabled but got %v", got)
+	}
+}

@@ -75,6 +75,7 @@ type Stmt interface {
 // StmtBase carries identity and position shared by all statements.
 type StmtBase struct {
 	ID   int
+	Pos  int // 1-based source line of the statement's first token
 	Line int // printed line after Format; 0 before formatting
 }
 

@@ -50,10 +50,12 @@ func (p *Parser) expect(text string) error {
 	return nil
 }
 
-func (p *Parser) newBase() StmtBase {
+func (p *Parser) newBase() StmtBase { return p.newBaseAt(p.cur().Line) }
+
+func (p *Parser) newBaseAt(line int) StmtBase {
 	id := p.nextID
 	p.nextID++
-	return StmtBase{ID: id}
+	return StmtBase{ID: id, Pos: line}
 }
 
 // atType reports whether the current position starts a type.
@@ -175,10 +177,11 @@ func (p *Parser) parseFuncRest(retType, name string) (*FuncDecl, error) {
 }
 
 func (p *Parser) parseBlock() (*Block, error) {
+	ln := p.cur().Line
 	if err := p.expect("{"); err != nil {
 		return nil, err
 	}
-	b := &Block{StmtBase: p.newBase()}
+	b := &Block{StmtBase: p.newBaseAt(ln)}
 	for !p.at("}") {
 		if p.cur().Kind == TokEOF {
 			return nil, fmt.Errorf("csrc: unexpected EOF in block")
@@ -201,10 +204,11 @@ func (p *Parser) blockOf(s Stmt) *Block {
 	if b, ok := s.(*Block); ok {
 		return b
 	}
-	return &Block{StmtBase: p.newBase(), Stmts: []Stmt{s}}
+	return &Block{StmtBase: p.newBaseAt(s.Base().Pos), Stmts: []Stmt{s}}
 }
 
 func (p *Parser) parseStmt() (Stmt, error) {
+	ln := p.cur().Line
 	switch {
 	case p.at("{"):
 		return p.parseBlock()
@@ -220,7 +224,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		st := &IfStmt{StmtBase: p.newBase(), Cond: cond}
+		st := &IfStmt{StmtBase: p.newBaseAt(ln), Cond: cond}
 		thenStmt, err := p.parseStmt()
 		if err != nil {
 			return nil, err
@@ -239,7 +243,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
-		st := &ForStmt{StmtBase: p.newBase()}
+		st := &ForStmt{StmtBase: p.newBaseAt(ln)}
 		if !p.at(";") {
 			init, err := p.parseSimpleStmt()
 			if err != nil {
@@ -292,10 +296,10 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &WhileStmt{StmtBase: p.newBase(), Cond: cond, Body: p.blockOf(body)}, nil
+		return &WhileStmt{StmtBase: p.newBaseAt(ln), Cond: cond, Body: p.blockOf(body)}, nil
 	case p.at("return"):
 		p.next()
-		st := &ReturnStmt{StmtBase: p.newBase()}
+		st := &ReturnStmt{StmtBase: p.newBaseAt(ln)}
 		if !p.at(";") {
 			x, err := p.parseExpr()
 			if err != nil {
@@ -306,10 +310,10 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return st, p.expect(";")
 	case p.at("break"):
 		p.next()
-		return &BreakStmt{StmtBase: p.newBase()}, p.expect(";")
+		return &BreakStmt{StmtBase: p.newBaseAt(ln)}, p.expect(";")
 	case p.at("continue"):
 		p.next()
-		return &ContinueStmt{StmtBase: p.newBase()}, p.expect(";")
+		return &ContinueStmt{StmtBase: p.newBaseAt(ln)}, p.expect(";")
 	case p.atType():
 		st, err := p.parseDecl()
 		if err != nil {
@@ -327,6 +331,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 
 // parseDecl parses `type name ...;` (scalar, pointer, or array).
 func (p *Parser) parseDecl() (*DeclStmt, error) {
+	ln := p.cur().Line
 	typ, err := p.parseType()
 	if err != nil {
 		return nil, err
@@ -336,7 +341,7 @@ func (p *Parser) parseDecl() (*DeclStmt, error) {
 		return nil, fmt.Errorf("csrc: line %d: expected variable name, found %q", nameTok.Line, nameTok.Text)
 	}
 	p.next()
-	st := &DeclStmt{StmtBase: p.newBase(), Type: typ, Name: nameTok.Text}
+	st := &DeclStmt{StmtBase: p.newBaseAt(ln), Type: typ, Name: nameTok.Text}
 	if p.accept("[") {
 		if !p.at("]") {
 			n, err := p.parseExpr()
@@ -378,6 +383,7 @@ func (p *Parser) parseDecl() (*DeclStmt, error) {
 // parseSimpleStmt parses an assignment, inc/dec, or expression statement
 // (no trailing semicolon).
 func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	ln := p.cur().Line
 	if p.atType() {
 		// declaration in a for-init; parseDecl consumes the semicolon, so
 		// back up over it
@@ -403,10 +409,10 @@ func (p *Parser) parseSimpleStmt() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &AssignStmt{StmtBase: p.newBase(), Op: t.Text, LHS: lhs, RHS: rhs}, nil
+			return &AssignStmt{StmtBase: p.newBaseAt(ln), Op: t.Text, LHS: lhs, RHS: rhs}, nil
 		case "++", "--":
 			p.next()
-			return &AssignStmt{StmtBase: p.newBase(), Op: t.Text, LHS: lhs}, nil
+			return &AssignStmt{StmtBase: p.newBaseAt(ln), Op: t.Text, LHS: lhs}, nil
 		}
 	}
 	// plain expression statement; continue parsing binary operators that
@@ -415,7 +421,7 @@ func (p *Parser) parseSimpleStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ExprStmt{StmtBase: p.newBase(), X: full}, nil
+	return &ExprStmt{StmtBase: p.newBaseAt(ln), X: full}, nil
 }
 
 // operator precedence (C-like).

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"tunio/internal/analysis"
 	"tunio/internal/csrc"
 )
 
@@ -42,6 +43,12 @@ type Options struct {
 	// to the same dataset with no intervening read (§VI future-work
 	// transform; trades footprint fidelity for speed, off by default).
 	RemoveBlindWrites bool
+	// PreciseSlice replaces the per-line fixpoint marking with the
+	// analysis package's CFG/def-use backward slicer. The precise slice
+	// keeps a subset of what the heuristic keeps — it drops definitions
+	// that cannot reach any I/O use — while replaying the same I/O request
+	// stream. Off by default.
+	PreciseSlice bool
 }
 
 // Kernel is the discovery output.
@@ -69,6 +76,11 @@ type Kernel struct {
 	// RemovedBlindWrites counts H5Dwrite statements elided by the
 	// blind-write removal transform.
 	RemovedBlindWrites int
+	// Warnings are transform-safety diagnostics (TR codes) for the
+	// transforms enabled in Options, computed on the kernel before the
+	// rewrites run. Empty when no transform is enabled or all enabled
+	// transforms are provably safe.
+	Warnings []analysis.Diagnostic
 }
 
 // defaultIOPrefixes match I/O library calls.
@@ -145,8 +157,21 @@ func Discover(source string, opts Options) (*Kernel, error) {
 		markedFns:  map[string]bool{},
 	}
 	m.collect()
-	m.seed()
-	m.fixpoint()
+	if opts.PreciseSlice {
+		// precise path: slice on def-use chains instead of name marking
+		keep := analysis.Slice(file, analysis.SliceOptions{
+			IsIOCall:  opts.isIOCall,
+			KeepFuncs: opts.KeepFuncs,
+		})
+		for _, id := range m.order {
+			if keep[id] {
+				m.mark(m.infos[id])
+			}
+		}
+	} else {
+		m.seed()
+		m.fixpoint()
+	}
 	m.finishControlFlow()
 
 	kernel := &Kernel{
@@ -162,6 +187,14 @@ func Discover(source string, opts Options) (*Kernel, error) {
 		}
 	}
 
+	if opts.LoopReduction > 0 || opts.PathSwitch || opts.RemoveBlindWrites {
+		kernel.Warnings = analysis.VerifyTransforms(kernel.File, analysis.TransformOptions{
+			LoopReduction:     opts.LoopReduction > 0,
+			PathSwitch:        opts.PathSwitch,
+			RemoveBlindWrites: opts.RemoveBlindWrites,
+			IsIOCall:          opts.isIOCall,
+		})
+	}
 	if opts.SimulateCompute {
 		kernel.SimulatedComputeCalls = m.simulateCompute(kernel.File)
 	}
@@ -224,10 +257,14 @@ func (m *marker) collect() {
 			csrc.WalkExpr(e, func(x csrc.Expr) bool {
 				switch c := x.(type) {
 				case *csrc.CallExpr:
-					if m.file.Func(c.Fun) != nil {
+					// a call through a locally-declared name (parameter or
+					// local used as a function pointer) is not a call to the
+					// user function or I/O routine of the same name
+					shadowed := fn != "" && m.localNames[fn][c.Fun]
+					if m.file.Func(c.Fun) != nil && !shadowed {
 						info.callees = append(info.callees, c.Fun)
 					}
-					if m.opts.isIOCall(c.Fun) {
+					if m.opts.isIOCall(c.Fun) && !shadowed {
 						info.isIO = true
 					}
 					// &x arguments are outputs of the call

@@ -124,12 +124,22 @@ func removeBlindWrites(f *csrc.File) int {
 		if b == nil {
 			return
 		}
-		// find H5Dwrite statements at this block level keyed by dataset arg
+		// find H5Dwrite statements at this block level keyed by dataset
+		// arg; handle copies (alias = ds) count as the same dataset, and a
+		// handle passed to a user-defined function is a barrier (the callee
+		// may read the dataset)
 		type writeAt struct {
 			idx int
 			ds  string
 		}
 		var writes []writeAt
+		alias := map[string]string{} // copied handle -> original
+		resolve := func(v string) string {
+			for alias[v] != "" && alias[v] != v {
+				v = alias[v]
+			}
+			return v
+		}
 		reads := map[string][]int{} // dataset -> stmt indices with reads
 		for i, s := range b.Stmts {
 			es, ok := s.(*csrc.ExprStmt)
@@ -146,6 +156,16 @@ func removeBlindWrites(f *csrc.File) int {
 					visitBlock(st.Body)
 				case *csrc.WhileStmt:
 					visitBlock(st.Body)
+				case *csrc.DeclStmt:
+					if id, ok := st.Init.(*csrc.Ident); ok {
+						alias[st.Name] = resolve(id.Name)
+					}
+				case *csrc.AssignStmt:
+					if lhs, ok := st.LHS.(*csrc.Ident); ok && st.Op == "=" {
+						if rhs, ok := st.RHS.(*csrc.Ident); ok {
+							alias[lhs.Name] = resolve(rhs.Name)
+						}
+					}
 				}
 				continue
 			}
@@ -153,7 +173,17 @@ func removeBlindWrites(f *csrc.File) int {
 			if !ok || len(call.Args) == 0 {
 				continue
 			}
-			ds := rootIdent(call.Args[0])
+			if f.Func(call.Fun) != nil {
+				// handle escapes into a user function: treat every argument
+				// as a potential read of its dataset
+				for _, a := range call.Args {
+					if v := rootIdent(a); v != "" {
+						reads[resolve(v)] = append(reads[resolve(v)], i)
+					}
+				}
+				continue
+			}
+			ds := resolve(rootIdent(call.Args[0]))
 			switch call.Fun {
 			case "H5Dwrite":
 				if ds != "" {

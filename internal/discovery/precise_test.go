@@ -1,0 +1,160 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"tunio/internal/workload"
+)
+
+// lineSet converts MarkedLines (which may repeat a line when several
+// statements share it) to a set.
+func lineSet(lines []int) map[int]bool {
+	set := map[int]bool{}
+	for _, l := range lines {
+		set[l] = true
+	}
+	return set
+}
+
+// fixtureSources returns the paper-workload C sources used by the precise
+// slicer tests, shrunk like the conformance suite.
+func fixtureSources(t *testing.T, nprocs int) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range []string{"vpic", "flash", "hacc"} {
+		w, err := workload.ByName(name, nprocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch x := w.(type) {
+		case *workload.VPIC:
+			x.ParticlesPerRank = 16 << 10
+			x.ComputeFlops = 1e9
+		case *workload.FLASH:
+			x.BlocksPerRank = 8
+			x.Unknowns = 3
+		case *workload.HACC:
+			x.ParticlesPerRank = 16 << 10
+		}
+		cw, ok := w.(workload.HasCSource)
+		if !ok {
+			t.Fatalf("%s has no C source", name)
+		}
+		out[name] = cw.CSource()
+	}
+	return out
+}
+
+// TestPreciseSliceSubset asserts the def-use slicer never keeps more lines
+// than the heuristic fixpoint marker on the paper fixtures.
+func TestPreciseSliceSubset(t *testing.T) {
+	sources := fixtureSources(t, 16)
+	sources["fig5"] = fig5
+	for name, src := range sources {
+		heur, err := Discover(src, Options{})
+		if err != nil {
+			t.Fatalf("%s heuristic: %v", name, err)
+		}
+		prec, err := Discover(src, Options{PreciseSlice: true})
+		if err != nil {
+			t.Fatalf("%s precise: %v", name, err)
+		}
+		hset, pset := lineSet(heur.MarkedLines), lineSet(prec.MarkedLines)
+		for line := range pset {
+			if !hset[line] {
+				t.Errorf("%s: precise slice keeps line %d the heuristic drops", name, line)
+			}
+		}
+		if len(pset) > len(hset) {
+			t.Errorf("%s: precise keeps %d lines, heuristic %d", name, len(pset), len(hset))
+		}
+	}
+}
+
+// TestPreciseSliceDropsDeadRedefinition shows the slicer is strictly more
+// precise: a re-definition after the last I/O use cannot reach any I/O
+// call, so the slicer drops it while the name-based marker keeps it.
+func TestPreciseSliceDropsDeadRedefinition(t *testing.T) {
+	src := `int main() {
+    int n = 10;
+    FILE* f = fopen("data.bin", "w");
+    fwrite(&n, 4, 1, f);
+    n = 99;
+    fclose(f);
+    return 0;
+}`
+	heur, err := Discover(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec, err := Discover(src, Options{PreciseSlice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(k *Kernel, frag string) bool {
+		return strings.Contains(k.Source, frag)
+	}
+	if !find(heur, "n = 99") {
+		t.Fatalf("heuristic should keep the dead redefinition (it defines a marked name):\n%s", heur.Source)
+	}
+	if find(prec, "n = 99") {
+		t.Fatalf("precise slice should drop the dead redefinition:\n%s", prec.Source)
+	}
+	if len(lineSet(prec.MarkedLines)) >= len(lineSet(heur.MarkedLines)) {
+		t.Errorf("precise keeps %d lines, want fewer than heuristic's %d",
+			len(lineSet(prec.MarkedLines)), len(lineSet(heur.MarkedLines)))
+	}
+}
+
+// TestShadowedIONameNotSeeded is the regression test for the identifier
+// shadowing bug: a call through a parameter named like an I/O routine must
+// not seed marking, in either pipeline.
+func TestShadowedIONameNotSeeded(t *testing.T) {
+	src := `void notio(int fwrite) {
+    fwrite(1);
+}
+
+int main() {
+    int x = 5;
+    notio(x);
+    FILE* f = fopen("a.bin", "w");
+    fclose(f);
+    return 0;
+}`
+	for _, opts := range []Options{{}, {PreciseSlice: true}} {
+		k, err := Discover(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(k.Source, "notio") {
+			t.Errorf("PreciseSlice=%v: shadowed fwrite call kept function notio:\n%s",
+				opts.PreciseSlice, k.Source)
+		}
+		if !strings.Contains(k.Source, "fopen") || !strings.Contains(k.Source, "fclose") {
+			t.Errorf("PreciseSlice=%v: real I/O dropped:\n%s", opts.PreciseSlice, k.Source)
+		}
+	}
+}
+
+// TestPreciseSliceKeepsBareOutArgWrites: a call that fills a buffer through
+// a bare (un-&'d) argument — sprintf(name, ...) — must stay in the slice
+// when the buffer later feeds an I/O call, even though no &name appears.
+func TestPreciseSliceKeepsBareOutArgWrites(t *testing.T) {
+	src := `int main() {
+    char name[64];
+    sprintf(name, "/scratch/run%d.bin", 3);
+    FILE *f = fopen(name, "w");
+    int n = 7;
+    fwrite(&n, 4, 1, f);
+    fclose(f);
+    return 0;
+}`
+	k, err := Discover(src, Options{PreciseSlice: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(k.Source, "sprintf(name") {
+		t.Fatalf("precise slice dropped the sprintf that fills the fopen path:\n%s", k.Source)
+	}
+}

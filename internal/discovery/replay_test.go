@@ -1,0 +1,97 @@
+// The replay-backed kernel tests live in an external test package because
+// they execute kernels through cinterp, which itself depends on discovery
+// for the loop-reduction builtin.
+package discovery_test
+
+import (
+	"reflect"
+	"testing"
+
+	"tunio/internal/cinterp"
+	"tunio/internal/cluster"
+	"tunio/internal/csrc"
+	"tunio/internal/discovery"
+	"tunio/internal/params"
+	"tunio/internal/replay"
+	"tunio/internal/workload"
+)
+
+// replayFixtures returns shrunk paper-workload sources for kernel replay.
+func replayFixtures(t *testing.T, nprocs int) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range []string{"vpic", "flash", "hacc"} {
+		w, err := workload.ByName(name, nprocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch x := w.(type) {
+		case *workload.VPIC:
+			x.ParticlesPerRank = 16 << 10
+			x.ComputeFlops = 1e9
+		case *workload.FLASH:
+			x.BlocksPerRank = 8
+			x.Unknowns = 3
+		case *workload.HACC:
+			x.ParticlesPerRank = 16 << 10
+		}
+		cw, ok := w.(workload.HasCSource)
+		if !ok {
+			t.Fatalf("%s has no C source", name)
+		}
+		out[name] = cw.CSource()
+	}
+	return out
+}
+
+// runTrace executes a program on a fresh simulated stack and records its
+// I/O request stream.
+func runTrace(t *testing.T, name, source string, c *cluster.Cluster) *replay.Trace {
+	t.Helper()
+	prog, err := csrc.Parse(source)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	st, err := workload.BuildStack(c, params.DefaultAssignment(params.Space()).Settings(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := replay.NewRecorder(c.Procs())
+	detach := rec.Attach(st.Lib)
+	defer detach()
+	if _, err := cinterp.Run(prog, st.Lib); err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	return rec.Trace()
+}
+
+// TestPreciseSliceReplayIdentical asserts both the heuristic and the
+// precisely sliced kernels replay the exact I/O request stream of the
+// original applications.
+func TestPreciseSliceReplayIdentical(t *testing.T) {
+	c := cluster.CoriHaswell(2, 8)
+	c.Noise = 0
+	for name, src := range replayFixtures(t, c.Procs()) {
+		orig := runTrace(t, name+"/original", src, c)
+
+		prec, err := discovery.Discover(src, discovery.Options{PreciseSlice: true})
+		if err != nil {
+			t.Fatalf("%s precise: %v", name, err)
+		}
+		precTrace := runTrace(t, name+"/precise-kernel", prec.Source, c)
+		if !reflect.DeepEqual(orig.Events, precTrace.Events) {
+			t.Errorf("%s: precise kernel I/O stream differs from the application (%d vs %d events)",
+				name, len(precTrace.Events), len(orig.Events))
+		}
+
+		heur, err := discovery.Discover(src, discovery.Options{})
+		if err != nil {
+			t.Fatalf("%s heuristic: %v", name, err)
+		}
+		heurTrace := runTrace(t, name+"/heuristic-kernel", heur.Source, c)
+		if !reflect.DeepEqual(orig.Events, heurTrace.Events) {
+			t.Errorf("%s: heuristic kernel I/O stream differs from the application (%d vs %d events)",
+				name, len(heurTrace.Events), len(orig.Events))
+		}
+	}
+}

@@ -3,6 +3,7 @@ package discovery
 import (
 	"fmt"
 
+	"tunio/internal/analysis"
 	"tunio/internal/csrc"
 )
 
@@ -15,39 +16,43 @@ import (
 // Returns the number of loops rewritten.
 func reduceLoops(f *csrc.File, fraction float64, isIO func(string) bool) int {
 	reduced := 0
-	var visitBlock func(b *csrc.Block, insideReduced bool)
-	var visit func(s csrc.Stmt, insideReduced bool)
+	locals := analysis.LocalNames(f)
+	var visitBlock func(b *csrc.Block, fnIsIO func(string) bool, insideReduced bool)
+	var visit func(s csrc.Stmt, fnIsIO func(string) bool, insideReduced bool)
 
-	visitBlock = func(b *csrc.Block, insideReduced bool) {
+	visitBlock = func(b *csrc.Block, fnIsIO func(string) bool, insideReduced bool) {
 		if b == nil {
 			return
 		}
 		for _, s := range b.Stmts {
-			visit(s, insideReduced)
+			visit(s, fnIsIO, insideReduced)
 		}
 	}
-	visit = func(s csrc.Stmt, insideReduced bool) {
+	visit = func(s csrc.Stmt, fnIsIO func(string) bool, insideReduced bool) {
 		switch st := s.(type) {
 		case *csrc.Block:
-			visitBlock(st, insideReduced)
+			visitBlock(st, fnIsIO, insideReduced)
 		case *csrc.IfStmt:
-			visitBlock(st.Then, insideReduced)
-			visitBlock(st.Else, insideReduced)
+			visitBlock(st.Then, fnIsIO, insideReduced)
+			visitBlock(st.Else, fnIsIO, insideReduced)
 		case *csrc.WhileStmt:
-			visitBlock(st.Body, insideReduced)
+			visitBlock(st.Body, fnIsIO, insideReduced)
 		case *csrc.ForStmt:
-			if !insideReduced && blockHasIO(st.Body, isIO) {
+			if !insideReduced && blockHasIO(st.Body, fnIsIO) {
 				if rewriteBound(st, fraction) {
 					reduced++
-					visitBlock(st.Body, true)
+					visitBlock(st.Body, fnIsIO, true)
 					return
 				}
 			}
-			visitBlock(st.Body, insideReduced)
+			visitBlock(st.Body, fnIsIO, insideReduced)
 		}
 	}
 	for _, fn := range f.Funcs {
-		visitBlock(fn.Body, false)
+		loc := locals[fn.Name]
+		// calls through locally-declared names are not I/O library calls
+		fnIsIO := func(name string) bool { return isIO(name) && !loc[name] }
+		visitBlock(fn.Body, fnIsIO, false)
 	}
 	return reduced
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# ci.sh — the repository's full verification gate.
+#
+# Runs the build, vet, formatting, and test (including race) checks that
+# must pass before merging. Usage: scripts/ci.sh [package-pattern]
+# (defaults to ./...).
+set -eu
+
+cd "$(dirname "$0")/.."
+pkgs="${1:-./...}"
+
+echo "== go build =="
+go build "$pkgs"
+
+echo "== go vet =="
+go vet "$pkgs"
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test =="
+go test "$pkgs"
+
+echo "== go test -race =="
+go test -race "$pkgs"
+
+echo "ci: all checks passed"
