@@ -1,0 +1,460 @@
+// Constant folding: the ROADMAP pass that pre-evaluates kernel-build-time
+// constants so every one of the thousands of evaluations in a tuning run
+// interprets a cheaper program. The pass is semantics-preserving by
+// construction: arithmetic is folded with the interpreter's own binaryOp /
+// Value machinery, and variable uses are only substituted when the
+// analysis layer's reaching definitions prove every definition reaching
+// the use assigns the same compile-time constant.
+package cinterp
+
+import (
+	"strconv"
+	"strings"
+
+	"tunio/internal/analysis"
+	"tunio/internal/csrc"
+)
+
+// FoldReport summarizes what Fold changed.
+type FoldReport struct {
+	// FoldedExprs counts expression nodes replaced by literals (both
+	// pre-evaluated arithmetic and proven-constant variable uses).
+	FoldedExprs int
+	// ConstDefs counts definitions proven to assign a compile-time
+	// constant in the final pass.
+	ConstDefs int
+	// Passes is the number of propagation rounds run before fixpoint.
+	Passes int
+}
+
+// Fold rewrites prog in place, pre-evaluating loop bounds, buffer sizes,
+// and every other expression whose value is fixed at kernel-build time.
+// Uses of a variable are replaced by a literal only when reaching
+// definitions prove all definitions reaching that use are the same
+// constant; macro arithmetic (the lexer expands #define bodies in place)
+// and sizeof are folded unconditionally. Fold must run before the program
+// is handed to concurrent Run calls: the interpreter shares the AST across
+// ranks and evaluations and never mutates it, so folding once at
+// kernel-build time is safe, folding during execution is not.
+func Fold(prog *csrc.File) FoldReport {
+	var rep FoldReport
+	if prog == nil {
+		return rep
+	}
+	// Global initializers: literal arithmetic only (no flow analysis at
+	// file scope).
+	for _, g := range prog.Globals {
+		rep.FoldedExprs += foldStmtExprs(g, nil)
+	}
+	for _, fn := range prog.Funcs {
+		foldFunc(prog, fn, &rep)
+	}
+	return rep
+}
+
+// foldFunc runs substitute-and-fold rounds over one function until no
+// expression changes.
+func foldFunc(prog *csrc.File, fn *csrc.FuncDecl, rep *FoldReport) {
+	cfg := analysis.BuildCFG(fn)
+	rd := analysis.NewReachingDefs(cfg)
+	banned := bannedVars(prog, fn)
+
+	// The reaching-definition sets stay valid across rounds: folding
+	// replaces uses with literals but never adds, removes, or moves a
+	// definition, so only the constancy of each definition's RHS evolves.
+	nconsts := 0
+	defer func() { rep.ConstDefs += nconsts }()
+	for {
+		rep.Passes++
+		consts := constDefs(cfg, banned)
+		nconsts = len(consts)
+		changed := 0
+		sub := &substituter{rd: rd, consts: consts, banned: banned}
+		for _, b := range cfg.Blocks {
+			for _, s := range b.Stmts {
+				changed += foldStmtExprs(s, sub)
+			}
+		}
+		rep.FoldedExprs += changed
+		if changed == 0 {
+			return
+		}
+	}
+}
+
+type defKey struct {
+	stmtID int
+	name   string
+}
+
+// constDefs maps every strong, non-banned definition whose RHS is a
+// compile-time constant to its value.
+func constDefs(cfg *analysis.CFG, banned map[string]bool) map[defKey]Value {
+	consts := map[defKey]Value{}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Stmts {
+			switch st := s.(type) {
+			case *csrc.DeclStmt:
+				if banned[st.Name] || st.ArrayLen != nil || st.InitList != nil || st.Init == nil {
+					continue
+				}
+				if v, ok := constEval(st.Init); ok {
+					consts[defKey{st.ID, st.Name}] = v
+				}
+			case *csrc.AssignStmt:
+				id, plain := st.LHS.(*csrc.Ident)
+				if !plain || st.Op != "=" || banned[id.Name] {
+					continue
+				}
+				if v, ok := constEval(st.RHS); ok {
+					consts[defKey{st.Base().ID, id.Name}] = v
+				}
+			}
+		}
+	}
+	return consts
+}
+
+// bannedVars collects the names substitution must not touch in fn: global
+// variables (another function may redefine them between this function's
+// statements via a call), names declared more than once in the function
+// (the flow analyses merge same-named locals of sibling scopes), and
+// names whose address is taken (writes through the alias are invisible to
+// reaching definitions).
+func bannedVars(prog *csrc.File, fn *csrc.FuncDecl) map[string]bool {
+	banned := map[string]bool{}
+	for _, g := range prog.Globals {
+		banned[g.Name] = true
+	}
+	decls := map[string]int{}
+	for _, p := range fn.Params {
+		if p.Name != "" {
+			decls[p.Name]++
+		}
+	}
+	var walk func(s csrc.Stmt)
+	walkBlock := func(b *csrc.Block) {
+		if b == nil {
+			return
+		}
+		for _, s := range b.Stmts {
+			walk(s)
+		}
+	}
+	noteAddrTaken := func(e csrc.Expr) {
+		csrc.WalkExpr(e, func(x csrc.Expr) bool {
+			if u, ok := x.(*csrc.UnaryExpr); ok && u.Op == "&" {
+				if id, ok := u.X.(*csrc.Ident); ok {
+					banned[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	walk = func(s csrc.Stmt) {
+		if s == nil {
+			return
+		}
+		for _, e := range stmtExprs(s) {
+			noteAddrTaken(e)
+		}
+		switch st := s.(type) {
+		case *csrc.DeclStmt:
+			decls[st.Name]++
+		case *csrc.Block:
+			walkBlock(st)
+		case *csrc.IfStmt:
+			walkBlock(st.Then)
+			walkBlock(st.Else)
+		case *csrc.ForStmt:
+			walk(st.Init)
+			walk(st.Post)
+			walkBlock(st.Body)
+		case *csrc.WhileStmt:
+			walkBlock(st.Body)
+		}
+	}
+	walkBlock(fn.Body)
+	for name, n := range decls {
+		if n > 1 {
+			banned[name] = true
+		}
+	}
+	return banned
+}
+
+// stmtExprs returns a statement's own expression operands (headers:
+// condition only, matching the CFG decomposition).
+func stmtExprs(s csrc.Stmt) []csrc.Expr {
+	switch st := s.(type) {
+	case *csrc.DeclStmt:
+		out := []csrc.Expr{st.Init, st.ArrayLen}
+		for _, e := range st.InitList {
+			out = append(out, e)
+		}
+		return out
+	case *csrc.AssignStmt:
+		return []csrc.Expr{st.LHS, st.RHS}
+	case *csrc.ExprStmt:
+		return []csrc.Expr{st.X}
+	case *csrc.IfStmt:
+		return []csrc.Expr{st.Cond}
+	case *csrc.ForStmt:
+		return []csrc.Expr{st.Cond}
+	case *csrc.WhileStmt:
+		return []csrc.Expr{st.Cond}
+	case *csrc.ReturnStmt:
+		return []csrc.Expr{st.X}
+	}
+	return nil
+}
+
+// substituter replaces variable uses proven constant at one statement.
+// nil means "literal arithmetic only" (no flow facts available).
+type substituter struct {
+	rd     *analysis.ReachingDefs
+	consts map[defKey]Value
+	banned map[string]bool
+	stmt   csrc.Stmt
+}
+
+// valueAt returns the constant value of name at the current statement, if
+// every reaching definition assigns that same constant.
+func (s *substituter) valueAt(name string) (Value, bool) {
+	if s == nil || s.banned[name] {
+		return Value{}, false
+	}
+	defs := s.rd.Reaching(s.stmt, name)
+	if len(defs) == 0 {
+		// No local definition reaches: the value is a parameter, a global,
+		// or undefined — unknown at build time either way.
+		return Value{}, false
+	}
+	first, ok := s.consts[defKey{defs[0].Base().ID, name}]
+	if !ok {
+		return Value{}, false
+	}
+	for _, d := range defs[1:] {
+		v, ok := s.consts[defKey{d.Base().ID, name}]
+		if !ok || !sameValue(first, v) {
+			return Value{}, false
+		}
+	}
+	return first, true
+}
+
+func sameValue(a, b Value) bool {
+	return a.Kind == b.Kind && a.I == b.I && a.F == b.F
+}
+
+// foldStmtExprs rewrites one statement's expression operands in place and
+// returns the number of nodes replaced by literals.
+func foldStmtExprs(s csrc.Stmt, sub *substituter) int {
+	if sub != nil {
+		sub.stmt = s
+	}
+	changed := 0
+	fold := func(e csrc.Expr) csrc.Expr {
+		out, n := foldExpr(e, sub)
+		changed += n
+		return out
+	}
+	switch st := s.(type) {
+	case *csrc.DeclStmt:
+		st.Init = fold(st.Init)
+		st.ArrayLen = fold(st.ArrayLen)
+		for i, e := range st.InitList {
+			st.InitList[i] = fold(e)
+		}
+	case *csrc.AssignStmt:
+		st.LHS = foldLvalue(st.LHS, fold)
+		st.RHS = fold(st.RHS)
+	case *csrc.ExprStmt:
+		st.X = fold(st.X)
+	case *csrc.IfStmt:
+		st.Cond = fold(st.Cond)
+	case *csrc.ForStmt:
+		st.Cond = fold(st.Cond)
+	case *csrc.WhileStmt:
+		st.Cond = fold(st.Cond)
+	case *csrc.ReturnStmt:
+		st.X = fold(st.X)
+	}
+	return changed
+}
+
+// foldLvalue folds inside an assignable location without touching the
+// location itself: subscripts fold, the root variable must stay a name.
+func foldLvalue(e csrc.Expr, fold func(csrc.Expr) csrc.Expr) csrc.Expr {
+	switch x := e.(type) {
+	case *csrc.IndexExpr:
+		x.X = foldLvalue(x.X, fold)
+		x.Index = fold(x.Index)
+	case *csrc.UnaryExpr:
+		if x.Op == "*" {
+			x.X = foldLvalue(x.X, fold)
+		}
+	}
+	return e
+}
+
+// foldExpr rewrites an expression tree bottom-up: children first, then the
+// node itself if it now evaluates to a constant. Returns the (possibly
+// replaced) node and the number of nodes replaced by literals.
+func foldExpr(e csrc.Expr, sub *substituter) (csrc.Expr, int) {
+	if e == nil {
+		return nil, 0
+	}
+	changed := 0
+	recur := func(c csrc.Expr) csrc.Expr {
+		out, n := foldExpr(c, sub)
+		changed += n
+		return out
+	}
+	switch x := e.(type) {
+	case *csrc.Ident:
+		if v, ok := sub.valueAt(x.Name); ok {
+			return litExpr(v), changed + 1
+		}
+		return e, changed
+	case *csrc.BinaryExpr:
+		x.X = recur(x.X)
+		x.Y = recur(x.Y)
+	case *csrc.UnaryExpr:
+		if x.Op == "&" || x.Op == "*" {
+			// addresses and dereferences are runtime objects, and folding
+			// below & would detach the operand from its variable
+			return e, changed
+		}
+		x.X = recur(x.X)
+	case *csrc.CallExpr:
+		for i, a := range x.Args {
+			x.Args[i] = recur(a)
+		}
+		return e, changed // calls never fold
+	case *csrc.IndexExpr:
+		// keep the base (an array object, never constant); fold subscripts
+		x.Index = recur(x.Index)
+		return e, changed
+	case *csrc.CastExpr:
+		x.X = recur(x.X)
+	default:
+		return e, changed // literals, sizeof handled below via constEval
+	}
+	if isLiteral(e) {
+		return e, changed
+	}
+	if v, ok := constEval(e); ok {
+		return litExpr(v), changed + 1
+	}
+	return e, changed
+}
+
+// isLiteral reports whether rewriting e to a literal would be a no-op.
+func isLiteral(e csrc.Expr) bool {
+	switch e.(type) {
+	case *csrc.NumberLit, *csrc.StringLit, *csrc.CharLit:
+		return true
+	}
+	return false
+}
+
+// constEval evaluates an expression that depends on no runtime state,
+// mirroring the interpreter's eval/binaryOp exactly so folding can never
+// change a program's result. The bool reports whether e is such an
+// expression.
+func constEval(e csrc.Expr) (Value, bool) {
+	switch x := e.(type) {
+	case *csrc.NumberLit:
+		if x.IsFloat {
+			return FloatVal(x.Float), true
+		}
+		return IntVal(x.Int), true
+	case *csrc.CharLit:
+		return IntVal(int64(x.Value)), true
+	case *csrc.SizeofExpr:
+		return IntVal(typeSize(x.Type)), true
+	case *csrc.CastExpr:
+		if len(x.Type) > 0 && x.Type[len(x.Type)-1] == '*' {
+			return Value{}, false // pointer casts stay runtime values
+		}
+		v, ok := constEval(x.X)
+		if !ok {
+			return Value{}, false
+		}
+		if isFloatType(x.Type) {
+			return FloatVal(v.AsFloat()), true
+		}
+		return IntVal(v.AsInt()), true
+	case *csrc.UnaryExpr:
+		v, ok := constEval(x.X)
+		if !ok {
+			return Value{}, false
+		}
+		switch x.Op {
+		case "-":
+			if v.Kind == KFloat {
+				return FloatVal(-v.F), true
+			}
+			return IntVal(-v.AsInt()), true
+		case "!":
+			if v.Truthy() {
+				return IntVal(0), true
+			}
+			return IntVal(1), true
+		case "~":
+			return IntVal(^v.AsInt()), true
+		}
+		return Value{}, false
+	case *csrc.BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			l, ok := constEval(x.X)
+			if !ok {
+				return Value{}, false
+			}
+			// short-circuit exactly as the interpreter does: a decided
+			// left side folds without looking at the right (which the
+			// interpreter would skip too)
+			if x.Op == "&&" && !l.Truthy() {
+				return IntVal(0), true
+			}
+			if x.Op == "||" && l.Truthy() {
+				return IntVal(1), true
+			}
+			r, ok := constEval(x.Y)
+			if !ok {
+				return Value{}, false
+			}
+			if r.Truthy() {
+				return IntVal(1), true
+			}
+			return IntVal(0), true
+		}
+		l, ok := constEval(x.X)
+		if !ok {
+			return Value{}, false
+		}
+		r, ok := constEval(x.Y)
+		if !ok {
+			return Value{}, false
+		}
+		v, err := binaryOp(x.Op, l, r)
+		if err != nil {
+			return Value{}, false // e.g. division by zero: fail at runtime, not fold time
+		}
+		return v, true
+	}
+	return Value{}, false
+}
+
+// litExpr renders a constant Value as a literal AST node.
+func litExpr(v Value) csrc.Expr {
+	if v.Kind == KFloat {
+		text := strconv.FormatFloat(v.F, 'g', -1, 64)
+		if !strings.ContainsAny(text, ".eE") {
+			text += ".0" // keep the printed form a float literal
+		}
+		return &csrc.NumberLit{Text: text, IsFloat: true, Float: v.F}
+	}
+	return &csrc.NumberLit{Text: strconv.FormatInt(v.I, 10), Int: v.I}
+}

@@ -1,0 +1,168 @@
+package cinterp
+
+import (
+	"strings"
+	"testing"
+
+	"tunio/internal/csrc"
+)
+
+func mustParse(t *testing.T, src string) *csrc.File {
+	t.Helper()
+	f, err := csrc.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFoldMacroArithmeticAndSizeof(t *testing.T) {
+	f := mustParse(t, `
+#define PARTICLES 1024
+#define SEGMENTS 4
+#define PERSEG (PARTICLES / SEGMENTS)
+int main() {
+    long n = PARTICLES * sizeof(double);
+    long per = PERSEG;
+    return 0;
+}
+`)
+	rep := Fold(f)
+	if rep.FoldedExprs == 0 {
+		t.Fatal("nothing folded")
+	}
+	src := csrc.Format(f)
+	if !strings.Contains(src, "8192") {
+		t.Errorf("PARTICLES * sizeof(double) not folded to 8192:\n%s", src)
+	}
+	if !strings.Contains(src, "256") {
+		t.Errorf("PERSEG not folded to 256:\n%s", src)
+	}
+}
+
+func TestFoldPropagatesConstLocals(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+    int n = 100;
+    int m = n * 2;
+    int i = 0;
+    int total = 0;
+    for (i = 0; i < m; i++) {
+        total = total + n;
+    }
+    return total;
+}
+`)
+	Fold(f)
+	src := csrc.Format(f)
+	if !strings.Contains(src, "i < 200") {
+		t.Errorf("loop bound m not folded to 200:\n%s", src)
+	}
+	if !strings.Contains(src, "total + 100") {
+		t.Errorf("n use in loop body not folded to 100:\n%s", src)
+	}
+}
+
+func TestFoldLeavesMutatedAndUnknownAlone(t *testing.T) {
+	f := mustParse(t, `
+int compute(int k) {
+    return k + 1;
+}
+int main(int argc, char** argv) {
+    int n = 5;
+    int i = 0;
+    for (i = 0; i < 3; i++) {
+        n = n + 1;
+    }
+    int after = n;
+    int fromParam = argc + 1;
+    int fromCall = compute(7);
+    return after + fromParam + fromCall;
+}
+`)
+	Fold(f)
+	src := csrc.Format(f)
+	for _, keep := range []string{"after = n", "argc + 1", "compute(7)", "k + 1"} {
+		if !strings.Contains(src, keep) {
+			t.Errorf("%q was folded but must not be:\n%s", keep, src)
+		}
+	}
+}
+
+func TestFoldRespectsAddressTakenAndGlobals(t *testing.T) {
+	f := mustParse(t, `
+int shared = 3;
+void bump() {
+    shared = shared + 1;
+}
+int main() {
+    int n = 10;
+    MPI_Comm_rank(MPI_COMM_WORLD, &n);
+    int use = n;
+    shared = 7;
+    bump();
+    int g = shared;
+    return use + g;
+}
+`)
+	Fold(f)
+	src := csrc.Format(f)
+	if !strings.Contains(src, "use = n") {
+		t.Errorf("address-taken n was folded:\n%s", src)
+	}
+	if !strings.Contains(src, "g = shared") {
+		t.Errorf("global shared was folded despite interleaved call:\n%s", src)
+	}
+}
+
+func TestFoldShadowedNamesNotSubstituted(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+    int n = 4;
+    if (1) {
+        int n = 8;
+        printf("%d", n);
+    }
+    int out = n;
+    return out;
+}
+`)
+	Fold(f)
+	src := csrc.Format(f)
+	if !strings.Contains(src, "out = n") {
+		t.Errorf("shadowed n was substituted (unsound):\n%s", src)
+	}
+}
+
+func TestFoldShortCircuitMirrorsInterpreter(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+    int a = 0 && unknown_call();
+    int b = 1 || unknown_call();
+    int c = 3 / 1;
+    int d = 7 % 2;
+    double e = 1.0 / 4.0;
+    return 0;
+}
+`)
+	Fold(f)
+	src := csrc.Format(f)
+	for _, want := range []string{"a = 0", "b = 1", "c = 3", "d = 1", "e = 0.25"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q after fold:\n%s", want, src)
+		}
+	}
+}
+
+func TestFoldKeepsDivisionByZeroForRuntime(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+    int x = 1 / 0;
+    return x;
+}
+`)
+	Fold(f)
+	if !strings.Contains(csrc.Format(f), "1 / 0") {
+		t.Fatal("division by zero folded away; it must fail at runtime")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tunio/internal/metrics"
@@ -50,8 +51,20 @@ func (s *Session) Rounds() int { return s.rounds }
 // The round's curve is appended to the session history with time carried
 // over; Best/BestPerf update if the round improved on them.
 func (s *Session) Refine(eval tuner.Evaluator, popSize, maxIterations int, seed int64) (*tuner.Result, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("core: nil evaluator")
+	}
+	return s.RefineBatch(context.Background(), tuner.AdaptEvaluator(eval), popSize, maxIterations, seed)
+}
+
+// RefineBatch is Refine over the batch evaluation engine: the round's
+// generations are handed to eval as batches (fan out with tuner.Pool,
+// memoize with tuner.Memo), and ctx cancels the round between
+// evaluations. Refine is equivalent to RefineBatch with a background
+// context and the serial adapter.
+func (s *Session) RefineBatch(ctx context.Context, eval tuner.BatchEvaluator, popSize, maxIterations int, seed int64) (*tuner.Result, error) {
 	s.Agent.Reset()
-	res, err := tuner.Run(tuner.Config{
+	res, err := tuner.RunBatch(ctx, tuner.Config{
 		Space:         s.Space,
 		PopSize:       popSize,
 		MaxIterations: maxIterations,

@@ -2,7 +2,7 @@ package hdf5
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"tunio/internal/ioreq"
 )
@@ -195,7 +195,7 @@ func (d *Dataset) slabExtents(sl Slab) []ioreq.Extent {
 	segsPerGroup := (g.NSegments + groups - 1) / groups
 	reqsPerGroup := (effSegs + groups - 1) / groups
 
-	var out []ioreq.Extent
+	out := make([]ioreq.Extent, 0, groups)
 	var cur int64
 	var groupStart int64 = -1
 	var groupBytes int64
@@ -318,7 +318,7 @@ func (d *Dataset) transferChunked(slabs []Slab, isWrite bool) (float64, error) {
 	for linear := range work {
 		order = append(order, linear)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order)
 
 	var readExtents, dataExtents []ioreq.Extent
 	var metaTouches int64

@@ -153,15 +153,14 @@ func (s Space) ForEachSegment(sl Slab, fn func(offset, size int64) bool) {
 	}
 	outer := tail - 1 // dims [0, outer) are iterated
 	idx := make([]int64, outer)
+	// Offsets advance incrementally with the odometer: stepping dim i adds
+	// st[i]; wrapping it back subtracts the (Count[i]-1)*st[i] it had
+	// accumulated. Keeps each segment O(1) instead of O(dims).
+	off := int64(0)
+	for i := range s.Dims {
+		off += sl.Start[i] * st[i]
+	}
 	for {
-		off := int64(0)
-		for i := 0; i < outer; i++ {
-			off += (sl.Start[i] + idx[i]) * st[i]
-		}
-		off += sl.Start[outer] * st[outer]
-		for j := outer + 1; j < len(s.Dims); j++ {
-			off += sl.Start[j] * st[j]
-		}
 		if !fn(off*s.Elem, g.SegBytes) {
 			return
 		}
@@ -170,8 +169,10 @@ func (s Space) ForEachSegment(sl Slab, fn func(offset, size int64) bool) {
 		for i := outer - 1; i >= 0 && carry; i-- {
 			idx[i]++
 			if idx[i] < sl.Count[i] {
+				off += st[i]
 				carry = false
 			} else {
+				off -= (sl.Count[i] - 1) * st[i]
 				idx[i] = 0
 			}
 		}

@@ -83,6 +83,67 @@ type FS struct {
 	// nextOST round-robins the starting OST of new files, like Lustre's
 	// allocator spreading files across the pool.
 	nextOST int
+
+	// Scratch state reused across split/phase calls. Access to one FS is
+	// serialized (the simulation advances a single clock), so phases never
+	// run concurrently; concurrent tuning evaluations each build their own
+	// stack and FS. Epoch stamps make resets O(touched) instead of O(OSTs).
+	scratch phaseScratch
+}
+
+// phaseScratch holds the dense accumulators split and phase reuse call to
+// call, replacing the per-call maps that dominated the evaluation hot path.
+// Epoch stamps mark which entries belong to the current extent/phase, so a
+// "reset" is a counter increment rather than a clear.
+type phaseScratch struct {
+	pieces []ostPiece // split output buffer
+
+	// Per-extent slot accumulation in split, indexed by stripe%stripeCount.
+	// slotOrder keeps first-touch order: the last touched slot absorbs the
+	// payload rounding remainder, exactly as the map-based version did.
+	slotEpoch []uint32
+	slotSpan  []int64
+	slotEdges []int64
+	slotOrder []int32
+	slotGen   uint32
+
+	// Per-phase OST load accumulation, indexed by OST.
+	loadEpoch []uint32
+	loadBytes []int64
+	loadRMW   []int64
+	loadReqs  []int64
+	loadClis  []int64 // distinct clients touching the OST
+	loadOrder []int32
+
+	// Distinct-client stamps, indexed by OST*cliStride+rank.
+	cliEpoch  []uint32
+	cliStride int
+
+	// Per-phase per-node byte totals, indexed by node.
+	nodeEpoch []uint32
+	nodeBytes []int64
+	nodeOrder []int32
+
+	phaseGen uint32
+}
+
+// grow ensures the epoch/value slice pair covers index n.
+func growStamps(epoch *[]uint32, n int) {
+	if n < len(*epoch) {
+		return
+	}
+	ne := make([]uint32, n+1)
+	copy(ne, *epoch)
+	*epoch = ne
+}
+
+func growInt64(vals *[]int64, n int) {
+	if n < len(*vals) {
+		return
+	}
+	nv := make([]int64, n+1)
+	copy(nv, *vals)
+	*vals = nv
 }
 
 // New builds a file system.
@@ -197,37 +258,36 @@ func (f *File) split(e ioreq.Extent) []ostPiece {
 	lastStripe := (end - 1) / ss
 	nStripes := lastStripe - firstStripe + 1
 
-	ostOf := func(stripe int64) int {
-		return (f.firstOST + int(stripe%sc)) % f.fs.cfg.OSTs
-	}
-
-	// Collect geometric footprint per OST slot first.
-	type slotLoad struct {
-		ost      int
-		span     int64
-		rmwEdges int64
-	}
-	var slots []slotLoad
-	bySlot := map[int]int{} // ost -> index into slots
+	// Collect geometric footprint per OST slot first. Slots are keyed by
+	// stripe%stripeCount (equivalent to keying by OST: the slot->OST map is
+	// injective) into epoch-stamped scratch arrays, in first-touch order.
+	sp := &f.fs.scratch
+	sp.slotGen++
+	gen := sp.slotGen
+	growStamps(&sp.slotEpoch, int(sc)-1)
+	growInt64(&sp.slotSpan, int(sc)-1)
+	growInt64(&sp.slotEdges, int(sc)-1)
+	sp.slotOrder = sp.slotOrder[:0]
 	add := func(stripe, span, edges int64) {
-		ost := ostOf(stripe)
-		idx, ok := bySlot[ost]
-		if !ok {
-			idx = len(slots)
-			bySlot[ost] = idx
-			slots = append(slots, slotLoad{ost: ost})
+		slot := int(stripe % sc)
+		if sp.slotEpoch[slot] != gen {
+			sp.slotEpoch[slot] = gen
+			sp.slotSpan[slot] = 0
+			sp.slotEdges[slot] = 0
+			sp.slotOrder = append(sp.slotOrder, int32(slot))
 		}
-		slots[idx].span += span
-		slots[idx].rmwEdges += edges
+		sp.slotSpan[slot] += span
+		sp.slotEdges[slot] += edges
 	}
 
 	if nStripes <= 2*sc {
-		// exact per-stripe walk for small spans
+		// exact per-stripe walk for small spans; the stripe index and
+		// in-stripe position advance incrementally (no div/mod per stripe)
 		off := e.Offset
 		remaining := spanLen
+		stripeIdx := firstStripe
+		avail := ss - off%ss
 		for remaining > 0 {
-			stripeIdx := off / ss
-			avail := ss - off%ss
 			n := remaining
 			if n > avail {
 				n = avail
@@ -242,6 +302,8 @@ func (f *File) split(e ioreq.Extent) []ostPiece {
 			add(stripeIdx, n, edges)
 			off += n
 			remaining -= n
+			stripeIdx++
+			avail = ss
 		}
 	} else {
 		// aggregated path: head/tail partial stripes plus evenly
@@ -291,13 +353,15 @@ func (f *File) split(e ioreq.Extent) []ostPiece {
 	}
 
 	// Convert footprint to payload: spread Size bytes and Count requests
-	// proportionally, conserving totals exactly.
-	out := make([]ostPiece, 0, len(slots))
+	// proportionally, conserving totals exactly (the last touched slot
+	// absorbs the rounding remainder).
+	out := sp.pieces[:0]
 	var assignedBytes, assignedReqs int64
-	for i, sl := range slots {
-		size := sl.span * e.Size / spanLen
-		reqs := sl.span * e.Requests() / spanLen
-		if i == len(slots)-1 {
+	for i, slot := range sp.slotOrder {
+		span := sp.slotSpan[slot]
+		size := span * e.Size / spanLen
+		reqs := span * e.Requests() / spanLen
+		if i == len(sp.slotOrder)-1 {
 			size = e.Size - assignedBytes
 			reqs = e.Requests() - assignedReqs
 		}
@@ -310,9 +374,14 @@ func (f *File) split(e ioreq.Extent) []ostPiece {
 			reqs = 1
 		}
 		out = append(out, ostPiece{
-			ost: sl.ost, size: size, requests: reqs, rank: e.Rank, rmwEdges: sl.rmwEdges,
+			ost:      (f.firstOST + int(slot)) % f.fs.cfg.OSTs,
+			size:     size,
+			requests: reqs,
+			rank:     e.Rank,
+			rmwEdges: sp.slotEdges[slot],
 		})
 	}
+	sp.pieces = out
 	return out
 }
 
@@ -321,15 +390,31 @@ func (f *File) phase(extents []ioreq.Extent, isWrite bool) (float64, error) {
 	if len(extents) == 0 {
 		return 0, nil
 	}
-	type ostLoad struct {
-		bytes    int64
-		rmwBytes int64
-		requests int64
-		clients  map[int]struct{}
-	}
-	loads := make(map[int]*ostLoad)
-	perNodeBytes := make(map[int]int64)
+	sp := &f.fs.scratch
+	sp.phaseGen++
+	gen := sp.phaseGen
+	sp.loadOrder = sp.loadOrder[:0]
+	sp.nodeOrder = sp.nodeOrder[:0]
 	procsPerNode := f.fs.sim.Cluster.ProcsPerNode
+	nOSTs := f.fs.cfg.OSTs
+	growStamps(&sp.loadEpoch, nOSTs-1)
+	growInt64(&sp.loadBytes, nOSTs-1)
+	growInt64(&sp.loadRMW, nOSTs-1)
+	growInt64(&sp.loadReqs, nOSTs-1)
+	growInt64(&sp.loadClis, nOSTs-1)
+
+	// Distinct-client stamps: one row of ranks per OST. Rank values are
+	// bounded by the cluster size in practice; grow defensively otherwise.
+	maxRank := 0
+	for _, e := range extents {
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	if sp.cliStride < maxRank+1 || len(sp.cliEpoch) < nOSTs*sp.cliStride {
+		sp.cliStride = maxRank + 1
+		sp.cliEpoch = make([]uint32, nOSTs*sp.cliStride)
+	}
 
 	var appBytes int64
 	for _, e := range extents {
@@ -337,16 +422,31 @@ func (f *File) phase(extents []ioreq.Extent, isWrite bool) (float64, error) {
 			return 0, err
 		}
 		appBytes += e.Size
-		perNodeBytes[e.Rank/procsPerNode] += e.Size
+		node := e.Rank / procsPerNode
+		growStamps(&sp.nodeEpoch, node)
+		growInt64(&sp.nodeBytes, node)
+		if sp.nodeEpoch[node] != gen {
+			sp.nodeEpoch[node] = gen
+			sp.nodeBytes[node] = 0
+			sp.nodeOrder = append(sp.nodeOrder, int32(node))
+		}
+		sp.nodeBytes[node] += e.Size
 		for _, p := range f.split(e) {
-			l := loads[p.ost]
-			if l == nil {
-				l = &ostLoad{clients: make(map[int]struct{})}
-				loads[p.ost] = l
+			o := p.ost
+			if sp.loadEpoch[o] != gen {
+				sp.loadEpoch[o] = gen
+				sp.loadBytes[o] = 0
+				sp.loadRMW[o] = 0
+				sp.loadReqs[o] = 0
+				sp.loadClis[o] = 0
+				sp.loadOrder = append(sp.loadOrder, int32(o))
 			}
-			l.bytes += p.size
-			l.requests += p.requests
-			l.clients[p.rank] = struct{}{}
+			sp.loadBytes[o] += p.size
+			sp.loadReqs[o] += p.requests
+			if cs := o*sp.cliStride + p.rank; sp.cliEpoch[cs] != gen {
+				sp.cliEpoch[cs] = gen
+				sp.loadClis[o]++
+			}
 			if isWrite {
 				subSize := p.size / p.requests
 				if subSize == 0 {
@@ -358,7 +458,7 @@ func (f *File) phase(extents []ioreq.Extent, isWrite bool) (float64, error) {
 				if p.requests > 1 && subSize%f.fs.cfg.RMWUnit != 0 {
 					edges += p.requests / 2
 				}
-				l.rmwBytes += edges * min64(f.fs.cfg.RMWUnit, subSize)
+				sp.loadRMW[o] += edges * min64(f.fs.cfg.RMWUnit, subSize)
 			}
 		}
 		if isWrite && e.End() > f.size {
@@ -370,24 +470,24 @@ func (f *File) phase(extents []ioreq.Extent, isWrite bool) (float64, error) {
 	cfg := f.fs.cfg
 	ostTime := 0.0
 	var totalRequests, totalRMW int64
-	for _, l := range loads {
-		contention := 1 + cfg.ContentionFactor*float64(len(l.clients)-1)
+	for _, o := range sp.loadOrder {
+		contention := 1 + cfg.ContentionFactor*float64(sp.loadClis[o]-1)
 		if contention > cfg.MaxContention {
 			contention = cfg.MaxContention
 		}
-		t := float64(l.requests)*cfg.OSTLatency +
-			float64(l.bytes+l.rmwBytes)/cfg.OSTBandwidth*contention
+		t := float64(sp.loadReqs[o])*cfg.OSTLatency +
+			float64(sp.loadBytes[o]+sp.loadRMW[o])/cfg.OSTBandwidth*contention
 		if t > ostTime {
 			ostTime = t
 		}
-		totalRequests += l.requests
-		totalRMW += l.rmwBytes
+		totalRequests += sp.loadReqs[o]
+		totalRMW += sp.loadRMW[o]
 	}
 
 	// Client NIC side: slowest node's injection time.
 	nicTime := 0.0
-	for _, b := range perNodeBytes {
-		t := float64(b) / f.fs.sim.Cluster.NICBandwidth
+	for _, n := range sp.nodeOrder {
+		t := float64(sp.nodeBytes[n]) / f.fs.sim.Cluster.NICBandwidth
 		if t > nicTime {
 			nicTime = t
 		}

@@ -12,8 +12,9 @@
 package mpiio
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"tunio/internal/cluster"
 	"tunio/internal/ioreq"
@@ -212,9 +213,14 @@ func (f *File) transferAll(extents []ioreq.Extent, isWrite bool) (float64, error
 // tiled by other ranks' payloads, so the union is the data the aggregators
 // move.
 func coverageRuns(extents []ioreq.Extent) []ioreq.Extent {
-	sorted := make([]ioreq.Extent, len(extents))
-	copy(sorted, extents)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Offset < sorted[j].Offset })
+	sorted := extents
+	if !offsetSorted(extents) {
+		sorted = make([]ioreq.Extent, len(extents))
+		copy(sorted, extents)
+		slices.SortFunc(sorted, func(a, b ioreq.Extent) int {
+			return cmp.Compare(a.Offset, b.Offset)
+		})
+	}
 	var runs []ioreq.Extent
 	for _, e := range sorted {
 		end := e.Offset + e.SpanLen()
@@ -227,6 +233,18 @@ func coverageRuns(extents []ioreq.Extent) []ioreq.Extent {
 		runs = append(runs, ioreq.Extent{Offset: e.Offset, Size: e.SpanLen()})
 	}
 	return runs
+}
+
+// offsetSorted reports whether extents are already in non-decreasing
+// offset order — the common case, since collective phases gather extents
+// in rank order over rank-partitioned files.
+func offsetSorted(extents []ioreq.Extent) bool {
+	for i := 1; i < len(extents); i++ {
+		if extents[i].Offset < extents[i-1].Offset {
+			return false
+		}
+	}
+	return true
 }
 
 // sliceRuns maps the coverage-space byte range [lo, hi) back to file-space

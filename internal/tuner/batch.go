@@ -1,0 +1,274 @@
+package tuner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"tunio/internal/params"
+)
+
+// EvalResult is one configuration's measured objective: the perf achieved
+// and the (simulated) minutes the measurement consumed.
+type EvalResult struct {
+	Perf        float64
+	CostMinutes float64
+}
+
+// BatchEvaluator measures a whole generation at once. Implementations may
+// evaluate the batch concurrently, but the returned slice is indexed by
+// batch position: results[i] belongs to batch[i], so the pipeline can
+// commit them in population order regardless of completion order.
+//
+// Honoring ctx is the implementation's responsibility: a canceled context
+// should surface as ctx.Err() (workers in flight may finish first).
+type BatchEvaluator interface {
+	EvaluateBatch(ctx context.Context, batch []*params.Assignment, iteration int) ([]EvalResult, error)
+}
+
+// BatchError wraps a single configuration's evaluation failure with its
+// batch position, so RunBatch can report which population member failed
+// exactly as the serial pipeline did.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("eval %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying evaluation error.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// AdaptEvaluator lifts a per-configuration Evaluator into a BatchEvaluator
+// that evaluates strictly serially, in batch order. It preserves legacy
+// evaluator semantics exactly (stateful evaluators see the same call
+// sequence the serial pipeline produced), which makes it the back-compat
+// shim behind Run. Evaluators that already implement BatchEvaluator are
+// returned unchanged.
+func AdaptEvaluator(e Evaluator) BatchEvaluator {
+	if be, ok := e.(BatchEvaluator); ok {
+		return be
+	}
+	return &serialBatch{eval: e}
+}
+
+type serialBatch struct{ eval Evaluator }
+
+func (s *serialBatch) EvaluateBatch(ctx context.Context, batch []*params.Assignment, iteration int) ([]EvalResult, error) {
+	out := make([]EvalResult, len(batch))
+	for i, a := range batch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		perf, cost, err := s.eval.Evaluate(a, iteration)
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		out[i] = EvalResult{Perf: perf, CostMinutes: cost}
+	}
+	return out, nil
+}
+
+// Pool evaluates a batch on a bounded worker pool. Eval must be safe for
+// concurrent use and deterministic in (assignment, iteration) — i.e. it
+// must not derive behavior from call order (see SeedFor). Under that
+// contract the pool's results are bit-identical to a serial pass for any
+// worker count: results are committed by batch index, and on multiple
+// failures the error of the smallest batch index wins, matching where a
+// serial pass would have stopped.
+type Pool struct {
+	Eval Evaluator
+	// Workers bounds concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// EvaluateBatch implements BatchEvaluator.
+func (p *Pool) EvaluateBatch(ctx context.Context, batch []*params.Assignment, iteration int) ([]EvalResult, error) {
+	n := len(batch)
+	out := make([]EvalResult, n)
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return (&serialBatch{eval: p.Eval}).EvaluateBatch(ctx, batch, iteration)
+	}
+
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				perf, cost, err := p.Eval.Evaluate(batch[i], iteration)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i] = EvalResult{Perf: perf, CostMinutes: cost}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// Memo adds a genome-keyed memoization cache in front of a BatchEvaluator:
+// a configuration measured once is never re-simulated — later requests
+// (within a batch or across generations) reuse the measured (perf, cost).
+// The first occurrence in batch order defines the cached value, so curves
+// stay bit-identical between serial and parallel execution.
+//
+// Safe for concurrent use, though the tuning pipeline calls it from one
+// goroutine; concurrency lives below it, in the wrapped evaluator.
+type Memo struct {
+	Inner BatchEvaluator
+
+	mu     sync.Mutex
+	cache  map[string]EvalResult
+	hits   int
+	misses int
+}
+
+// NewMemo wraps inner with an empty cache.
+func NewMemo(inner BatchEvaluator) *Memo {
+	return &Memo{Inner: inner, cache: map[string]EvalResult{}}
+}
+
+// genomeKey renders an assignment's genome as a compact cache key.
+func genomeKey(a *params.Assignment) string {
+	g := a.Genome()
+	b := make([]byte, 0, 3*len(g))
+	for i, v := range g {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = strconv.AppendInt(b, int64(v), 10)
+	}
+	return string(b)
+}
+
+// EvaluateBatch implements BatchEvaluator: cached positions are served
+// from the cache; the remaining distinct genomes are forwarded to the
+// inner evaluator as one (possibly concurrent) sub-batch.
+func (m *Memo) EvaluateBatch(ctx context.Context, batch []*params.Assignment, iteration int) ([]EvalResult, error) {
+	out := make([]EvalResult, len(batch))
+	keys := make([]string, len(batch))
+
+	// Partition against the cache state at batch start: position i is a
+	// miss only if its genome is neither cached nor requested earlier in
+	// this batch. This partition is a pure function of (cache, batch), so
+	// it is identical however the inner evaluator schedules the work.
+	var sub []*params.Assignment
+	var subIdx []int // sub position -> first batch position with that genome
+	firstAt := map[string]int{}
+	m.mu.Lock()
+	for i, a := range batch {
+		k := genomeKey(a)
+		keys[i] = k
+		if _, cached := m.cache[k]; cached {
+			continue
+		}
+		if _, queued := firstAt[k]; queued {
+			continue
+		}
+		firstAt[k] = i
+		sub = append(sub, a)
+		subIdx = append(subIdx, i)
+	}
+	m.hits += len(batch) - len(sub)
+	m.misses += len(sub)
+	m.mu.Unlock()
+
+	if len(sub) > 0 {
+		res, err := m.Inner.EvaluateBatch(ctx, sub, iteration)
+		if err != nil {
+			if be, ok := err.(*BatchError); ok {
+				// surface the position the caller asked about
+				return nil, &BatchError{Index: subIdx[be.Index], Err: be.Err}
+			}
+			return nil, err
+		}
+		m.mu.Lock()
+		for j, r := range res {
+			m.cache[keys[subIdx[j]]] = r
+		}
+		m.mu.Unlock()
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range batch {
+		r, ok := m.cache[keys[i]]
+		if !ok {
+			return nil, fmt.Errorf("tuner: memo: genome %s missing after evaluation", keys[i])
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// CacheStats reports how many batch positions were served from the cache
+// versus simulated. RunBatch copies these onto the Result.
+func (m *Memo) CacheStats() (hits, misses int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// cacheStatser lets RunBatch surface memoization counters without
+// depending on a concrete wrapper type.
+type cacheStatser interface {
+	CacheStats() (hits, misses int)
+}
+
+// SeedFor derives the deterministic per-evaluation RNG seed the batch
+// evaluators use: an FNV-1a hash of (iteration, genome) mixed into the
+// base seed. Unlike a shared call counter, the derivation is independent
+// of evaluation order, which is what lets a generation run on any number
+// of workers and still reproduce the serial measurement stream.
+func SeedFor(base int64, iteration int, a *params.Assignment) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(iteration))
+	for _, g := range a.Genome() {
+		mix(uint64(g))
+	}
+	return base + int64(h&0x7fffffffffffffff)
+}

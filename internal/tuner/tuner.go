@@ -5,9 +5,18 @@
 // the RL stopper and RL subset picker from internal/core attached; the
 // baselines are the same pipeline with heuristic or no stopping and
 // all-parameter tuning.
+//
+// Evaluation runs through the batch engine: each generation is handed to a
+// BatchEvaluator as one batch, which may fan it out across a worker pool
+// (Pool) and memoize repeated genomes (Memo) while the pipeline commits
+// results in population order — so tuning curves are bit-identical for any
+// worker count. Run adapts the legacy per-configuration Evaluator onto the
+// same engine.
 package tuner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -52,6 +61,12 @@ type Config struct {
 	Stopper Stopper      // nil = never stop early
 	Picker  SubsetPicker // nil = tune all parameters every iteration (HSTuner)
 
+	// Progress, when non-nil, is invoked after every completed iteration
+	// (including the iteration-0 baseline) with the curve point just
+	// recorded. It runs on the pipeline goroutine: long callbacks stall
+	// tuning.
+	Progress func(metrics.Point)
+
 	// StartFrom seeds the pipeline at a known configuration instead of the
 	// library defaults: iteration 0 evaluates it (defining the RoTI
 	// baseline) and the population initializes around it. Interactive
@@ -79,19 +94,45 @@ type Result struct {
 	StoppedEarly bool
 	StoppedAt    int // iteration index after which the pipeline stopped
 	Evaluations  int
+	// CacheHits and CacheMisses report memoization traffic when the
+	// evaluator memoizes (both zero otherwise): hits are evaluations
+	// served from the cache instead of the simulated stack; misses were
+	// actually simulated. Hits + misses = Evaluations for a memoizing
+	// evaluator.
+	CacheHits   int
+	CacheMisses int
 	// SubsetTrace records the active mask per iteration (nil entries when
 	// no picker is attached).
 	SubsetTrace [][]bool
 }
 
 // Run executes the pipeline until the stopper fires or MaxIterations is
-// reached.
+// reached, evaluating each generation serially in population order. It is
+// the legacy entry point, equivalent to RunBatch with a background context
+// and the serial evaluator adapter.
 func Run(cfg Config, eval Evaluator) (*Result, error) {
+	if eval == nil {
+		return nil, fmt.Errorf("tuner: nil evaluator")
+	}
+	return RunBatch(context.Background(), cfg, AdaptEvaluator(eval))
+}
+
+// RunBatch executes the pipeline until the stopper fires or MaxIterations
+// is reached, handing each generation's population to eval as one batch.
+// Results are committed in population order, so the tuning curve depends
+// only on (cfg, eval determinism), not on how the batch evaluator
+// schedules the work. Canceling ctx aborts the run between (or, for
+// cancellation-aware evaluators, within) evaluations; the returned error
+// then wraps ctx.Err().
+func RunBatch(ctx context.Context, cfg Config, eval BatchEvaluator) (*Result, error) {
 	if len(cfg.Space) == 0 {
 		return nil, fmt.Errorf("tuner: empty parameter space")
 	}
 	if eval == nil {
 		return nil, fmt.Errorf("tuner: nil evaluator")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	cfg.fillDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -134,64 +175,91 @@ func Run(cfg Config, eval Evaluator) (*Result, error) {
 		mask[i] = true
 	}
 
+	record := func(p metrics.Point) {
+		res.Curve = append(res.Curve, p)
+		if cfg.Progress != nil {
+			cfg.Progress(p)
+		}
+	}
+
 	// Iteration 0 measures the default configuration: perf_achieved(0) in
 	// the paper's RoTI definition is the untuned performance, and its
 	// evaluation time is part of the tuning investment.
-	perf0, cost0, err := eval.Evaluate(start, 0)
+	base, err := eval.EvaluateBatch(ctx, []*params.Assignment{start}, 0)
 	if err != nil {
+		var be *BatchError
+		if errors.As(err, &be) {
+			err = be.Err
+		}
 		return nil, fmt.Errorf("tuner: baseline evaluation: %w", err)
 	}
 	res.Evaluations++
-	cumMinutes += cost0 + cfg.Overhead
-	bestPerf := perf0
+	cumMinutes += base[0].CostMinutes + cfg.Overhead
+	bestPerf := base[0].Perf
 	bestGenome := defGenome.Clone()
-	res.Curve = append(res.Curve, metrics.Point{
-		Iteration: 0, TimeMinutes: cumMinutes, IterPerf: perf0, BestPerf: perf0,
+	record(metrics.Point{
+		Iteration: 0, TimeMinutes: cumMinutes, IterPerf: base[0].Perf, BestPerf: base[0].Perf,
 	})
 	res.SubsetTrace = append(res.SubsetTrace, nil)
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tuner: iteration %d: %w", iter, err)
+		}
 		if cfg.Picker != nil {
 			next := cfg.Picker.NextSubset(bestPerf, mask)
-			if len(next) == len(mask) {
-				mask = next
-				pin := bestGenome
-				if pin == nil {
-					pin = defGenome // before any evaluation, pin to defaults
-				}
-				if err := engine.SetActiveGenes(mask, pin); err != nil {
-					return nil, fmt.Errorf("tuner: iteration %d: %w", iter, err)
-				}
+			if len(next) != len(mask) {
+				return nil, fmt.Errorf("tuner: iteration %d: picker returned a mask of length %d for a %d-parameter space (NextSubset must return one entry per parameter)",
+					iter, len(next), len(mask))
+			}
+			mask = next
+			pin := bestGenome
+			if pin == nil {
+				pin = defGenome // before any evaluation, pin to defaults
+			}
+			if err := engine.SetActiveGenes(mask, pin); err != nil {
+				return nil, fmt.Errorf("tuner: iteration %d: %w", iter, err)
 			}
 			res.SubsetTrace = append(res.SubsetTrace, append([]bool(nil), mask...))
 		} else {
 			res.SubsetTrace = append(res.SubsetTrace, nil)
 		}
 
-		iterBest := 0.0
 		pop := engine.Population()
+		batch := make([]*params.Assignment, len(pop))
 		for i := range pop {
 			a, err := params.FromGenome(cfg.Space, pop[i].Genome)
 			if err != nil {
 				return nil, err
 			}
-			perf, cost, err := eval.Evaluate(a, iter)
-			if err != nil {
-				return nil, fmt.Errorf("tuner: iteration %d eval %d: %w", iter, i, err)
+			batch[i] = a
+		}
+		results, err := eval.EvaluateBatch(ctx, batch, iter)
+		if err != nil {
+			var be *BatchError
+			if errors.As(err, &be) {
+				return nil, fmt.Errorf("tuner: iteration %d eval %d: %w", iter, be.Index, be.Err)
 			}
+			return nil, fmt.Errorf("tuner: iteration %d: %w", iter, err)
+		}
+
+		// Commit in population order: fitness, time accounting, and
+		// best-so-far tie-breaking replicate the serial pipeline exactly.
+		iterBest := 0.0
+		for i, r := range results {
 			res.Evaluations++
-			cumMinutes += cost + cfg.Overhead
-			engine.SetFitness(i, perf)
-			if perf > iterBest {
-				iterBest = perf
+			cumMinutes += r.CostMinutes + cfg.Overhead
+			engine.SetFitness(i, r.Perf)
+			if r.Perf > iterBest {
+				iterBest = r.Perf
 			}
-			if perf > bestPerf {
-				bestPerf = perf
+			if r.Perf > bestPerf {
+				bestPerf = r.Perf
 				bestGenome = ga.Genome(pop[i].Genome).Clone()
 			}
 		}
 
-		res.Curve = append(res.Curve, metrics.Point{
+		record(metrics.Point{
 			Iteration:   iter,
 			TimeMinutes: cumMinutes,
 			IterPerf:    iterBest,
@@ -211,6 +279,9 @@ func Run(cfg Config, eval Evaluator) (*Result, error) {
 		}
 	}
 
+	if cs, ok := eval.(cacheStatser); ok {
+		res.CacheHits, res.CacheMisses = cs.CacheStats()
+	}
 	best, err := params.FromGenome(cfg.Space, bestGenome)
 	if err != nil {
 		return nil, err

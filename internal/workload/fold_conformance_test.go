@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"tunio/internal/cinterp"
+	"tunio/internal/csrc"
+)
+
+// TestFoldPreservesSimulatedIO asserts the constant-folding pass is
+// semantics-preserving on every real kernel: the folded program, run on an
+// identically-seeded stack, produces the same simulated I/O footprint and
+// the same simulated clock as the original — folding may only cut the
+// interpreter's wall-clock, never change what the program does.
+func TestFoldPreservesSimulatedIO(t *testing.T) {
+	c := testCluster()
+	settings := defaultSettings()
+
+	for _, name := range []string{"vpic", "hacc", "flash", "bdcats", "macsio"} {
+		w, err := ByName(name, c.Procs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cw, ok := w.(HasCSource)
+		if !ok {
+			t.Fatalf("%s has no C source form", name)
+		}
+		src := cw.CSource()
+
+		run := func(prog *csrc.File) (*Stack, error) {
+			st, err := BuildStack(c, settings, 1234)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := cinterp.Run(prog, st.Lib); err != nil {
+				return nil, err
+			}
+			return st, nil
+		}
+
+		plain, err := csrc.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		stPlain, err := run(plain)
+		if err != nil {
+			t.Fatalf("%s unfolded: %v", name, err)
+		}
+
+		folded, err := csrc.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep := cinterp.Fold(folded)
+		// FLASH's kernel expands every macro to a bare literal, leaving no
+		// constant arithmetic; every other kernel carries foldable
+		// expressions (macro arithmetic, sizeof, derived locals).
+		if rep.FoldedExprs == 0 && name != "flash" {
+			t.Errorf("%s: fold pass found nothing to fold in the kernel", name)
+		}
+		stFolded, err := run(folded)
+		if err != nil {
+			t.Fatalf("%s folded: %v", name, err)
+		}
+
+		a, b := *stPlain.Sim.Report.App(), *stFolded.Sim.Report.App()
+		if a != b {
+			t.Errorf("%s: folded app I/O footprint diverged:\n  unfolded %+v\n  folded   %+v", name, a, b)
+		}
+		if stPlain.Sim.Now() != stFolded.Sim.Now() {
+			t.Errorf("%s: folded simulated clock %v != unfolded %v",
+				name, stFolded.Sim.Now(), stPlain.Sim.Now())
+		}
+	}
+}

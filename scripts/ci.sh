@@ -26,6 +26,11 @@ fi
 echo "== go test =="
 go test "$pkgs"
 
+echo "== go test -race (evaluation engine) =="
+# The batch evaluation engine's concurrency tests always run under the
+# race detector, even when a narrower package pattern was requested.
+go test -race -run 'TestPool|TestMemo|TestSeedFor|TestRunBatch|TestTune(ParallelDeterminism|Cancellation|Memoization)' ./internal/tuner .
+
 echo "== go test -race =="
 go test -race "$pkgs"
 

@@ -32,6 +32,7 @@
 package tunio
 
 import (
+	"context"
 	"fmt"
 
 	"tunio/internal/cluster"
@@ -109,6 +110,20 @@ type TuneOptions struct {
 	Reps int
 	// Seed drives the whole run.
 	Seed int64
+
+	// Context, when non-nil, cancels the run between evaluations; Tune
+	// then returns an error wrapping ctx.Err(). Nil means no deadline.
+	Context context.Context
+	// Parallelism selects the evaluation engine. 0 keeps the legacy
+	// serial evaluator (per-call seed counter, no memoization) so
+	// existing runs reproduce bit-for-bit. Any value >= 1 switches to
+	// the batch engine: deterministic (iteration, genome)-derived seeds,
+	// a worker pool of that many workers (1 = serial batch), and genome
+	// memoization — curves are identical for every Parallelism >= 1.
+	Parallelism int
+	// Progress, when non-nil, receives each curve point as the
+	// corresponding iteration completes.
+	Progress func(metrics.Point)
 }
 
 // Tune runs a tuning pipeline over the simulated I/O stack and returns
@@ -131,6 +146,7 @@ func Tune(opts TuneOptions) (*Result, error) {
 		PopSize:       opts.PopSize,
 		MaxIterations: opts.MaxIterations,
 		Seed:          opts.Seed,
+		Progress:      opts.Progress,
 	}
 	switch {
 	case opts.Agent != nil && opts.Heuristic:
@@ -142,6 +158,16 @@ func Tune(opts TuneOptions) (*Result, error) {
 	case opts.Heuristic:
 		cfg.Stopper = tuner.NewHeuristicStopper()
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Parallelism >= 1 {
+		// Batch engine: order-independent seeds, worker pool, memoization.
+		seeded := &tuner.SeededWorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
+		batch := tuner.NewMemo(&tuner.Pool{Eval: seeded, Workers: opts.Parallelism})
+		return tuner.RunBatch(ctx, cfg, batch)
+	}
 	eval := &tuner.WorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
-	return tuner.Run(cfg, eval)
+	return tuner.RunBatch(ctx, cfg, tuner.AdaptEvaluator(eval))
 }
