@@ -6,7 +6,13 @@
 // Usage:
 //
 //	iodiscover [-loop-reduction 0.01] [-path-switch] [-keep fn1,fn2]
-//	           [-precise] [-marked] [-o kernel.c] input.c
+//	           [-heuristic] [-marked] [-o kernel.c] input.c
+//
+// The exit code is 0 on success, 1 when the transform verifier reports an
+// error-severity diagnostic (the kernel is still written, but at least one
+// requested transform was refused as unsound), and 2 on usage or parse
+// errors. Warning-severity diagnostics go to stderr and do not affect the
+// exit code.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"tunio/internal/analysis"
 	"tunio/internal/discovery"
 )
 
@@ -24,7 +31,8 @@ func main() {
 	keep := flag.String("keep", "", "comma-separated function names to keep whole (manual keep regions)")
 	simCompute := flag.Bool("simulate-compute", false, "replace removed compute with synthetic compute_flops calls")
 	blindWrites := flag.Bool("remove-blind-writes", false, "drop writes overwritten before any read")
-	precise := flag.Bool("precise", false, "slice on CFG def-use chains instead of per-line fixpoint marking")
+	heuristic := flag.Bool("heuristic", false, "slice with per-line fixpoint marking instead of CFG def-use chains (the pre-promotion default)")
+	precise := flag.Bool("precise", false, "deprecated: precise slicing is the default; overrides -heuristic")
 	showMarked := flag.Bool("marked", false, "print the marking report instead of the kernel")
 	out := flag.String("o", "", "write the kernel to this file (default stdout)")
 	flag.Parse()
@@ -44,6 +52,7 @@ func main() {
 		PathSwitch:        *pathSwitch,
 		SimulateCompute:   *simCompute,
 		RemoveBlindWrites: *blindWrites,
+		Heuristic:         *heuristic,
 		PreciseSlice:      *precise,
 	}
 	if *keep != "" {
@@ -88,10 +97,14 @@ func main() {
 	}
 	if *out == "" {
 		fmt.Print(kernel.Source)
-		return
-	}
-	if err := os.WriteFile(*out, []byte(kernel.Source), 0o644); err != nil {
+	} else if err := os.WriteFile(*out, []byte(kernel.Source), 0o644); err != nil {
 		fatal(err)
+	}
+	// An error-severity diagnostic means a requested transform was refused
+	// as unsound: the kernel above is still valid (the transform was not
+	// applied), but scripted pipelines must notice.
+	if analysis.MaxSeverity(kernel.Warnings) >= analysis.SevError {
+		os.Exit(1)
 	}
 }
 

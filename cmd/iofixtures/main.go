@@ -1,0 +1,52 @@
+// Command iofixtures writes the built-in paper workloads' C sources to a
+// directory, one <name>.c per workload. The fixtures feed script-level
+// checks (scripts/ci.sh runs iolint over them) and give external tools a
+// stable corpus of realistic HPC I/O programs without invoking the Go API.
+//
+// Usage:
+//
+//	iofixtures [-dir fixtures] [-procs 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tunio/internal/workload"
+)
+
+// names lists every built-in workload with a C source, in the paper's
+// presentation order (§IV, Table III).
+var names = []string{"vpic", "hacc", "flash", "macsio", "bdcats"}
+
+func main() {
+	dir := flag.String("dir", "fixtures", "directory to write <name>.c files into (created if missing)")
+	procs := flag.Int("procs", 16, "MPI process count baked into the sources")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range names {
+		w, err := workload.ByName(name, *procs)
+		if err != nil {
+			fatal(err)
+		}
+		cw, ok := w.(workload.HasCSource)
+		if !ok {
+			fatal(fmt.Errorf("%s has no C source", name))
+		}
+		path := filepath.Join(*dir, name+".c")
+		if err := os.WriteFile(path, []byte(cw.CSource()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iofixtures:", err)
+	os.Exit(1)
+}

@@ -8,7 +8,10 @@
 //	iolint [-json] [-verify] input.c ...
 //
 // The exit code is 0 when no diagnostic reaches error severity, 1 when at
-// least one does, and 2 on usage or parse errors.
+// least one does, and 2 on usage or parse errors. In human-readable mode,
+// error-severity findings print on stdout while warnings and notes go to
+// stderr, so piping stdout captures exactly the findings that fail the
+// run. JSON mode emits every diagnostic on stdout.
 package main
 
 import (
@@ -74,7 +77,11 @@ func main() {
 		}
 	} else {
 		for _, d := range all {
-			fmt.Printf("%s: %s\n", d.File, d.Diagnostic)
+			out := os.Stdout
+			if d.Severity < analysis.SevError {
+				out = os.Stderr
+			}
+			fmt.Fprintf(out, "%s: %s\n", d.File, d.Diagnostic)
 		}
 		if len(all) == 0 {
 			fmt.Println("iolint: no findings")

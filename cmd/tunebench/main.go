@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 5, 8, 8c, 9, 10, 11, 12, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 5, 8, 8c, 9, 10, 11, 12, slice, all")
 	scaleName := flag.String("scale", "smoke", "experiment scale: smoke or paper")
 	seed := flag.Int64("seed", 7, "experiment seed")
 	flag.Parse()
@@ -52,6 +52,7 @@ func main() {
 			return r, err
 		}},
 		{"12", func() (fmt.Stringer, error) { r, err := experiments.Fig12(cfg, fig11Cache); return r, err }},
+		{"slice", func() (fmt.Stringer, error) { r, err := experiments.SliceBench(cfg); return r, err }},
 	}
 
 	ran := 0

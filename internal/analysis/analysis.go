@@ -79,14 +79,16 @@ const (
 	// CodeUnclosedHandle flags a file handle that is opened but never closed.
 	CodeUnclosedHandle = "IO006"
 
-	// CodeLoopBoundMutated warns that loop reduction would rewrite a bound
-	// whose variables the loop body mutates.
+	// CodeLoopBoundMutated reports (at error severity) that loop reduction
+	// would rewrite a bound whose variables the loop body mutates — applying
+	// the transform there is unsound, so CLIs exit non-zero on it.
 	CodeLoopBoundMutated = "TR001"
 	// CodeLoopCarriedIO warns that a reduced loop feeds values into I/O
 	// arguments after the loop (reduction changes those values).
 	CodeLoopCarriedIO = "TR002"
 	// CodeComputedPath warns that path switching cannot rewrite a non-literal
-	// path argument.
+	// path argument that string-constant propagation failed to resolve to a
+	// proven constant (resolved arguments are switched and not flagged).
 	CodeComputedPath = "TR003"
 	// CodeAliasedHandle warns that blind-write removal saw a dataset handle
 	// escape to a user function between candidate writes.

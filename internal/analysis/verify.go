@@ -201,7 +201,9 @@ func (v *verifier) checkLoopReduction() {
 			if cond, ok := loop.Cond.(*csrc.BinaryExpr); ok {
 				for _, bv := range csrc.ExprVars(cond.Y) {
 					if bodyDefs[bv] {
-						v.add(CodeLoopBoundMutated, SevWarning, loop.Pos, fn.Name,
+						// an error, not a warning: applying loop reduction
+						// here rewrites a moving bound, which is unsound
+						v.add(CodeLoopBoundMutated, SevError, loop.Pos, fn.Name,
 							"loop bound variable %q is mutated in the loop body; reduced iteration count is unpredictable", bv)
 					}
 				}
@@ -237,8 +239,12 @@ func (v *verifier) checkLoopReduction() {
 	}
 }
 
-// checkPathSwitch flags path arguments the switch cannot rewrite.
+// checkPathSwitch flags path arguments the switch cannot rewrite. A
+// computed argument is only a problem when string-constant propagation
+// cannot resolve it to a proven constant — resolved paths are rewritten
+// by the switch just like literals.
 func (v *verifier) checkPathSwitch() {
+	prop := NewStringProp(v.file)
 	for _, fn := range v.file.Funcs {
 		walkFuncStmts(fn, func(st csrc.Stmt) bool {
 			var exprs []csrc.Expr
@@ -261,8 +267,10 @@ func (v *verifier) checkPathSwitch() {
 						return true
 					}
 					if _, lit := c.Args[idx].(*csrc.StringLit); !lit {
-						v.add(CodeComputedPath, SevWarning, st.Base().Pos, fn.Name,
-							"%s path argument is computed, not a string literal; path switching cannot redirect it to /dev/shm", c.Fun)
+						if _, ok := prop.Resolve(st, c.Args[idx]); !ok {
+							v.add(CodeComputedPath, SevWarning, st.Base().Pos, fn.Name,
+								"%s path argument is computed and does not propagate to a constant; path switching cannot redirect it to /dev/shm", c.Fun)
+						}
 					}
 					return true
 				})

@@ -315,6 +315,60 @@ func (in *interp) builtin(x *csrc.CallExpr, sc *scope) (Value, error) {
 		}
 		return IntVal(0), nil
 
+	case "sprintf", "snprintf":
+		// the destination is written, not read: resolve it as an lvalue
+		fmtIdx := 1
+		if x.Fun == "snprintf" {
+			fmtIdx = 2
+		}
+		if len(x.Args) <= fmtIdx {
+			return Value{}, fmt.Errorf("cinterp: %s needs (dst, ..., format, args)", x.Fun)
+		}
+		dst, err := in.lvalue(x.Args[0], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		rest := make([]Value, 0, len(x.Args)-1)
+		for _, a := range x.Args[1:] {
+			v, err := in.eval(a, sc)
+			if err != nil {
+				return Value{}, err
+			}
+			rest = append(rest, v)
+		}
+		format := rest[fmtIdx-1]
+		if format.Kind != KString {
+			return Value{}, fmt.Errorf("cinterp: %s format must be a string", x.Fun)
+		}
+		s, err := formatC(format.S, rest[fmtIdx:])
+		if err != nil {
+			return Value{}, fmt.Errorf("cinterp: %s: %w", x.Fun, err)
+		}
+		*dst = StrVal(s)
+		return IntVal(int64(len(s))), nil
+
+	case "strcpy", "strcat":
+		if len(x.Args) < 2 {
+			return Value{}, fmt.Errorf("cinterp: %s needs (dst, src)", x.Fun)
+		}
+		dst, err := in.lvalue(x.Args[0], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		src, err := in.eval(x.Args[1], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if src.Kind != KString {
+			return Value{}, fmt.Errorf("cinterp: %s source must be a string", x.Fun)
+		}
+		s := src.S
+		if x.Fun == "strcat" && dst.Kind == KString {
+			s = dst.S + s
+		}
+		*dst = StrVal(s)
+		return *dst, nil
+
 	case "dsname":
 		// helper for SPMD sources that create datasets in loops: derive a
 		// deterministic dataset name from an integer id
@@ -371,6 +425,56 @@ func (in *interp) builtin(x *csrc.CallExpr, sc *scope) (Value, error) {
 }
 
 func opOf(fun string) string { return fun }
+
+// formatC renders a C format string over interpreter values. Supported:
+// %s, %d/%i/%u/%x (with optional l/z length modifiers), %f/%g, and %%.
+func formatC(format string, args []Value) (string, error) {
+	var b []byte
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		ch := format[i]
+		if ch != '%' {
+			b = append(b, ch)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return "", fmt.Errorf("format ends with %%")
+		}
+		if format[i] == '%' {
+			b = append(b, '%')
+			continue
+		}
+		for i < len(format) && (format[i] == 'l' || format[i] == 'z') {
+			i++
+		}
+		if i >= len(format) {
+			return "", fmt.Errorf("format ends inside a verb")
+		}
+		if ai >= len(args) {
+			return "", fmt.Errorf("missing argument for %%%c", format[i])
+		}
+		switch format[i] {
+		case 's':
+			if args[ai].Kind != KString {
+				return "", fmt.Errorf("%%s argument is not a string")
+			}
+			b = append(b, args[ai].S...)
+		case 'd', 'i', 'u':
+			b = append(b, fmt.Sprintf("%d", args[ai].AsInt())...)
+		case 'x':
+			b = append(b, fmt.Sprintf("%x", args[ai].AsInt())...)
+		case 'f':
+			b = append(b, fmt.Sprintf("%f", args[ai].AsFloat())...)
+		case 'g':
+			b = append(b, fmt.Sprintf("%g", args[ai].AsFloat())...)
+		default:
+			return "", fmt.Errorf("unsupported format verb %%%c", format[i])
+		}
+		ai++
+	}
+	return string(b), nil
+}
 
 // intSlice extracts n ints from an array value.
 func intSlice(v Value, n int) ([]int64, error) {

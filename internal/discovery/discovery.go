@@ -43,12 +43,25 @@ type Options struct {
 	// to the same dataset with no intervening read (§VI future-work
 	// transform; trades footprint fidelity for speed, off by default).
 	RemoveBlindWrites bool
-	// PreciseSlice replaces the per-line fixpoint marking with the
-	// analysis package's CFG/def-use backward slicer. The precise slice
-	// keeps a subset of what the heuristic keeps — it drops definitions
-	// that cannot reach any I/O use — while replaying the same I/O request
-	// stream. Off by default.
+	// Heuristic reverts marking to the paper's per-line fixpoint loop
+	// (§III-B) instead of the default CFG/def-use backward slicer. The
+	// heuristic keeps a superset of the precise slice — definitions that
+	// cannot reach any I/O use survive — while replaying the same I/O
+	// request stream.
+	Heuristic bool
+	// PreciseSlice forces the analysis package's CFG/def-use backward
+	// slicer.
+	//
+	// Deprecated: precise slicing is the default; the field remains for
+	// callers predating the flip and overrides Heuristic when both are
+	// set. Use Heuristic to opt into the fixpoint marking loop.
 	PreciseSlice bool
+}
+
+// usePrecise resolves the slicer choice: precise by default, heuristic on
+// request, with the legacy PreciseSlice field forcing precise.
+func (o Options) usePrecise() bool {
+	return !o.Heuristic || o.PreciseSlice
 }
 
 // Kernel is the discovery output.
@@ -81,10 +94,35 @@ type Kernel struct {
 	// rewrites run. Empty when no transform is enabled or all enabled
 	// transforms are provably safe.
 	Warnings []analysis.Diagnostic
+	// ResolvedPaths records computed path arguments that string-constant
+	// propagation proved constant, letting path switching rewrite call
+	// sites that would otherwise be blocked with TR003. Populated only
+	// when PathSwitch is enabled.
+	ResolvedPaths []ResolvedPath
+}
+
+// ResolvedPath is one computed path argument the path-switch transform
+// rewrote via string-constant propagation.
+type ResolvedPath struct {
+	// Call is the opening I/O call (H5Fcreate, fopen, ...).
+	Call string
+	// Line is the call statement's source line in the kernel.
+	Line int
+	// Path is the proven constant value of the computed argument.
+	Path string
+	// Switched is the /dev/shm path substituted at the call site.
+	Switched string
 }
 
 // defaultIOPrefixes match I/O library calls.
 var defaultIOPrefixes = []string{"H5", "MPI_File", "fopen", "fclose", "fwrite", "fread", "fprintf", "fseek"}
+
+// stringWriters are libc calls that write a string into their first
+// argument; the marker records that buffer as a definition so path
+// construction chains survive the fixpoint marking.
+var stringWriters = map[string]bool{
+	"sprintf": true, "snprintf": true, "strcpy": true, "strcat": true,
+}
 
 // alwaysKeep are runtime calls any kernel needs to execute.
 var alwaysKeep = map[string]bool{
@@ -157,7 +195,7 @@ func Discover(source string, opts Options) (*Kernel, error) {
 		markedFns:  map[string]bool{},
 	}
 	m.collect()
-	if opts.PreciseSlice {
+	if opts.usePrecise() {
 		// precise path: slice on def-use chains instead of name marking
 		keep := analysis.Slice(file, analysis.SliceOptions{
 			IsIOCall:  opts.isIOCall,
@@ -208,7 +246,7 @@ func Discover(source string, opts Options) (*Kernel, error) {
 		}
 	}
 	if opts.PathSwitch {
-		switchPaths(kernel.File)
+		kernel.ResolvedPaths = switchPaths(kernel.File)
 	}
 	kernel.Source = csrc.Format(kernel.File)
 	return kernel, nil
@@ -273,6 +311,12 @@ func (m *marker) collect() {
 							if id, ok := u.X.(*csrc.Ident); ok {
 								info.defs = append(info.defs, qualify(fn, id.Name))
 							}
+						}
+					}
+					// sprintf-family calls write their destination buffer
+					if stringWriters[c.Fun] && !shadowed && len(c.Args) > 0 {
+						if base := rootIdent(c.Args[0]); base != "" {
+							info.defs = append(info.defs, qualify(fn, base))
 						}
 					}
 				}

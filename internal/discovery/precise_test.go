@@ -52,11 +52,11 @@ func TestPreciseSliceSubset(t *testing.T) {
 	sources := fixtureSources(t, 16)
 	sources["fig5"] = fig5
 	for name, src := range sources {
-		heur, err := Discover(src, Options{})
+		heur, err := Discover(src, Options{Heuristic: true})
 		if err != nil {
 			t.Fatalf("%s heuristic: %v", name, err)
 		}
-		prec, err := Discover(src, Options{PreciseSlice: true})
+		prec, err := Discover(src, Options{})
 		if err != nil {
 			t.Fatalf("%s precise: %v", name, err)
 		}
@@ -84,11 +84,11 @@ func TestPreciseSliceDropsDeadRedefinition(t *testing.T) {
     fclose(f);
     return 0;
 }`
-	heur, err := Discover(src, Options{})
+	heur, err := Discover(src, Options{Heuristic: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	prec, err := Discover(src, Options{PreciseSlice: true})
+	prec, err := Discover(src, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,17 +122,17 @@ int main() {
     fclose(f);
     return 0;
 }`
-	for _, opts := range []Options{{}, {PreciseSlice: true}} {
+	for _, opts := range []Options{{Heuristic: true}, {}} {
 		k, err := Discover(src, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if strings.Contains(k.Source, "notio") {
-			t.Errorf("PreciseSlice=%v: shadowed fwrite call kept function notio:\n%s",
-				opts.PreciseSlice, k.Source)
+			t.Errorf("Heuristic=%v: shadowed fwrite call kept function notio:\n%s",
+				opts.Heuristic, k.Source)
 		}
 		if !strings.Contains(k.Source, "fopen") || !strings.Contains(k.Source, "fclose") {
-			t.Errorf("PreciseSlice=%v: real I/O dropped:\n%s", opts.PreciseSlice, k.Source)
+			t.Errorf("Heuristic=%v: real I/O dropped:\n%s", opts.Heuristic, k.Source)
 		}
 	}
 }
@@ -150,7 +150,7 @@ func TestPreciseSliceKeepsBareOutArgWrites(t *testing.T) {
     fclose(f);
     return 0;
 }`
-	k, err := Discover(src, Options{PreciseSlice: true})
+	k, err := Discover(src, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

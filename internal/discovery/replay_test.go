@@ -5,8 +5,10 @@ package discovery_test
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
+	"tunio/internal/analysis"
 	"tunio/internal/cinterp"
 	"tunio/internal/cluster"
 	"tunio/internal/csrc"
@@ -74,7 +76,7 @@ func TestPreciseSliceReplayIdentical(t *testing.T) {
 	for name, src := range replayFixtures(t, c.Procs()) {
 		orig := runTrace(t, name+"/original", src, c)
 
-		prec, err := discovery.Discover(src, discovery.Options{PreciseSlice: true})
+		prec, err := discovery.Discover(src, discovery.Options{})
 		if err != nil {
 			t.Fatalf("%s precise: %v", name, err)
 		}
@@ -84,7 +86,7 @@ func TestPreciseSliceReplayIdentical(t *testing.T) {
 				name, len(precTrace.Events), len(orig.Events))
 		}
 
-		heur, err := discovery.Discover(src, discovery.Options{})
+		heur, err := discovery.Discover(src, discovery.Options{Heuristic: true})
 		if err != nil {
 			t.Fatalf("%s heuristic: %v", name, err)
 		}
@@ -92,6 +94,61 @@ func TestPreciseSliceReplayIdentical(t *testing.T) {
 		if !reflect.DeepEqual(orig.Events, heurTrace.Events) {
 			t.Errorf("%s: heuristic kernel I/O stream differs from the application (%d vs %d events)",
 				name, len(heurTrace.Events), len(orig.Events))
+		}
+	}
+}
+
+// stripMemPrefix normalizes a switched trace: file paths lose their
+// /dev/shm prefix so they compare against the original application's.
+func stripMemPrefix(events []replay.Event) []replay.Event {
+	out := append([]replay.Event(nil), events...)
+	for i := range out {
+		out[i].File = strings.TrimPrefix(out[i].File, "/dev/shm")
+	}
+	return out
+}
+
+// TestPathSwitchResolvesComputedPaths is the tentpole end-to-end check:
+// the fixture workloads build their output path with sprintf of constant
+// parts, so path switching must resolve the computed argument via
+// string-constant propagation (no TR003), rewrite it to /dev/shm, and the
+// switched kernel must replay the application's exact I/O request stream
+// modulo the /dev/shm prefix on file paths.
+func TestPathSwitchResolvesComputedPaths(t *testing.T) {
+	c := cluster.CoriHaswell(2, 8)
+	c.Noise = 0
+	for name, src := range replayFixtures(t, c.Procs()) {
+		orig := runTrace(t, name+"/original", src, c)
+
+		k, err := discovery.Discover(src, discovery.Options{PathSwitch: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range k.Warnings {
+			if w.Code == analysis.CodeComputedPath {
+				t.Errorf("%s: TR003 still raised for a resolvable computed path: %s", name, w)
+			}
+		}
+		if len(k.ResolvedPaths) == 0 {
+			t.Fatalf("%s: no resolved paths recorded on the kernel", name)
+		}
+		rp := k.ResolvedPaths[0]
+		if !strings.HasPrefix(rp.Switched, "/dev/shm/") || rp.Path == "" {
+			t.Errorf("%s: bad resolution %+v", name, rp)
+		}
+		if !strings.Contains(k.Source, `"`+rp.Switched+`"`) {
+			t.Errorf("%s: switched literal %q not substituted into the kernel:\n%s", name, rp.Switched, k.Source)
+		}
+
+		trace := runTrace(t, name+"/switched-kernel", k.Source, c)
+		if !reflect.DeepEqual(orig.Events, stripMemPrefix(trace.Events)) {
+			t.Errorf("%s: switched kernel I/O stream differs modulo prefix (%d vs %d events)",
+				name, len(trace.Events), len(orig.Events))
+		}
+		for _, ev := range trace.Events {
+			if ev.File != "" && !strings.HasPrefix(ev.File, "/dev/shm") {
+				t.Errorf("%s: event file %q did not land in /dev/shm", name, ev.File)
+			}
 		}
 	}
 }

@@ -141,9 +141,32 @@ var pathCalls = map[string]int{
 	"H5Fcreate": 0, "H5Fopen": 0, "fopen": 0, "MPI_File_open": 1,
 }
 
+// memPath prepends /dev/shm to a path (idempotent).
+func memPath(p string) string {
+	switch {
+	case p == "" || hasMemPrefix(p):
+		return p
+	case p[0] == '/':
+		return "/dev/shm" + p
+	default:
+		return "/dev/shm/" + p
+	}
+}
+
 // switchPaths prepends /dev/shm to path arguments of file-opening I/O
 // calls (I/O Path Switching, §III-B), so evaluation I/O targets memory.
-func switchPaths(f *csrc.File) {
+// Literal arguments are rewritten in place; computed arguments that
+// string-constant propagation proves constant are replaced with the
+// switched literal, and those resolutions are returned (the rest stay
+// untouched and carry a TR003 warning from the verifier).
+func switchPaths(f *csrc.File) []ResolvedPath {
+	prop := analysis.NewStringProp(f)
+	resolvable := map[csrc.Expr]analysis.ResolvedPathArg{}
+	for _, r := range prop.ResolvePathArgs() {
+		resolvable[r.Arg] = r
+	}
+
+	var resolved []ResolvedPath
 	rewrite := func(e csrc.Expr) {
 		csrc.WalkExpr(e, func(x csrc.Expr) bool {
 			c, ok := x.(*csrc.CallExpr)
@@ -155,11 +178,13 @@ func switchPaths(f *csrc.File) {
 				return true
 			}
 			if lit, ok := c.Args[argIdx].(*csrc.StringLit); ok {
-				if len(lit.Value) > 0 && lit.Value[0] == '/' && !hasMemPrefix(lit.Value) {
-					lit.Value = "/dev/shm" + lit.Value
-				} else if len(lit.Value) > 0 && lit.Value[0] != '/' && !hasMemPrefix(lit.Value) {
-					lit.Value = "/dev/shm/" + lit.Value
-				}
+				lit.Value = memPath(lit.Value)
+			} else if r, ok := resolvable[c.Args[argIdx]]; ok {
+				switched := memPath(r.Path)
+				c.Args[argIdx] = &csrc.StringLit{Value: switched}
+				resolved = append(resolved, ResolvedPath{
+					Call: r.Call, Line: r.Stmt.Base().Pos, Path: r.Path, Switched: switched,
+				})
 			}
 			return true
 		})
@@ -175,6 +200,7 @@ func switchPaths(f *csrc.File) {
 		}
 		return true
 	})
+	return resolved
 }
 
 func hasMemPrefix(p string) bool {

@@ -104,6 +104,41 @@ func TestFig08cSimilarity(t *testing.T) {
 	_ = r.String()
 }
 
+func TestSliceBenchSingleWorkload(t *testing.T) {
+	r, err := sliceBench(smoke, []string{"vpic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	row := r.Rows[0]
+	for _, v := range []struct {
+		name string
+		sv   SliceVariant
+	}{{"precise", row.Precise}, {"heuristic", row.Heuristic}} {
+		if !v.sv.ReplayIdentical {
+			t.Errorf("%s kernel does not replay the application's I/O stream", v.name)
+		}
+		if v.sv.KernelLines == 0 || v.sv.TotalLines == 0 {
+			t.Errorf("%s: missing kernel size data", v.name)
+		}
+		if v.sv.DiscoveryMs <= 0 || v.sv.EvalMs <= 0 {
+			t.Errorf("%s: missing timing data", v.name)
+		}
+		if v.sv.FinalPerf <= 0 || v.sv.PeakRoTI <= 0 {
+			t.Errorf("%s: tuning produced no improvement data", v.name)
+		}
+	}
+	// The promotion premise: the precise kernel is no larger than the
+	// heuristic one while staying replay-identical.
+	if row.Precise.KernelLines > row.Heuristic.KernelLines {
+		t.Errorf("precise kernel (%d lines) larger than heuristic (%d)",
+			row.Precise.KernelLines, row.Heuristic.KernelLines)
+	}
+	_ = r.String()
+}
+
 func TestFig09ImpactFirst(t *testing.T) {
 	r, err := Fig09(smoke)
 	if err != nil {

@@ -48,16 +48,23 @@ func (c Curve) Baseline() float64 {
 	return c[0].BestPerf
 }
 
-// RoTIAt returns the RoTI of the curve at index i.
+// RoTIAt returns the RoTI of the curve at index i. The convention for
+// undefined ratios is 0: a point with non-positive (or NaN) cumulative
+// time — e.g. a curve whose first point sits at t=0 — has no investment
+// to return on, and a non-finite perf delta yields no meaningful rate.
 func (c Curve) RoTIAt(i int) float64 {
 	if i < 0 || i >= len(c) {
 		return 0
 	}
 	t := c[i].TimeMinutes
-	if t <= 0 {
+	if !(t > 0) { // rejects t <= 0 and NaN
 		return 0
 	}
-	return (c[i].BestPerf - c.Baseline()) / t
+	r := (c[i].BestPerf - c.Baseline()) / t
+	if math.IsNaN(r) || math.IsInf(r, 0) {
+		return 0
+	}
+	return r
 }
 
 // RoTISeries returns the RoTI at every point.
@@ -120,13 +127,20 @@ func (c Curve) Truncate(i int) Curve {
 	return c[:i+1]
 }
 
-// Speedup returns final-best / baseline (1 for empty or zero baselines).
+// Speedup returns final-best / baseline. The convention for undefined
+// ratios is 0: an empty curve, a non-positive baseline, or a NaN baseline
+// has no meaningful speedup, and returning 1 would fake "no improvement"
+// where nothing was measured.
 func (c Curve) Speedup() float64 {
 	b := c.Baseline()
-	if b <= 0 {
-		return 1
+	if !(b > 0) { // rejects b <= 0 and NaN
+		return 0
 	}
-	return c.FinalBest() / b
+	s := c.FinalBest() / b
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	return s
 }
 
 // Lifecycle models Figure 12's analysis: the total time of an

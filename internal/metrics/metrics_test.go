@@ -96,8 +96,89 @@ func TestSpeedup(t *testing.T) {
 	if got := sample().Speedup(); math.Abs(got-3.1) > 1e-12 {
 		t.Fatalf("speedup = %v", got)
 	}
-	if (Curve{}).Speedup() != 1 {
-		t.Fatal("empty speedup should be 1")
+	if (Curve{}).Speedup() != 0 {
+		t.Fatal("empty speedup should be 0 (undefined-ratio convention)")
+	}
+}
+
+// TestCurveEdgeCases pins the undefined-ratio convention: RoTIAt,
+// RoTISeries, and Speedup return 0 (never ±Inf or NaN) for zero or NaN
+// times and zero or negative baselines.
+func TestCurveEdgeCases(t *testing.T) {
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	cases := []struct {
+		name        string
+		curve       Curve
+		wantRoTI    []float64
+		wantSpeedup float64
+	}{
+		{
+			name: "first point at t=0",
+			curve: Curve{
+				{Iteration: 0, TimeMinutes: 0, BestPerf: 100},
+				{Iteration: 1, TimeMinutes: 10, BestPerf: 150},
+			},
+			wantRoTI:    []float64{0, 5},
+			wantSpeedup: 1.5,
+		},
+		{
+			name:        "all points at t=0",
+			curve:       Curve{{TimeMinutes: 0, BestPerf: 100}, {TimeMinutes: 0, BestPerf: 200}},
+			wantRoTI:    []float64{0, 0},
+			wantSpeedup: 2,
+		},
+		{
+			name:        "NaN time",
+			curve:       Curve{{TimeMinutes: 0, BestPerf: 10}, {TimeMinutes: math.NaN(), BestPerf: 20}},
+			wantRoTI:    []float64{0, 0},
+			wantSpeedup: 2,
+		},
+		{
+			name:        "NaN perf",
+			curve:       Curve{{TimeMinutes: 1, BestPerf: math.NaN()}, {TimeMinutes: 2, BestPerf: 100}},
+			wantRoTI:    []float64{0, 0},
+			wantSpeedup: 0,
+		},
+		{
+			name:        "zero baseline",
+			curve:       Curve{{TimeMinutes: 1, BestPerf: 0}, {TimeMinutes: 2, BestPerf: 80}},
+			wantRoTI:    []float64{0, 40},
+			wantSpeedup: 0,
+		},
+		{
+			name:        "negative baseline",
+			curve:       Curve{{TimeMinutes: 1, BestPerf: -5}, {TimeMinutes: 2, BestPerf: 10}},
+			wantRoTI:    []float64{0, 7.5},
+			wantSpeedup: 0,
+		},
+		{
+			name:        "empty curve",
+			curve:       Curve{},
+			wantRoTI:    []float64{},
+			wantSpeedup: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			series := tc.curve.RoTISeries()
+			if len(series) != len(tc.wantRoTI) {
+				t.Fatalf("series length %d, want %d", len(series), len(tc.wantRoTI))
+			}
+			for i, got := range series {
+				if !finite(got) {
+					t.Errorf("RoTIAt(%d) = %v, must be finite", i, got)
+				}
+				if math.Abs(got-tc.wantRoTI[i]) > 1e-12 {
+					t.Errorf("RoTIAt(%d) = %v, want %v", i, got, tc.wantRoTI[i])
+				}
+			}
+			if got := tc.curve.Speedup(); !finite(got) || math.Abs(got-tc.wantSpeedup) > 1e-12 {
+				t.Errorf("Speedup() = %v, want %v", got, tc.wantSpeedup)
+			}
+			if peak, _, _ := tc.curve.PeakRoTI(); !finite(peak) {
+				t.Errorf("PeakRoTI() = %v, must be finite", peak)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,159 @@
+package tuner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tunio/internal/params"
+)
+
+// countingEval counts calls and fails on request, for exercising the
+// fallback and cancellation paths.
+type countingEval struct {
+	calls   int
+	failAll bool
+	err     error
+	perf    float64
+}
+
+func (c *countingEval) Evaluate(*params.Assignment, int) (float64, float64, error) {
+	c.calls++
+	if c.failAll {
+		return 0, 0, c.err
+	}
+	return c.perf, 1, nil
+}
+
+func TestFallbackEvaluatorPrimarySuccess(t *testing.T) {
+	prim := &countingEval{perf: 100}
+	fb := &countingEval{perf: 50}
+	e := &FallbackEvaluator{Primary: prim, Fallback: fb}
+
+	a := params.DefaultAssignment(params.Space())
+	for i := 0; i < 3; i++ {
+		perf, _, err := e.Evaluate(a, i)
+		if err != nil || perf != 100 {
+			t.Fatalf("iter %d: perf %v err %v, want primary's 100", i, perf, err)
+		}
+	}
+	if e.FellBack || e.KernelErr != nil {
+		t.Fatalf("healthy primary triggered fallback: FellBack=%v KernelErr=%v", e.FellBack, e.KernelErr)
+	}
+	if fb.calls != 0 {
+		t.Fatalf("fallback evaluated %d times despite healthy primary", fb.calls)
+	}
+}
+
+func TestFallbackEvaluatorSwitchesPermanently(t *testing.T) {
+	kernelErr := errors.New("kernel: H5Dwrite out of bounds")
+	prim := &countingEval{failAll: true, err: kernelErr}
+	fb := &countingEval{perf: 50}
+	e := &FallbackEvaluator{Primary: prim, Fallback: fb}
+
+	a := params.DefaultAssignment(params.Space())
+	// The failed configuration is re-evaluated on the fallback, so the
+	// first call still succeeds from the caller's point of view.
+	perf, _, err := e.Evaluate(a, 0)
+	if err != nil || perf != 50 {
+		t.Fatalf("perf %v err %v, want fallback's 50 with nil error", perf, err)
+	}
+	if !e.FellBack || !errors.Is(e.KernelErr, kernelErr) {
+		t.Fatalf("switch not recorded: FellBack=%v KernelErr=%v", e.FellBack, e.KernelErr)
+	}
+	// The switch is permanent: the primary is never retried.
+	for i := 1; i < 4; i++ {
+		if _, _, err := e.Evaluate(a, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if prim.calls != 1 {
+		t.Fatalf("primary evaluated %d times, want exactly 1 (the triggering call)", prim.calls)
+	}
+	if fb.calls != 4 {
+		t.Fatalf("fallback evaluated %d times, want 4", fb.calls)
+	}
+	if !errors.Is(e.KernelErr, kernelErr) {
+		t.Fatalf("KernelErr changed after the switch: %v", e.KernelErr)
+	}
+}
+
+func TestFallbackEvaluatorFallbackErrorPropagates(t *testing.T) {
+	kernelErr := errors.New("kernel error")
+	appErr := errors.New("application error")
+	e := &FallbackEvaluator{
+		Primary:  &countingEval{failAll: true, err: kernelErr},
+		Fallback: &countingEval{failAll: true, err: appErr},
+	}
+	_, _, err := e.Evaluate(params.DefaultAssignment(params.Space()), 0)
+	if !errors.Is(err, appErr) {
+		t.Fatalf("err = %v, want the fallback's error", err)
+	}
+	// The kernel error that triggered the (failed) switch stays recorded.
+	if !e.FellBack || !errors.Is(e.KernelErr, kernelErr) {
+		t.Fatalf("FellBack=%v KernelErr=%v, want true/kernel error", e.FellBack, e.KernelErr)
+	}
+}
+
+// cancelAfterEval cancels its context after a fixed number of evaluations,
+// simulating a caller tearing down mid-batch.
+type cancelAfterEval struct {
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (c *cancelAfterEval) Evaluate(*params.Assignment, int) (float64, float64, error) {
+	c.calls++
+	if c.calls == c.after {
+		c.cancel()
+	}
+	return 100, 1, nil
+}
+
+func TestAdaptEvaluatorMidBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	inner := &cancelAfterEval{cancel: cancel, after: 2}
+	memo := NewMemo(AdaptEvaluator(inner))
+
+	space := params.Space()
+	batch := make([]*params.Assignment, 6)
+	g := params.DefaultAssignment(space).Genome()
+	for i := range batch {
+		g[0] = i // distinct genomes (SieveBufSize has 8 values)
+		a, err := params.FromGenome(space, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[i] = a
+	}
+
+	res, err := memo.EvaluateBatch(ctx, batch, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("results committed after cancellation: %v", res)
+	}
+	// The serial adapter checks the context before each evaluation, so the
+	// cancel lands before the third call.
+	if inner.calls != 2 {
+		t.Fatalf("inner evaluated %d configurations after cancel, want 2", inner.calls)
+	}
+	// No partial results leak into the cache: a re-run with a live context
+	// must evaluate every configuration from scratch (zero hits).
+	if _, err := memo.EvaluateBatch(context.Background(), batch, 1); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := memo.CacheStats()
+	if hits != 0 {
+		t.Fatalf("cache served %d hits; canceled batch leaked partial results", hits)
+	}
+	// Both attempts were counted as misses against an empty cache.
+	if want := 2 * len(batch); misses != want {
+		t.Fatalf("misses = %d, want %d (two full passes over distinct genomes)", misses, want)
+	}
+	if inner.calls != 2+len(batch) {
+		t.Fatalf("inner calls = %d, want %d (2 pre-cancel + full re-run)", inner.calls, 2+len(batch))
+	}
+}

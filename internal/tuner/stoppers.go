@@ -26,27 +26,35 @@ func NewHeuristicStopper() *HeuristicStopper {
 	return &HeuristicStopper{Window: 5, MinImprovement: 0.05}
 }
 
-// Stop implements Stopper.
+// Stop implements Stopper. Zero-valued thresholds behave as the paper's
+// defaults (5% over 5 iterations) without mutating the configured fields,
+// so a stopper's public state after any number of Stop calls equals its
+// initial state.
 func (h *HeuristicStopper) Stop(iteration int, bestPerf float64) bool {
-	if h.Window <= 0 {
-		h.Window = 5
+	window := h.Window
+	if window <= 0 {
+		window = 5
 	}
-	if h.MinImprovement == 0 {
-		h.MinImprovement = 0.05
+	minImp := h.MinImprovement
+	if minImp == 0 {
+		minImp = 0.05
 	}
 	h.history = append(h.history, bestPerf)
-	if len(h.history) <= h.Window {
+	if len(h.history) <= window {
 		return false
 	}
-	ref := h.history[len(h.history)-1-h.Window]
+	ref := h.history[len(h.history)-1-window]
 	if ref <= 0 {
 		return false
 	}
-	return (bestPerf-ref)/ref < h.MinImprovement
+	return (bestPerf-ref)/ref < minImp
 }
 
-// Reset implements Stopper.
-func (h *HeuristicStopper) Reset() { h.history = h.history[:0] }
+// Reset implements Stopper: it restores the stopper to its full initial
+// state. Since Stop never mutates the configured thresholds, dropping the
+// history makes the stopper indistinguishable from a freshly constructed
+// one with the same Window and MinImprovement.
+func (h *HeuristicStopper) Reset() { h.history = nil }
 
 // OracleStopper stops the moment best perf reaches a known target — the
 // paper's "Maximizing Performance" stopping policy, which assumes a
@@ -65,13 +73,20 @@ func (o *OracleStopper) Reset() {}
 
 // BudgetStopper stops after a fixed number of iterations regardless of
 // progress (a user-imposed tuning budget).
+//
+// The boundary semantics: the pipeline calls Stop with the 1-based tuning
+// iteration number after recording that iteration, so Stop fires once
+// iteration >= MaxIterations — exactly MaxIterations evaluated tuning
+// iterations run (the iteration-0 baseline evaluation is not counted
+// against the budget). A non-positive budget stops at the first
+// opportunity.
 type BudgetStopper struct {
 	MaxIterations int
 }
 
 // Stop implements Stopper.
 func (b *BudgetStopper) Stop(iteration int, _ float64) bool {
-	return iteration+1 >= b.MaxIterations
+	return iteration >= b.MaxIterations
 }
 
 // Reset implements Stopper.

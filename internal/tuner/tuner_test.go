@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"reflect"
 	"testing"
 
 	"tunio/internal/cluster"
@@ -127,14 +128,41 @@ func TestHeuristicStopperKeepsGoingWhileImproving(t *testing.T) {
 }
 
 func TestHeuristicStopperZeroConfigDefaults(t *testing.T) {
-	h := &HeuristicStopper{} // zero values must self-correct
-	for i := 0; i < 4; i++ {
+	// A zero-valued stopper behaves as the paper's 5%/5-iteration default
+	// without mutating its public fields: it must not stop before the
+	// 5-point window fills, and must stop on a flat plateau right after.
+	h := &HeuristicStopper{}
+	stopped := -1
+	for i := 0; i < 10; i++ {
 		if h.Stop(i, 100) {
-			t.Fatal("stopped before window filled")
+			stopped = i
+			break
 		}
 	}
-	if h.Window != 5 || h.MinImprovement != 0.05 {
-		t.Fatal("defaults not applied")
+	if stopped != 5 {
+		t.Fatalf("zero-config stopper stopped at %d, want 5 (default window)", stopped)
+	}
+	if h.Window != 0 || h.MinImprovement != 0 {
+		t.Fatalf("Stop mutated the configured thresholds: Window=%d MinImprovement=%v",
+			h.Window, h.MinImprovement)
+	}
+}
+
+func TestHeuristicStopperResetRestoresInitialState(t *testing.T) {
+	h := &HeuristicStopper{Window: 3, MinImprovement: 0.10}
+	initial := *h
+	for i := 0; i < 8; i++ {
+		h.Stop(i, 100)
+	}
+	h.Reset()
+	if !reflect.DeepEqual(*h, initial) {
+		t.Fatalf("Reset left state %+v, want the initial %+v", *h, initial)
+	}
+	// a reset stopper must re-fill its window from scratch
+	for i := 0; i < 3; i++ {
+		if h.Stop(i, 100) {
+			t.Fatalf("stopped at %d after Reset, before the window refilled", i)
+		}
 	}
 }
 
@@ -149,13 +177,35 @@ func TestOracleStopper(t *testing.T) {
 	o.Reset() // no-op, must not panic
 }
 
+// TestBudgetStopper pins the documented boundary: the pipeline calls Stop
+// with the 1-based tuning iteration after recording it, so a budget of N
+// runs exactly N tuning iterations — Stop(N) is the first true call.
 func TestBudgetStopper(t *testing.T) {
-	b := &BudgetStopper{MaxIterations: 3}
-	if b.Stop(0, 1) || b.Stop(1, 1) {
-		t.Fatal("stopped early")
+	cases := []struct {
+		name      string
+		max       int
+		falseThru int // Stop(1..falseThru) must be false
+		firstTrue int // Stop(firstTrue) must be true
+	}{
+		{name: "budget of three", max: 3, falseThru: 2, firstTrue: 3},
+		{name: "budget of one", max: 1, falseThru: 0, firstTrue: 1},
+		{name: "zero budget stops immediately", max: 0, falseThru: 0, firstTrue: 1},
+		{name: "negative budget stops immediately", max: -2, falseThru: 0, firstTrue: 1},
 	}
-	if !b.Stop(2, 1) {
-		t.Fatal("did not stop at budget")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := &BudgetStopper{MaxIterations: tc.max}
+			for it := 1; it <= tc.falseThru; it++ {
+				if b.Stop(it, 1) {
+					t.Fatalf("Stop(%d) = true before the budget of %d was spent", it, tc.max)
+				}
+			}
+			if !b.Stop(tc.firstTrue, 1) {
+				t.Fatalf("Stop(%d) = false, want true: budget of %d allows exactly %d iterations",
+					tc.firstTrue, tc.max, tc.max)
+			}
+			b.Reset() // stateless; must not panic
+		})
 	}
 }
 

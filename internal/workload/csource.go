@@ -1,12 +1,31 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // The C-source forms of the workloads feed TunIO's Application I/O
 // Discovery pipeline: the discovery component extracts their I/O kernels,
 // and the interpreter executes them SPMD against the simulated stack. A
 // conformance test asserts each C form emits the same application-level
 // I/O footprint as its native Go form.
+
+// pathBuildStmts emits the C statements that assemble a workload's output
+// path with sprintf over constant parts — the real-world pattern
+// (sprintf("%s/%s", dir, base)) that used to block path switching with
+// TR003 and now exercises the analysis layer's string-constant
+// propagation end to end.
+func pathBuildStmts(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i < 0 {
+		return fmt.Sprintf(`    char fname[256];
+    sprintf(fname, "%%s", %q);`, path)
+	}
+	return fmt.Sprintf(`    const char* outdir = %q;
+    char fname[256];
+    sprintf(fname, "%%s/%%s", outdir, %q);`, path[:i], path[i+1:])
+}
 
 // CSource generates the VPIC-IO C source with this workload's parameters
 // baked in. The program interleaves field-solver compute with per-variable
@@ -37,7 +56,8 @@ int main(int argc, char** argv) {
     double energy = 0.0;
     double* buf = (double*)malloc(PARTICLES * sizeof(double));
 
-    hid_t file = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+%s
+    hid_t file = H5Fcreate(fname, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
     for (int step = 0; step < STEPS; step++) {
         compute_flops(%g);
         energy = advance_particles(dt);
@@ -65,7 +85,7 @@ int main(int argc, char** argv) {
     MPI_Finalize();
     return 0;
 }
-`, v.ParticlesPerRank, v.Vars, v.Steps, v.Segments, v.Path, v.ComputeFlops)
+`, v.ParticlesPerRank, v.Vars, v.Steps, v.Segments, pathBuildStmts(v.Path), v.ComputeFlops)
 }
 
 // CSource generates the HACC-IO C source.
@@ -86,7 +106,8 @@ int main(int argc, char** argv) {
     MPI_Comm_rank(MPI_COMM_WORLD, &rank);
     MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
     double* buf = (double*)malloc(PARTICLES * sizeof(double));
-    hid_t file = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+%s
+    hid_t file = H5Fcreate(fname, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
     for (int step = 0; step < STEPS; step++) {
         compute_flops(%g);
         for (int v = 0; v < VARS; v++) {
@@ -108,7 +129,7 @@ int main(int argc, char** argv) {
     MPI_Finalize();
     return 0;
 }
-`, h.ParticlesPerRank, h.Steps, h.Segments, h.Path, h.ComputeFlops)
+`, h.ParticlesPerRank, h.Steps, h.Segments, pathBuildStmts(h.Path), h.ComputeFlops)
 }
 
 // CSource generates the FLASH-IO checkpoint C source (chunked 4-D
@@ -130,7 +151,8 @@ int main(int argc, char** argv) {
     MPI_Init(0, 0);
     MPI_Comm_rank(MPI_COMM_WORLD, &rank);
     MPI_Comm_size(MPI_COMM_WORLD, &nprocs);
-    hid_t file = H5Fcreate(%q, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
+%s
+    hid_t file = H5Fcreate(fname, H5F_ACC_TRUNC, H5P_DEFAULT, H5P_DEFAULT);
     for (int step = 0; step < STEPS; step++) {
         compute_flops(%g);
         for (int u = 0; u < UNKNOWNS; u++) {
@@ -156,7 +178,7 @@ int main(int argc, char** argv) {
     MPI_Finalize();
     return 0;
 }
-`, fl.BlocksPerRank, fl.NXB, fl.NYB, fl.NZB, fl.Unknowns, fl.Steps, fl.Path, fl.ComputeFlops)
+`, fl.BlocksPerRank, fl.NXB, fl.NYB, fl.NZB, fl.Unknowns, fl.Steps, pathBuildStmts(fl.Path), fl.ComputeFlops)
 }
 
 // CSource generates the MACSio C source: the workload generator's dump

@@ -34,4 +34,17 @@ go test -race -run 'TestPool|TestMemo|TestSeedFor|TestRunBatch|TestTune(Parallel
 echo "== go test -race =="
 go test -race "$pkgs"
 
+echo "== iolint self-run (fixture corpus) =="
+# Generate the built-in workload sources and lint them: the shipped
+# fixtures must stay free of error-severity findings, and the verifier
+# must accept every transform on them (their computed paths propagate to
+# constants, so TR003 stays quiet).
+fixdir="$(mktemp -d)"
+trap 'rm -rf "$fixdir"' EXIT
+go run ./cmd/iofixtures -dir "$fixdir" > /dev/null
+go run ./cmd/iolint -verify "$fixdir"/*.c
+
+echo "== CLI exit-code contract =="
+sh scripts/test_cli.sh
+
 echo "ci: all checks passed"

@@ -1,0 +1,118 @@
+#!/usr/bin/env sh
+# test_cli.sh — script-level checks for the CLI exit-code contract.
+#
+# Pins the behavior documented in cmd/iolint and cmd/iodiscover:
+#   - clean sources exit 0;
+#   - error-severity verifier diagnostics (TR001, mutated loop bound) make
+#     both iolint -verify and iodiscover -loop-reduction exit 1;
+#   - warning-severity diagnostics go to stderr only and never flip the
+#     exit code;
+#   - path switching resolves sprintf-built constant paths (no TR003) and
+#     the switched kernel opens its file under /dev/shm, exit 0.
+set -eu
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+    echo "test_cli: FAIL: $1" >&2
+    exit 1
+}
+
+# A clean program: I/O behind a stable loop bound, nothing for the
+# verifier to refuse.
+cat > "$tmp/ok.c" <<'EOF'
+int main() {
+    FILE *fp = fopen("/scratch/ok.bin", "w");
+    for (int i = 0; i < 8; i++) {
+        fwrite(&i, 4, 1, fp);
+    }
+    fclose(fp);
+    return 0;
+}
+EOF
+
+# TR001 trigger: the loop bound mutates inside the loop body, so loop
+# reduction would rewrite a moving bound — an error-severity refusal.
+cat > "$tmp/tr001.c" <<'EOF'
+int main() {
+    int n = 8;
+    FILE *fp = fopen("/scratch/bad.bin", "w");
+    for (int i = 0; i < n; i++) {
+        fwrite(&i, 4, 1, fp);
+        n = n + 1;
+    }
+    fclose(fp);
+    return 0;
+}
+EOF
+
+# TR003 (warning): the path comes out of an unknown helper, so path
+# switching cannot rewrite it — a warning, not an error.
+cat > "$tmp/tr003.c" <<'EOF'
+int main() {
+    char name[64];
+    build_name(name);
+    FILE *fp = fopen(name, "w");
+    fwrite(&name, 4, 1, fp);
+    fclose(fp);
+    return 0;
+}
+EOF
+
+# Computed path built from sprintf of constants: TR003 must NOT fire and
+# path switching must substitute a /dev/shm literal.
+cat > "$tmp/sprintf_path.c" <<'EOF'
+int main() {
+    const char* outdir = "/scratch/run7";
+    char fname[256];
+    sprintf(fname, "%s/%s", outdir, "dump.bin");
+    FILE *fp = fopen(fname, "w");
+    for (int i = 0; i < 4; i++) {
+        fwrite(&i, 4, 1, fp);
+    }
+    fclose(fp);
+    return 0;
+}
+EOF
+
+echo "== clean source exits 0 =="
+go run ./cmd/iolint -verify "$tmp/ok.c" > /dev/null ||
+    fail "iolint -verify on clean source exited nonzero"
+go run ./cmd/iodiscover -loop-reduction 0.5 "$tmp/ok.c" > /dev/null ||
+    fail "iodiscover on clean source exited nonzero"
+
+echo "== TR001 makes iolint -verify exit 1 =="
+if go run ./cmd/iolint -verify "$tmp/tr001.c" > "$tmp/lint.out" 2> "$tmp/lint.err"; then
+    fail "iolint -verify did not exit nonzero on a mutated loop bound"
+fi
+grep -q "TR001" "$tmp/lint.out" ||
+    fail "error-severity TR001 finding missing from iolint stdout"
+
+echo "== TR001 makes iodiscover -loop-reduction exit 1 =="
+if go run ./cmd/iodiscover -loop-reduction 0.5 "$tmp/tr001.c" > /dev/null 2> "$tmp/disc.err"; then
+    fail "iodiscover did not exit nonzero when loop reduction was refused"
+fi
+grep -q "TR001" "$tmp/disc.err" ||
+    fail "TR001 diagnostic missing from iodiscover stderr"
+
+echo "== warnings stay on stderr and exit 0 =="
+go run ./cmd/iolint -verify "$tmp/tr003.c" > "$tmp/warn.out" 2> "$tmp/warn.err" ||
+    fail "warning-only iolint -verify run exited nonzero"
+grep -q "TR003" "$tmp/warn.err" ||
+    fail "TR003 warning missing from iolint stderr"
+if grep -q "TR003" "$tmp/warn.out"; then
+    fail "warning-severity TR003 leaked to iolint stdout"
+fi
+
+echo "== path switch resolves sprintf-of-constants =="
+go run ./cmd/iodiscover -path-switch "$tmp/sprintf_path.c" > "$tmp/kernel.c" 2> "$tmp/switch.err" ||
+    fail "iodiscover -path-switch exited nonzero on a resolvable computed path"
+grep -q "/dev/shm/scratch/run7" "$tmp/kernel.c" ||
+    fail "switched /dev/shm literal missing from the kernel"
+if grep -q "TR003" "$tmp/switch.err"; then
+    fail "TR003 raised for a constant-propagatable path"
+fi
+
+echo "test_cli: all checks passed"
