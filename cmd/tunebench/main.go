@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +19,10 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 5, 8, 8c, 9, 10, 11, 12, slice, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 5, 8, 8c, 9, 10, 11, 12, slice, eval, all")
 	scaleName := flag.String("scale", "smoke", "experiment scale: smoke or paper")
 	seed := flag.Int64("seed", 7, "experiment seed")
+	jsonPath := flag.String("json", "", "write the last requested figure's result as JSON to this file")
 	flag.Parse()
 
 	scale := experiments.Smoke
@@ -53,9 +55,11 @@ func main() {
 		}},
 		{"12", func() (fmt.Stringer, error) { r, err := experiments.Fig12(cfg, fig11Cache); return r, err }},
 		{"slice", func() (fmt.Stringer, error) { r, err := experiments.SliceBench(cfg); return r, err }},
+		{"eval", func() (fmt.Stringer, error) { r, err := experiments.EvalBench(cfg); return r, err }},
 	}
 
 	ran := 0
+	var last fmt.Stringer
 	for _, j := range jobs {
 		if *fig != "all" && *fig != j.name {
 			continue
@@ -66,11 +70,21 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("figure %s: %w", j.name, err))
 		}
+		last = res
 		fmt.Println(res)
 		fmt.Printf("[figure %s regenerated in %.1fs wall time]\n\n", j.name, time.Since(start).Seconds())
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("unknown figure %q", *fig))
+	}
+	if *jsonPath != "" && last != nil {
+		data, err := json.MarshalIndent(last, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -121,6 +121,7 @@ const (
 	writerSprintf writerKind = iota
 	writerSnprintf
 	writerStrcpy
+	writerStrncpy
 	writerStrcat
 )
 
@@ -130,6 +131,7 @@ var stringWriterCalls = map[string]writerKind{
 	"sprintf":  writerSprintf,
 	"snprintf": writerSnprintf,
 	"strcpy":   writerStrcpy,
+	"strncpy":  writerStrncpy,
 	"strcat":   writerStrcat,
 }
 
@@ -611,6 +613,18 @@ func (p *StringProp) applyWriter(e env, c *csrc.CallExpr, kind writerKind, fn st
 					args = append(args, p.eval(a, e, fn))
 				}
 				if s, ok := expandFormat(lit.Value, args); ok {
+					if kind == writerSnprintf {
+						// snprintf stores at most n-1 bytes; a non-constant
+						// or non-positive size leaves dst unprovable.
+						n := p.eval(c.Args[1], e, fn)
+						if n.kind != constInt || n.i <= 0 {
+							e[dst.Name] = bottomVal
+							return
+						}
+						if int64(len(s)) >= n.i {
+							s = s[:n.i-1]
+						}
+					}
 					result = strConst(s)
 				}
 			}
@@ -619,6 +633,16 @@ func (p *StringProp) applyWriter(e env, c *csrc.CallExpr, kind writerKind, fn st
 		if len(c.Args) >= 2 {
 			if v := p.eval(c.Args[1], e, fn); v.kind == constStr {
 				result = v
+			}
+		}
+	case writerStrncpy:
+		// strncpy null-terminates dst only when the source fits below n; a
+		// truncating copy leaves dst unterminated, so nothing is provable.
+		if len(c.Args) >= 3 {
+			src := p.eval(c.Args[1], e, fn)
+			n := p.eval(c.Args[2], e, fn)
+			if src.kind == constStr && n.kind == constInt && int64(len(src.s)) < n.i {
+				result = src
 			}
 		}
 	case writerStrcat:
@@ -733,8 +757,10 @@ func evalBinary(op string, l, r constVal) constVal {
 
 // expandFormat renders a C format string over proven-constant arguments.
 // Supported verbs: %s on strings, %d/%i/%u/%x (with optional l/ll/z length
-// modifiers) on integers, and %%. Width, precision, and any other verb
-// make the expansion fail — the caller then keeps the path unresolved.
+// modifiers) on integers, and %%, each with optional 0/- flags, width, and
+// precision — so zero-padded rank stamps like out.%05d.h5 resolve. A `*`
+// width/precision or any other verb makes the expansion fail — the caller
+// then keeps the path unresolved.
 func expandFormat(format string, args []constVal) (string, bool) {
 	var b strings.Builder
 	ai := 0
@@ -752,9 +778,11 @@ func expandFormat(format string, args []constVal) (string, bool) {
 			b.WriteByte('%')
 			continue
 		}
-		for i < len(format) && (format[i] == 'l' || format[i] == 'z') {
-			i++
+		spec, n := parseVerbSpec(format[i:])
+		if n < 0 {
+			return "", false
 		}
+		i += n
 		if i >= len(format) || ai >= len(args) {
 			return "", false
 		}
@@ -763,23 +791,118 @@ func expandFormat(format string, args []constVal) (string, bool) {
 			if args[ai].kind != constStr {
 				return "", false
 			}
-			b.WriteString(args[ai].s)
+			b.WriteString(spec.apply(args[ai].s))
 		case 'd', 'i', 'u':
 			if args[ai].kind != constInt {
 				return "", false
 			}
-			b.WriteString(strconv.FormatInt(args[ai].i, 10))
+			b.WriteString(spec.applyInt(args[ai].i, 10))
 		case 'x':
 			if args[ai].kind != constInt {
 				return "", false
 			}
-			b.WriteString(strconv.FormatInt(args[ai].i, 16))
+			b.WriteString(spec.applyInt(args[ai].i, 16))
 		default:
 			return "", false
 		}
 		ai++
 	}
 	return b.String(), true
+}
+
+// verbSpec is a parsed flags/width/precision prefix of one format verb.
+type verbSpec struct {
+	zero, left bool
+	width      int
+	prec       int // -1 means unset
+}
+
+// parseVerbSpec parses flags, width, precision, and l/z length modifiers
+// from the front of s (the text after '%', up to but excluding the verb
+// letter). It returns the spec and how many bytes were consumed, or a
+// negative count for the unsupported `*`.
+func parseVerbSpec(s string) (verbSpec, int) {
+	sp := verbSpec{prec: -1}
+	i := 0
+	for i < len(s) && (s[i] == '0' || s[i] == '-') {
+		if s[i] == '0' {
+			sp.zero = true
+		} else {
+			sp.left = true
+		}
+		i++
+	}
+	if i < len(s) && s[i] == '*' {
+		return sp, -1
+	}
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		sp.width = sp.width*10 + int(s[i]-'0')
+		i++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		if i < len(s) && s[i] == '*' {
+			return sp, -1
+		}
+		sp.prec = 0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			sp.prec = sp.prec*10 + int(s[i]-'0')
+			i++
+		}
+	}
+	for i < len(s) && (s[i] == 'l' || s[i] == 'z') {
+		i++
+	}
+	return sp, i
+}
+
+// apply pads a rendered string to the spec (precision truncates strings,
+// as in C).
+func (sp verbSpec) apply(s string) string {
+	if sp.prec >= 0 && len(s) > sp.prec {
+		s = s[:sp.prec]
+	}
+	return sp.pad(s)
+}
+
+// applyInt renders an integer under the spec: precision sets minimum
+// digits, the 0 flag zero-pads to the width (after any sign, ignored when
+// precision or - is given — C semantics).
+func (sp verbSpec) applyInt(v int64, base int) string {
+	neg := v < 0
+	digits := strconv.FormatInt(v, base)
+	if neg {
+		digits = digits[1:]
+	}
+	if sp.prec >= 0 {
+		for len(digits) < sp.prec {
+			digits = "0" + digits
+		}
+	} else if sp.zero && !sp.left {
+		w := sp.width
+		if neg {
+			w--
+		}
+		for len(digits) < w {
+			digits = "0" + digits
+		}
+	}
+	if neg {
+		digits = "-" + digits
+	}
+	return sp.pad(digits)
+}
+
+// pad space-pads s to the spec width on the side the - flag selects.
+func (sp verbSpec) pad(s string) string {
+	for len(s) < sp.width {
+		if sp.left {
+			s += " "
+		} else {
+			s = " " + s
+		}
+	}
+	return s
 }
 
 // ResolvePathArgs scans the file for path-taking I/O calls (the discovery

@@ -73,6 +73,77 @@ func TestConstPropSnprintf(t *testing.T) {
 	}
 }
 
+func TestConstPropZeroPaddedRankPath(t *testing.T) {
+	src := `int main() {
+    int rank = 7;
+    char fname[128];
+    sprintf(fname, "/scratch/out.%05d.h5", rank);
+    FILE* f = fopen(fname, "w");
+    fclose(f);
+    return 0;
+}`
+	got := resolvePaths(t, src)
+	if got["fopen"] != "/scratch/out.00007.h5" {
+		t.Fatalf("fopen path = %q, want /scratch/out.00007.h5", got["fopen"])
+	}
+}
+
+func TestConstPropSnprintfTruncates(t *testing.T) {
+	src := `int main() {
+    char fname[128];
+    snprintf(fname, 9, "%s", "/scratch/hacc.h5");
+    FILE* f = fopen(fname, "w");
+    fclose(f);
+    return 0;
+}`
+	got := resolvePaths(t, src)
+	if got["fopen"] != "/scratch" {
+		t.Fatalf("fopen path = %q, want the 8-byte truncation /scratch", got["fopen"])
+	}
+}
+
+func TestConstPropSnprintfNonConstSizeFails(t *testing.T) {
+	src := `int main(int argc) {
+    char fname[128];
+    snprintf(fname, argc, "%s", "/scratch/hacc.h5");
+    FILE* f = fopen(fname, "w");
+    fclose(f);
+    return 0;
+}`
+	if got := resolvePaths(t, src); len(got) != 0 {
+		t.Fatalf("unknown snprintf size must not resolve, got %v", got)
+	}
+}
+
+func TestConstPropStrncpyFits(t *testing.T) {
+	src := `int main() {
+    char fname[128];
+    strncpy(fname, "/scratch/bd.h5", 128);
+    FILE* f = fopen(fname, "w");
+    fclose(f);
+    return 0;
+}`
+	got := resolvePaths(t, src)
+	if got["fopen"] != "/scratch/bd.h5" {
+		t.Fatalf("fopen path = %q, want /scratch/bd.h5", got["fopen"])
+	}
+}
+
+func TestConstPropStrncpyTruncationUnproven(t *testing.T) {
+	// A truncating strncpy leaves dst without a terminator — the resulting
+	// path must stay unresolved rather than claim the prefix.
+	src := `int main() {
+    char fname[128];
+    strncpy(fname, "/scratch/bdcats.h5", 8);
+    FILE* f = fopen(fname, "w");
+    fclose(f);
+    return 0;
+}`
+	if got := resolvePaths(t, src); len(got) != 0 {
+		t.Fatalf("truncating strncpy must not resolve, got %v", got)
+	}
+}
+
 func TestConstPropStrongOverwrite(t *testing.T) {
 	src := `int main() {
     char fname[128];
@@ -249,9 +320,21 @@ func TestExpandFormat(t *testing.T) {
 		{"100%%", nil, "100%", true},
 		{"%s", []constVal{bottomVal}, "", false},
 		{"%s", nil, "", false},
-		{"%8d", []constVal{intConst(1)}, "", false},
 		{"trailing%", nil, "", false},
 		{"plain", nil, "plain", true},
+		// width, precision, and flags
+		{"out.%05d.h5", []constVal{intConst(7)}, "out.00007.h5", true},
+		{"out.%05ld.h5", []constVal{intConst(42)}, "out.00042.h5", true},
+		{"%8d", []constVal{intConst(1)}, "       1", true},
+		{"%-4d|", []constVal{intConst(3)}, "3   |", true},
+		{"%04x", []constVal{intConst(255)}, "00ff", true},
+		{"%.3d", []constVal{intConst(7)}, "007", true},
+		{"%05d", []constVal{intConst(-42)}, "-0042", true},
+		{"%6s", []constVal{strConst("ab")}, "    ab", true},
+		{"%-6s|", []constVal{strConst("ab")}, "ab    |", true},
+		{"%.2s", []constVal{strConst("abcd")}, "ab", true},
+		{"%*d", []constVal{intConst(5), intConst(1)}, "", false},
+		{"%.*d", []constVal{intConst(5), intConst(1)}, "", false},
 	}
 	for _, c := range cases {
 		got, ok := expandFormat(c.format, c.args)

@@ -344,8 +344,46 @@ func (in *interp) builtin(x *csrc.CallExpr, sc *scope) (Value, error) {
 		if err != nil {
 			return Value{}, fmt.Errorf("cinterp: %s: %w", x.Fun, err)
 		}
+		full := int64(len(s)) // C returns the untruncated length
+		if x.Fun == "snprintf" {
+			n := rest[0].AsInt()
+			if n <= 0 {
+				return IntVal(full), nil // nothing written
+			}
+			if full >= n {
+				s = s[:n-1]
+			}
+		}
 		*dst = StrVal(s)
-		return IntVal(int64(len(s))), nil
+		return IntVal(full), nil
+
+	case "strncpy":
+		if len(x.Args) < 3 {
+			return Value{}, fmt.Errorf("cinterp: strncpy needs (dst, src, n)")
+		}
+		dst, err := in.lvalue(x.Args[0], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		src, err := in.eval(x.Args[1], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		nv, err := in.eval(x.Args[2], sc)
+		if err != nil {
+			return Value{}, err
+		}
+		if src.Kind != KString {
+			return Value{}, fmt.Errorf("cinterp: strncpy source must be a string")
+		}
+		s := src.S
+		if n := nv.AsInt(); n < 0 {
+			return Value{}, fmt.Errorf("cinterp: strncpy negative size")
+		} else if int64(len(s)) > n {
+			s = s[:n] // truncating copy: first n bytes, no terminator in C
+		}
+		*dst = StrVal(s)
+		return *dst, nil
 
 	case "strcpy", "strcat":
 		if len(x.Args) < 2 {
@@ -427,7 +465,9 @@ func (in *interp) builtin(x *csrc.CallExpr, sc *scope) (Value, error) {
 func opOf(fun string) string { return fun }
 
 // formatC renders a C format string over interpreter values. Supported:
-// %s, %d/%i/%u/%x (with optional l/z length modifiers), %f/%g, and %%.
+// %s, %d/%i/%u/%x (with optional l/z length modifiers), %f/%g, and %%,
+// each with optional 0/- flags, width, and precision (%05d zero-pads a
+// rank stamp exactly as libc does). `*` widths are rejected.
 func formatC(format string, args []Value) (string, error) {
 	var b []byte
 	ai := 0
@@ -445,6 +485,27 @@ func formatC(format string, args []Value) (string, error) {
 			b = append(b, '%')
 			continue
 		}
+		spec := []byte{'%'}
+		for i < len(format) && (format[i] == '0' || format[i] == '-' ||
+			(format[i] >= '1' && format[i] <= '9')) {
+			spec = append(spec, format[i])
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				spec = append(spec, format[i])
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '.' {
+			spec = append(spec, '.')
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				spec = append(spec, format[i])
+				i++
+			}
+		}
+		if i < len(format) && format[i] == '*' {
+			return "", fmt.Errorf("unsupported * width")
+		}
 		for i < len(format) && (format[i] == 'l' || format[i] == 'z') {
 			i++
 		}
@@ -459,15 +520,15 @@ func formatC(format string, args []Value) (string, error) {
 			if args[ai].Kind != KString {
 				return "", fmt.Errorf("%%s argument is not a string")
 			}
-			b = append(b, args[ai].S...)
+			b = append(b, fmt.Sprintf(string(append(spec, 's')), args[ai].S)...)
 		case 'd', 'i', 'u':
-			b = append(b, fmt.Sprintf("%d", args[ai].AsInt())...)
+			b = append(b, fmt.Sprintf(string(append(spec, 'd')), args[ai].AsInt())...)
 		case 'x':
-			b = append(b, fmt.Sprintf("%x", args[ai].AsInt())...)
+			b = append(b, fmt.Sprintf(string(append(spec, 'x')), args[ai].AsInt())...)
 		case 'f':
-			b = append(b, fmt.Sprintf("%f", args[ai].AsFloat())...)
+			b = append(b, fmt.Sprintf(string(append(spec, 'f')), args[ai].AsFloat())...)
 		case 'g':
-			b = append(b, fmt.Sprintf("%g", args[ai].AsFloat())...)
+			b = append(b, fmt.Sprintf(string(append(spec, 'g')), args[ai].AsFloat())...)
 		default:
 			return "", fmt.Errorf("unsupported format verb %%%c", format[i])
 		}

@@ -268,11 +268,11 @@ func (c *coordinator) execute(group []*request) (Value, error) {
 		return IntVal(c.register(struct{}{})), nil
 
 	case "MPI_Init", "MPI_Finalize":
-		c.lib.Sim().Barrier(len(group))
+		c.lib.Sim().AppBarrier(len(group))
 		return IntVal(0), nil
 
 	case "MPI_Barrier":
-		c.lib.Sim().Barrier(len(group))
+		c.lib.Sim().AppBarrier(len(group))
 		return IntVal(0), nil
 
 	case "compute":

@@ -346,3 +346,66 @@ int main() {
 		t.Fatalf("plist lifecycle failed: %v", out)
 	}
 }
+
+func TestLangSprintfZeroPad(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    int rank = 7;
+    char fname[64];
+    sprintf(fname, "out.%05d.h5", rank);
+    printf(fname);
+    return 0;
+}
+`)
+	if len(out) != 1 || out[0] != "out.00007.h5" {
+		t.Fatalf("zero-padded sprintf = %v, want out.00007.h5", out)
+	}
+}
+
+func TestLangSprintfWidthPrecision(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    char buf[64];
+    sprintf(buf, "[%-4d|%8d|%.3d|%04x|%.2s]", 3, 1, 7, 255, "abcd");
+    printf(buf);
+    return 0;
+}
+`)
+	want := "[3   |       1|007|00ff|ab]"
+	if len(out) != 1 || out[0] != want {
+		t.Fatalf("formatted = %v, want %q", out, want)
+	}
+}
+
+func TestLangSnprintfTruncates(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    char fname[64];
+    int n = snprintf(fname, 9, "%s", "/scratch/hacc.h5");
+    if (n == 16) {
+        printf(fname);
+    }
+    return 0;
+}
+`)
+	if len(out) != 1 || out[0] != "/scratch" {
+		t.Fatalf("snprintf truncation = %v, want /scratch (with full-length return)", out)
+	}
+}
+
+func TestLangStrncpy(t *testing.T) {
+	out := runOutput(t, `
+int main() {
+    char a[64];
+    char b[64];
+    strncpy(a, "/scratch/file.h5", 8);
+    strncpy(b, "/tmp/x.h5", 64);
+    printf(a);
+    printf(b);
+    return 0;
+}
+`)
+	if len(out) != 2 || out[0] != "/scratch" || out[1] != "/tmp/x.h5" {
+		t.Fatalf("strncpy = %v, want [/scratch /tmp/x.h5]", out)
+	}
+}

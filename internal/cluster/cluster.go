@@ -84,6 +84,11 @@ type Sim struct {
 	// trace recorder to capture compute phases).
 	ComputeHook func(flops float64)
 
+	// BarrierHook, when set, observes every AppBarrier call (used by the
+	// trace recorder to capture application-level synchronization; internal
+	// library barriers bypass it).
+	BarrierHook func(n int)
+
 	now float64
 	rng *rand.Rand
 }
@@ -174,6 +179,27 @@ func (s *Sim) Barrier(n int) float64 {
 	return d
 }
 
+// AppBarrier charges an application-level barrier (MPI_Init/Finalize or an
+// explicit MPI_Barrier in the application). It costs the same as Barrier but
+// is observable through BarrierHook so trace recording captures it.
+func (s *Sim) AppBarrier(n int) float64 {
+	if s.BarrierHook != nil {
+		s.BarrierHook(n)
+	}
+	return s.Barrier(n)
+}
+
 // Rand exposes the simulation RNG for layers that need stochastic
 // decisions tied to the run seed.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Reset rewinds the simulation to a fresh run under the given seed: clock
+// to zero, RNG reseeded, report counters zeroed, hooks cleared. Used by
+// stack pooling to reuse one Sim across evaluations without reallocating.
+func (s *Sim) Reset(seed int64) {
+	s.now = 0
+	s.rng.Seed(seed)
+	s.Report.Reset()
+	s.ComputeHook = nil
+	s.BarrierHook = nil
+}

@@ -57,6 +57,14 @@ func (r *Report) Layers() []string {
 	return names
 }
 
+// Reset zeroes all counters in place, keeping layer pointers valid (callers
+// holding a *LayerCounters from Layer see the zeroed counters).
+func (r *Report) Reset() {
+	for _, lc := range r.layers {
+		*lc = LayerCounters{}
+	}
+}
+
 // AddWrite records a write of size bytes taking elapsed seconds at a layer.
 func (r *Report) AddWrite(layer string, bytes int64, elapsed float64) {
 	lc := r.Layer(layer)

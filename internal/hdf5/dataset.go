@@ -2,9 +2,6 @@ package hdf5
 
 import (
 	"fmt"
-	"slices"
-
-	"tunio/internal/ioreq"
 )
 
 // maxExtentsPerSlab bounds how many extents one slab materializes; beyond
@@ -25,12 +22,9 @@ type Dataset struct {
 	// contiguous layout
 	dataOffset int64
 
-	// chunked layout
-	chunkDims  []int64
-	chunkBytes int64
-	chunkGrid  []int64         // chunks per dimension
-	chunkOff   map[int64]int64 // chunk linear index -> file offset
-	written    map[int64]int64 // bytes ever written per chunk
+	// chunked layout: the planner owns the chunk grid, per-chunk
+	// allocation map, and write history (shared with internal/replay).
+	cp *ChunkPlanner
 }
 
 // CreateDataset creates a dataset. chunkDims nil selects contiguous layout
@@ -49,21 +43,11 @@ func (f *File) CreateDataset(name string, space Space, chunkDims []int64) (*Data
 	}
 	d := &Dataset{f: f, name: name, space: space}
 	if chunkDims != nil {
-		if len(chunkDims) != len(space.Dims) {
-			return nil, fmt.Errorf("hdf5: chunk rank %d does not match dataspace rank %d", len(chunkDims), len(space.Dims))
+		cp, err := NewChunkPlanner(name, space, chunkDims)
+		if err != nil {
+			return nil, err
 		}
-		d.chunkDims = append([]int64(nil), chunkDims...)
-		d.chunkBytes = space.Elem
-		d.chunkGrid = make([]int64, len(chunkDims))
-		for i, c := range chunkDims {
-			if c <= 0 || c > space.Dims[i] {
-				return nil, fmt.Errorf("hdf5: chunk dim %d is %d, want 1..%d", i, c, space.Dims[i])
-			}
-			d.chunkBytes *= c
-			d.chunkGrid[i] = (space.Dims[i] + c - 1) / c
-		}
-		d.chunkOff = make(map[int64]int64)
-		d.written = make(map[int64]int64)
+		d.cp = cp
 	} else {
 		d.dataOffset = f.allocate(space.TotalBytes())
 	}
@@ -84,8 +68,11 @@ func (f *File) OpenDataset(name string) (*Dataset, error) {
 	if !ok {
 		return nil, fmt.Errorf("hdf5: dataset %s not found in %s", name, f.name)
 	}
-	f.metaRead(2)
+	f.metaRead(OpenDatasetMetaItems)
 	d.f = f // rebind to the current open handle
+	if f.lib.tracer != nil {
+		f.lib.tracer.OnOpenDataset(f.name, name)
+	}
 	return d, nil
 }
 
@@ -93,10 +80,15 @@ func (f *File) OpenDataset(name string) (*Dataset, error) {
 func (d *Dataset) Space() Space { return d.space }
 
 // Chunked reports whether the dataset uses chunked layout.
-func (d *Dataset) Chunked() bool { return d.chunkDims != nil }
+func (d *Dataset) Chunked() bool { return d.cp != nil }
 
 // ChunkBytes returns the chunk size in bytes (0 for contiguous layout).
-func (d *Dataset) ChunkBytes() int64 { return d.chunkBytes }
+func (d *Dataset) ChunkBytes() int64 {
+	if d.cp == nil {
+		return 0
+	}
+	return d.cp.ChunkBytes()
+}
 
 // Write services one collective write phase: every participating rank's
 // hyperslab, together. Returns elapsed simulated seconds.
@@ -151,231 +143,48 @@ func (d *Dataset) transfer(slabs []Slab, isWrite bool) (float64, error) {
 }
 
 // transferContiguous maps slabs to file extents with sieve-buffer
-// coalescing of small strided segments.
+// coalescing of small strided segments. Extents build into a file-owned
+// reusable buffer (they are consumed synchronously by the phase).
 func (d *Dataset) transferContiguous(slabs []Slab, isWrite bool) (float64, error) {
 	d.f.metaTouch(int64(len(slabs))) // object header revisits
-	var extents []ioreq.Extent
+	extents := d.f.extBuf[:0]
+	sieve := d.f.lib.cfg.SieveBufSize
 	for _, sl := range slabs {
-		extents = append(extents, d.slabExtents(sl)...)
+		extents = ContiguousSlabExtents(d.space, sl, d.dataOffset, sieve, extents)
 	}
+	d.f.extBuf = extents[:0]
 	if isWrite {
 		return d.f.writePhase(extents)
 	}
 	return d.f.readPhase(extents)
 }
 
-// slabExtents converts one slab into file extents for contiguous layout.
-func (d *Dataset) slabExtents(sl Slab) []ioreq.Extent {
-	g := d.space.Geometry(sl)
-	totalBytes := g.SegBytes * g.NSegments
-
-	// Sieve buffer: small strided segments coalesce into sieve-sized
-	// requests over the slab's span, reducing the effective request count.
-	effSegs := g.NSegments
-	if sieve := d.f.lib.cfg.SieveBufSize; sieve > 0 && g.NSegments > 1 && g.SegBytes < sieve {
-		perSieve := sieve / g.SegBytes
-		if perSieve > 1 {
-			effSegs = (g.NSegments + perSieve - 1) / perSieve
-		}
-	}
-
-	if g.NSegments == 1 {
-		return []ioreq.Extent{{
-			Offset: d.dataOffset + g.FirstByte,
-			Size:   totalBytes,
-			Rank:   sl.Rank,
-		}}
-	}
-
-	// Group segments into at most maxExtentsPerSlab representative extents.
-	groups := effSegs
-	if groups > maxExtentsPerSlab {
-		groups = maxExtentsPerSlab
-	}
-	segsPerGroup := (g.NSegments + groups - 1) / groups
-	reqsPerGroup := (effSegs + groups - 1) / groups
-
-	out := make([]ioreq.Extent, 0, groups)
-	var cur int64
-	var groupStart int64 = -1
-	var groupBytes int64
-	var inGroup int64
-	d.space.ForEachSegment(sl, func(off, size int64) bool {
-		if groupStart < 0 {
-			groupStart = off
-		}
-		groupBytes += size
-		inGroup++
-		cur++
-		if inGroup == segsPerGroup || cur == g.NSegments {
-			out = append(out, ioreq.Extent{
-				Offset: d.dataOffset + groupStart,
-				Size:   groupBytes,
-				Rank:   sl.Rank,
-				Count:  reqsPerGroup,
-				Span:   off + size - groupStart, // true strided footprint
-			})
-			groupStart = -1
-			groupBytes = 0
-			inGroup = 0
-		}
-		return true
-	})
-	return out
-}
-
-// chunkIndexOf returns the linear index of the chunk holding coordinate c.
-func (d *Dataset) chunkIndexOf(coord []int64) int64 {
-	idx := int64(0)
-	for i := range coord {
-		idx = idx*d.chunkGrid[i] + coord[i]/d.chunkDims[i]
-	}
-	return idx
-}
-
-// forEachTouchedChunk invokes fn for every chunk a slab intersects, with
-// the chunk's linear index and grid coordinates.
-func (d *Dataset) forEachTouchedChunk(sl Slab, fn func(linear int64, gridCoord []int64)) {
-	n := len(d.chunkDims)
-	lo := make([]int64, n)
-	hi := make([]int64, n)
-	for i := 0; i < n; i++ {
-		lo[i] = sl.Start[i] / d.chunkDims[i]
-		hi[i] = (sl.Start[i] + sl.Count[i] - 1) / d.chunkDims[i]
-	}
-	coord := append([]int64(nil), lo...)
-	for {
-		linear := int64(0)
-		for i := 0; i < n; i++ {
-			linear = linear*d.chunkGrid[i] + coord[i]
-		}
-		fn(linear, coord)
-		carry := true
-		for i := n - 1; i >= 0 && carry; i-- {
-			coord[i]++
-			if coord[i] <= hi[i] {
-				carry = false
-			} else {
-				coord[i] = lo[i]
-			}
-		}
-		if carry {
-			return
-		}
-	}
-}
-
 // transferChunked services a phase against a chunked dataset: it resolves
-// touched chunks, performs read-modify-write for partially covered,
-// uncached, previously written chunks, and writes covered bytes.
+// touched chunks via the shared ChunkPlanner, performs read-modify-write
+// for partially covered, uncached, previously written chunks, and writes
+// covered bytes.
 func (d *Dataset) transferChunked(slabs []Slab, isWrite bool) (float64, error) {
-	type chunkWork struct {
-		linear  int64
-		covered int64
-		pieces  []ioreq.Extent // in-chunk extents (chunk-relative)
+	ph := d.cp.Plan(slabs, isWrite, d.f.cache, d.f.allocate)
+	for i := int64(0); i < ph.NewChunks; i++ {
+		d.f.addMetadata(metaItemSize) // chunk index entry
 	}
-	work := make(map[int64]*chunkWork)
-
-	for _, sl := range slabs {
-		d.forEachTouchedChunk(sl, func(linear int64, gridCoord []int64) {
-			boxStart := make([]int64, len(gridCoord))
-			boxCount := make([]int64, len(gridCoord))
-			for i, gc := range gridCoord {
-				boxStart[i] = gc * d.chunkDims[i]
-				boxCount[i] = min64s(d.chunkDims[i], d.space.Dims[i]-boxStart[i])
-			}
-			inter, ok := d.space.intersect(sl, boxStart, boxCount)
-			if !ok {
-				return
-			}
-			// chunk-relative slab in chunk-local space
-			local := Slab{Rank: sl.Rank, Start: make([]int64, len(gridCoord)), Count: inter.Count}
-			for i := range gridCoord {
-				local.Start[i] = inter.Start[i] - boxStart[i]
-			}
-			chunkSpace := Space{Dims: d.chunkDims, Elem: d.space.Elem}
-			g := chunkSpace.Geometry(local)
-			bytes := chunkSpace.SlabBytes(local)
-
-			w := work[linear]
-			if w == nil {
-				w = &chunkWork{linear: linear}
-				work[linear] = w
-			}
-			w.covered += bytes
-			w.pieces = append(w.pieces, ioreq.Extent{
-				Offset: g.FirstByte, // chunk-relative; rebased below
-				Size:   bytes,
-				Rank:   sl.Rank,
-				Count:  g.NSegments,
-				Span:   g.SpanBytes,
-			})
-		})
-	}
-
-	// Deterministic ordering of chunks.
-	order := make([]int64, 0, len(work))
-	for linear := range work {
-		order = append(order, linear)
-	}
-	slices.Sort(order)
-
-	var readExtents, dataExtents []ioreq.Extent
-	var metaTouches int64
-	for _, linear := range order {
-		w := work[linear]
-		off, allocated := d.chunkOff[linear]
-		if !allocated {
-			off = d.f.allocate(d.chunkBytes)
-			d.chunkOff[linear] = off
-			d.f.addMetadata(metaItemSize) // chunk index entry
-		}
-		metaTouches++ // chunk index lookup
-
-		if isWrite {
-			prior := d.written[linear]
-			partial := w.covered < d.chunkBytes
-			if partial && prior > 0 && !d.f.cache.contains(d.name, linear) {
-				// read-modify-write: fetch the chunk first
-				readExtents = append(readExtents, ioreq.Extent{
-					Offset: off, Size: d.chunkBytes, Rank: w.pieces[0].Rank,
-				})
-			}
-			d.f.cache.insert(d.name, linear, d.chunkBytes)
-			d.written[linear] = min64s(prior+w.covered, d.chunkBytes)
-			for _, p := range w.pieces {
-				p.Offset += off
-				dataExtents = append(dataExtents, p)
-			}
-		} else {
-			if d.f.cache.contains(d.name, linear) {
-				continue // served from cache
-			}
-			// HDF5 reads whole chunks through the cache.
-			dataExtents = append(dataExtents, ioreq.Extent{
-				Offset: off, Size: d.chunkBytes, Rank: w.pieces[0].Rank,
-			})
-			d.f.cache.insert(d.name, linear, d.chunkBytes)
-		}
-	}
-
-	d.f.metaTouch(metaTouches)
+	d.f.metaTouch(ph.MetaTouches)
 
 	var elapsed float64
-	if len(readExtents) > 0 {
-		e, err := d.f.readPhase(readExtents)
+	if len(ph.Read) > 0 {
+		e, err := d.f.readPhase(ph.Read)
 		if err != nil {
 			return 0, err
 		}
 		elapsed += e
 	}
-	if len(dataExtents) > 0 {
+	if len(ph.Data) > 0 {
 		var e float64
 		var err error
 		if isWrite {
-			e, err = d.f.writePhase(dataExtents)
+			e, err = d.f.writePhase(ph.Data)
 		} else {
-			e, err = d.f.readPhase(dataExtents)
+			e, err = d.f.readPhase(ph.Data)
 		}
 		if err != nil {
 			return 0, err
@@ -385,29 +194,33 @@ func (d *Dataset) transferChunked(slabs []Slab, isWrite bool) (float64, error) {
 	return elapsed, nil
 }
 
-// chunkCache is an LRU cache of chunks, keyed by (dataset, chunk index).
+// ChunkCache is an LRU cache of chunks, keyed by (dataset, chunk index).
 // It models the aggregate effect of the per-process raw data chunk cache.
-type chunkCache struct {
+type ChunkCache struct {
 	capacity int64
 	used     int64
 	entries  map[string]int64 // key -> bytes
 	lru      []string
 }
 
-func newChunkCache(capacity int64) *chunkCache {
-	return &chunkCache{capacity: capacity, entries: make(map[string]int64)}
+// NewChunkCache returns an empty cache of the given capacity (also used by
+// the replay planner, which keeps its own cache per planned file handle).
+func NewChunkCache(capacity int64) *ChunkCache {
+	return &ChunkCache{capacity: capacity, entries: make(map[string]int64)}
 }
+
+func newChunkCache(capacity int64) *ChunkCache { return NewChunkCache(capacity) }
 
 func cacheKey(dataset string, linear int64) string {
 	return fmt.Sprintf("%s#%d", dataset, linear)
 }
 
-func (c *chunkCache) contains(dataset string, linear int64) bool {
+func (c *ChunkCache) contains(dataset string, linear int64) bool {
 	_, ok := c.entries[cacheKey(dataset, linear)]
 	return ok
 }
 
-func (c *chunkCache) insert(dataset string, linear, bytes int64) {
+func (c *ChunkCache) insert(dataset string, linear, bytes int64) {
 	if bytes > c.capacity {
 		return // chunk larger than the cache never caches (like HDF5)
 	}
@@ -427,7 +240,7 @@ func (c *chunkCache) insert(dataset string, linear, bytes int64) {
 	c.lru = append(c.lru, key)
 }
 
-func (c *chunkCache) touch(key string) {
+func (c *ChunkCache) touch(key string) {
 	for i, k := range c.lru {
 		if k == key {
 			c.lru = append(c.lru[:i], c.lru[i+1:]...)
@@ -450,5 +263,8 @@ func (d *Dataset) WriteAttribute(name string, size int64) error {
 		size = attributeHeaderBytes
 	}
 	d.f.addMetadata(size)
+	if tr := d.f.lib.tracer; tr != nil {
+		tr.OnAttribute(d.f.name, d.name+"/"+name, size)
+	}
 	return nil
 }

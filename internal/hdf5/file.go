@@ -19,8 +19,14 @@ const superblockBytes = 2048
 // (internal/replay) attaches one to record a run's I/O phases.
 type Tracer interface {
 	OnCreateFile(name string)
+	OnOpenFile(name string)
 	OnCloseFile(name string)
 	OnCreateDataset(file, name string, space Space, chunk []int64)
+	OnOpenDataset(file, name string)
+	OnCreateGroup(file, name string)
+	// OnAttribute reports attribute metadata attached to an object in the
+	// file; bytes is the rounded-up metadata footprint.
+	OnAttribute(file, name string, bytes int64)
 	OnTransfer(file, dataset string, slabs []Slab, isWrite bool)
 }
 
@@ -70,6 +76,13 @@ func (l *Library) Nprocs() int { return l.nprocs }
 // Sim returns the simulation context.
 func (l *Library) Sim() *cluster.Sim { return l.sim }
 
+// Backend resolves the storage backend serving a path (exposed for the
+// staged replay engine, which opens MPI-IO handles outside the library).
+func (l *Library) Backend(path string) ioreq.Backend { return l.backend(path) }
+
+// Hints returns the MPI-IO hints the library opens files with.
+func (l *Library) Hints() mpiio.Hints { return l.hints }
+
 // File is an open HDF5 file.
 type File struct {
 	lib    *Library
@@ -83,8 +96,12 @@ type File struct {
 	// metadata model
 	metaPendingBytes int64 // dirty metadata awaiting flush
 	metaPendingItems int64
-	cache            *chunkCache
+	cache            *ChunkCache
 	groups           map[string]bool
+
+	// reusable extent buffers for transfer and metadata phases
+	extBuf  []ioreq.Extent
+	metaBuf []ioreq.Extent
 }
 
 // CreateFile creates (truncates) a file; collective across the communicator.
@@ -129,8 +146,11 @@ func (l *Library) OpenFile(name string) (*File, error) {
 		datasets: prev.datasets,
 		cache:    newChunkCache(l.cfg.ChunkCacheBytes),
 	}
-	f.metaRead(4) // superblock + root group
+	f.metaRead(OpenFileMetaItems) // superblock + root group
 	l.files[name] = f
+	if l.tracer != nil {
+		l.tracer.OnOpenFile(name)
+	}
 	return f, nil
 }
 
@@ -158,11 +178,7 @@ func (f *File) allocateMeta(size int64) int64 {
 // addMetadata records newly created dirty metadata.
 func (f *File) addMetadata(bytes int64) {
 	f.metaPendingBytes += bytes
-	items := (bytes + metaItemSize - 1) / metaItemSize
-	if items < 1 {
-		items = 1
-	}
-	f.metaPendingItems += items
+	f.metaPendingItems += MetaItemsFor(bytes)
 }
 
 // metaRead charges the cost of reading items metadata items from the file.
@@ -173,22 +189,11 @@ func (f *File) metaRead(items int64) {
 		return
 	}
 	cfg := f.lib.cfg
-	var extents []ioreq.Extent
-	if cfg.CollMetadataOps {
-		extents = append(extents, ioreq.Extent{
-			Offset: 0, Size: items * metaItemSize, Rank: 0, Count: items,
-		})
-	} else {
-		ppn := f.lib.sim.Cluster.ProcsPerNode
-		// one representative reader per node (clients on a node share the
-		// Lustre client cache), still a metadata read storm at scale
-		nodes := (f.lib.nprocs + ppn - 1) / ppn
-		for n := 0; n < nodes; n++ {
-			extents = append(extents, ioreq.Extent{
-				Offset: 0, Size: items * metaItemSize, Rank: n * ppn, Count: items,
-			})
-		}
-	}
+	// one representative reader per node without collective metadata
+	// (clients on a node share the Lustre client cache), still a metadata
+	// read storm at scale
+	extents := MetaReadExtents(cfg.CollMetadataOps, f.lib.nprocs, f.lib.sim.Cluster.ProcsPerNode, items, f.metaBuf[:0])
+	f.metaBuf = extents[:0]
 	elapsed, err := f.mpf.ReadIndependent(extents)
 	if err != nil {
 		panic("hdf5: metaRead: " + err.Error())
@@ -202,11 +207,7 @@ func (f *File) metaTouch(items int64) {
 	if items <= 0 {
 		return
 	}
-	miss := float64(items) * (1 - f.lib.cfg.MDC.HitRate())
-	misses := int64(miss)
-	if f.lib.sim.Rand().Float64() < miss-float64(misses) {
-		misses++
-	}
+	misses := MetaMisses(items, f.lib.cfg.MDC.HitRate(), f.lib.sim.Rand().Float64())
 	if misses > 0 {
 		f.metaRead(misses)
 	}
@@ -221,16 +222,7 @@ func (f *File) flushMetadata() {
 	}
 	cfg := f.lib.cfg
 	off := f.allocateMeta(f.metaPendingBytes)
-	var requests int64
-	if cfg.CollMetadataWrite {
-		block := cfg.MetaBlockSize
-		if block < metaItemSize {
-			block = metaItemSize
-		}
-		requests = (f.metaPendingBytes + block - 1) / block
-	} else {
-		requests = f.metaPendingItems
-	}
+	requests := MetaFlushRequests(cfg.CollMetadataWrite, cfg.MetaBlockSize, f.metaPendingBytes, f.metaPendingItems)
 	ext := []ioreq.Extent{{Offset: off, Size: f.metaPendingBytes, Rank: 0, Count: requests}}
 	elapsed, err := f.mpf.WriteIndependent(ext)
 	if err != nil {
@@ -300,6 +292,9 @@ func (f *File) CreateGroup(name string) error {
 	}
 	f.groups[name] = true
 	f.addMetadata(groupHeaderBytes)
+	if f.lib.tracer != nil {
+		f.lib.tracer.OnCreateGroup(f.name, name)
+	}
 	return nil
 }
 
@@ -320,5 +315,8 @@ func (f *File) WriteAttribute(name string, size int64) error {
 		size = attributeHeaderBytes
 	}
 	f.addMetadata(size)
+	if f.lib.tracer != nil {
+		f.lib.tracer.OnAttribute(f.name, name, size)
+	}
 	return nil
 }

@@ -1,0 +1,372 @@
+package hdf5
+
+import (
+	"fmt"
+	"slices"
+
+	"tunio/internal/ioreq"
+)
+
+// This file holds the pure planning core of the library: the functions
+// that map hyperslab transfers to file extents and metadata operations
+// without touching the simulation clock. The live Dataset/File code paths
+// and the staged trace-replay engine (internal/replay) both execute these
+// same functions, so a replayed plan is extent-for-extent identical to a
+// live run by construction.
+
+// Exported metadata model constants (shared with the replay planner).
+const (
+	// MetaItemSize is the modeled size of one metadata item.
+	MetaItemSize = metaItemSize
+	// SuperblockBytes is the metadata written when a file is created.
+	SuperblockBytes = superblockBytes
+	// ObjectHeaderBytes is the metadata created per dataset.
+	ObjectHeaderBytes = objectHeaderBytes
+	// GroupHeaderBytes is the metadata created per group.
+	GroupHeaderBytes = groupHeaderBytes
+	// AttributeHeaderBytes is the minimum metadata footprint of an attribute.
+	AttributeHeaderBytes = attributeHeaderBytes
+	// OpenFileMetaItems is the metadata items read when opening a file.
+	OpenFileMetaItems = 4
+	// OpenDatasetMetaItems is the metadata items read when opening a dataset.
+	OpenDatasetMetaItems = 2
+)
+
+// Align rounds offset up per the alignment policy for an allocation of
+// size bytes (the exported form of the allocator's alignment rule).
+func (c Config) Align(offset, size int64) int64 { return c.align(offset, size) }
+
+// MetaItemsFor returns the number of metadata items bytes of new dirty
+// metadata occupy (the unit addMetadata accounts in).
+func MetaItemsFor(bytes int64) int64 {
+	items := (bytes + metaItemSize - 1) / metaItemSize
+	if items < 1 {
+		items = 1
+	}
+	return items
+}
+
+// MetaReadExtents builds the extents of a metadata read of items items:
+// one read from rank 0 under collective metadata ops, otherwise one per
+// node (clients on a node share the Lustre client cache). The extents are
+// appended to dst, which may be nil or a reused buffer.
+func MetaReadExtents(collective bool, nprocs, ppn int, items int64, dst []ioreq.Extent) []ioreq.Extent {
+	if items <= 0 {
+		return dst
+	}
+	if collective {
+		return append(dst, ioreq.Extent{
+			Offset: 0, Size: items * metaItemSize, Rank: 0, Count: items,
+		})
+	}
+	nodes := (nprocs + ppn - 1) / ppn
+	for n := 0; n < nodes; n++ {
+		dst = append(dst, ioreq.Extent{
+			Offset: 0, Size: items * metaItemSize, Rank: n * ppn, Count: items,
+		})
+	}
+	return dst
+}
+
+// MetaFlushRequests returns the request count of a metadata flush of bytes
+// dirty bytes in items items: aggregated into metaBlockSize blocks under
+// collective metadata writes, one small write per item otherwise.
+func MetaFlushRequests(collective bool, metaBlockSize, bytes, items int64) int64 {
+	if !collective {
+		return items
+	}
+	block := metaBlockSize
+	if block < metaItemSize {
+		block = metaItemSize
+	}
+	return (bytes + block - 1) / block
+}
+
+// MetaMisses returns how many of items metadata touches miss a cache with
+// the given hit rate. draw is a uniform [0,1) variate that resolves the
+// fractional expected miss stochastically; callers must consume exactly
+// one RNG draw per call to keep replayed noise streams aligned.
+func MetaMisses(items int64, hitRate, draw float64) int64 {
+	miss := float64(items) * (1 - hitRate)
+	misses := int64(miss)
+	if draw < miss-float64(misses) {
+		misses++
+	}
+	return misses
+}
+
+// ContiguousSlabExtents converts one slab of a contiguous-layout dataset
+// into file extents, applying sieve-buffer coalescing of small strided
+// segments. Extents are appended to dst (which may be a reused buffer).
+func ContiguousSlabExtents(space Space, sl Slab, dataOffset, sieve int64, dst []ioreq.Extent) []ioreq.Extent {
+	g := space.Geometry(sl)
+	totalBytes := g.SegBytes * g.NSegments
+
+	// Sieve buffer: small strided segments coalesce into sieve-sized
+	// requests over the slab's span, reducing the effective request count.
+	effSegs := g.NSegments
+	if sieve > 0 && g.NSegments > 1 && g.SegBytes < sieve {
+		perSieve := sieve / g.SegBytes
+		if perSieve > 1 {
+			effSegs = (g.NSegments + perSieve - 1) / perSieve
+		}
+	}
+
+	if g.NSegments == 1 {
+		return append(dst, ioreq.Extent{
+			Offset: dataOffset + g.FirstByte,
+			Size:   totalBytes,
+			Rank:   sl.Rank,
+		})
+	}
+
+	// Group segments into at most maxExtentsPerSlab representative extents.
+	groups := effSegs
+	if groups > maxExtentsPerSlab {
+		groups = maxExtentsPerSlab
+	}
+	segsPerGroup := (g.NSegments + groups - 1) / groups
+	reqsPerGroup := (effSegs + groups - 1) / groups
+
+	var cur int64
+	var groupStart int64 = -1
+	var groupBytes int64
+	var inGroup int64
+	space.ForEachSegment(sl, func(off, size int64) bool {
+		if groupStart < 0 {
+			groupStart = off
+		}
+		groupBytes += size
+		inGroup++
+		cur++
+		if inGroup == segsPerGroup || cur == g.NSegments {
+			dst = append(dst, ioreq.Extent{
+				Offset: dataOffset + groupStart,
+				Size:   groupBytes,
+				Rank:   sl.Rank,
+				Count:  reqsPerGroup,
+				Span:   off + size - groupStart, // true strided footprint
+			})
+			groupStart = -1
+			groupBytes = 0
+			inGroup = 0
+		}
+		return true
+	})
+	return dst
+}
+
+// ChunkPlanner holds the chunk layout and allocation bookkeeping of one
+// chunked dataset and turns transfer phases into extents. It is the single
+// implementation behind both the live Dataset path and the replay planner.
+type ChunkPlanner struct {
+	name  string
+	space Space
+	dims  []int64 // chunk dims
+	grid  []int64 // chunks per dimension
+	bytes int64   // bytes per chunk
+
+	off     map[int64]int64 // chunk linear index -> file offset
+	written map[int64]int64 // bytes ever written per chunk
+
+	// Reusable per-Plan scratch (one planner serves sequential phases).
+	works    []chunkWork
+	workIdx  map[int64]int
+	order    []int64
+	readBuf  []ioreq.Extent
+	dataBuf  []ioreq.Extent
+	lo, hi   []int64
+	coord    []int64
+	boxStart []int64
+	boxCount []int64
+	locStart []int64
+}
+
+type chunkWork struct {
+	linear  int64
+	covered int64
+	pieces  []ioreq.Extent // in-chunk extents (chunk-relative)
+}
+
+// NewChunkPlanner validates the chunk dims against the dataspace and
+// returns a planner.
+func NewChunkPlanner(name string, space Space, chunkDims []int64) (*ChunkPlanner, error) {
+	if len(chunkDims) != len(space.Dims) {
+		return nil, fmt.Errorf("hdf5: chunk rank %d does not match dataspace rank %d", len(chunkDims), len(space.Dims))
+	}
+	p := &ChunkPlanner{
+		name:    name,
+		space:   space,
+		dims:    append([]int64(nil), chunkDims...),
+		grid:    make([]int64, len(chunkDims)),
+		bytes:   space.Elem,
+		off:     make(map[int64]int64),
+		written: make(map[int64]int64),
+		workIdx: make(map[int64]int),
+	}
+	for i, c := range chunkDims {
+		if c <= 0 || c > space.Dims[i] {
+			return nil, fmt.Errorf("hdf5: chunk dim %d is %d, want 1..%d", i, c, space.Dims[i])
+		}
+		p.bytes *= c
+		p.grid[i] = (space.Dims[i] + c - 1) / c
+	}
+	n := len(chunkDims)
+	p.lo = make([]int64, n)
+	p.hi = make([]int64, n)
+	p.coord = make([]int64, n)
+	p.boxStart = make([]int64, n)
+	p.boxCount = make([]int64, n)
+	p.locStart = make([]int64, n)
+	return p, nil
+}
+
+// ChunkBytes returns the chunk size in bytes.
+func (p *ChunkPlanner) ChunkBytes() int64 { return p.bytes }
+
+// forEachTouchedChunk invokes fn for every chunk a slab intersects, with
+// the chunk's linear index and grid coordinates.
+func (p *ChunkPlanner) forEachTouchedChunk(sl Slab, fn func(linear int64, gridCoord []int64)) {
+	n := len(p.dims)
+	lo, hi := p.lo, p.hi
+	for i := 0; i < n; i++ {
+		lo[i] = sl.Start[i] / p.dims[i]
+		hi[i] = (sl.Start[i] + sl.Count[i] - 1) / p.dims[i]
+	}
+	coord := p.coord
+	copy(coord, lo)
+	for {
+		linear := int64(0)
+		for i := 0; i < n; i++ {
+			linear = linear*p.grid[i] + coord[i]
+		}
+		fn(linear, coord)
+		carry := true
+		for i := n - 1; i >= 0 && carry; i-- {
+			coord[i]++
+			if coord[i] <= hi[i] {
+				carry = false
+			} else {
+				coord[i] = lo[i]
+			}
+		}
+		if carry {
+			return
+		}
+	}
+}
+
+// ChunkPhase is the I/O a chunked transfer phase performs: an optional
+// read-modify-write prefetch, the data extents, the chunk-index metadata
+// touches, and how many chunks were newly allocated (each adds one
+// MetaItemSize metadata item). The Read/Data slices are planner-owned
+// scratch, valid until the next Plan call.
+type ChunkPhase struct {
+	Read        []ioreq.Extent
+	Data        []ioreq.Extent
+	MetaTouches int64
+	NewChunks   int64
+}
+
+// Plan resolves one collective transfer phase against the chunk state:
+// which chunks are touched, which need read-modify-write, what lands in
+// the chunk cache, and where newly allocated chunks go (via alloc, which
+// must apply the file's alignment policy and advance its allocator).
+func (p *ChunkPlanner) Plan(slabs []Slab, isWrite bool, cache *ChunkCache, alloc func(size int64) int64) ChunkPhase {
+	p.works = p.works[:0]
+	clear(p.workIdx)
+
+	for _, sl := range slabs {
+		p.forEachTouchedChunk(sl, func(linear int64, gridCoord []int64) {
+			boxStart, boxCount := p.boxStart, p.boxCount
+			for i, gc := range gridCoord {
+				boxStart[i] = gc * p.dims[i]
+				boxCount[i] = min64s(p.dims[i], p.space.Dims[i]-boxStart[i])
+			}
+			inter, ok := p.space.intersect(sl, boxStart, boxCount)
+			if !ok {
+				return
+			}
+			// chunk-relative slab in chunk-local space
+			local := Slab{Rank: sl.Rank, Start: p.locStart, Count: inter.Count}
+			for i := range gridCoord {
+				local.Start[i] = inter.Start[i] - boxStart[i]
+			}
+			chunkSpace := Space{Dims: p.dims, Elem: p.space.Elem}
+			g := chunkSpace.Geometry(local)
+			bytes := chunkSpace.SlabBytes(local)
+
+			idx, ok := p.workIdx[linear]
+			if !ok {
+				if len(p.works) < cap(p.works) {
+					p.works = p.works[:len(p.works)+1]
+				} else {
+					p.works = append(p.works, chunkWork{})
+				}
+				idx = len(p.works) - 1
+				w := &p.works[idx]
+				w.linear = linear
+				w.covered = 0
+				w.pieces = w.pieces[:0]
+				p.workIdx[linear] = idx
+			}
+			w := &p.works[idx]
+			w.covered += bytes
+			w.pieces = append(w.pieces, ioreq.Extent{
+				Offset: g.FirstByte, // chunk-relative; rebased below
+				Size:   bytes,
+				Rank:   sl.Rank,
+				Count:  g.NSegments,
+				Span:   g.SpanBytes,
+			})
+		})
+	}
+
+	// Deterministic ordering of chunks.
+	p.order = p.order[:0]
+	for i := range p.works {
+		p.order = append(p.order, p.works[i].linear)
+	}
+	slices.Sort(p.order)
+
+	ph := ChunkPhase{Read: p.readBuf[:0], Data: p.dataBuf[:0]}
+	for _, linear := range p.order {
+		w := &p.works[p.workIdx[linear]]
+		off, allocated := p.off[linear]
+		if !allocated {
+			off = alloc(p.bytes)
+			p.off[linear] = off
+			ph.NewChunks++ // chunk index entry (MetaItemSize of metadata)
+		}
+		ph.MetaTouches++ // chunk index lookup
+
+		if isWrite {
+			prior := p.written[linear]
+			partial := w.covered < p.bytes
+			if partial && prior > 0 && !cache.contains(p.name, linear) {
+				// read-modify-write: fetch the chunk first
+				ph.Read = append(ph.Read, ioreq.Extent{
+					Offset: off, Size: p.bytes, Rank: w.pieces[0].Rank,
+				})
+			}
+			cache.insert(p.name, linear, p.bytes)
+			p.written[linear] = min64s(prior+w.covered, p.bytes)
+			for _, piece := range w.pieces {
+				piece.Offset += off
+				ph.Data = append(ph.Data, piece)
+			}
+		} else {
+			if cache.contains(p.name, linear) {
+				continue // served from cache
+			}
+			// HDF5 reads whole chunks through the cache.
+			ph.Data = append(ph.Data, ioreq.Extent{
+				Offset: off, Size: p.bytes, Rank: w.pieces[0].Rank,
+			})
+			cache.insert(p.name, linear, p.bytes)
+		}
+	}
+	p.readBuf = ph.Read[:0]
+	p.dataBuf = ph.Data[:0]
+	return ph
+}

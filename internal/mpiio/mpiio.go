@@ -28,6 +28,11 @@ type Hints struct {
 	CBBufferSize    int64 // cb_buffer_size: staging buffer per aggregator
 }
 
+// Fill normalizes hints for a communicator of nprocs processes (the
+// normalization Open applies; exported for plan lowering, which computes
+// aggregation schedules outside an open file handle).
+func (h Hints) Fill(nprocs int) Hints { return h.fill(nprocs) }
+
 // fill normalizes hints for a communicator of nprocs processes.
 func (h Hints) fill(nprocs int) Hints {
 	if h.CBNodes <= 0 {
@@ -124,14 +129,38 @@ func (f *File) transferAll(extents []ioreq.Extent, isWrite bool) (float64, error
 	if !collective {
 		return f.independent(extents, isWrite)
 	}
+	return f.ExecCollective(PlanCollective(extents, f.hints, f.nprocs, f.sim.Cluster.ProcsPerNode), isWrite), nil
+}
 
-	total := ioreq.TotalBytes(extents)
+// CollRound is one two-phase round of a collective plan: the aggregator
+// file extents issued together and the bytes shuffled over the network.
+type CollRound struct {
+	Extents []ioreq.Extent
+	Bytes   int64
+}
+
+// CollPlan is the precomputed two-phase aggregation schedule of one
+// collective transfer. It is pure integer data — independent of the clock,
+// the RNG, and the storage backend — so it depends only on the extents and
+// the {cb_nodes, cb_buffer_size, nprocs, ppn} projection and can be cached
+// and replayed across configurations that share those values.
+type CollPlan struct {
+	Rounds   []CollRound
+	SrcNodes int
+	AggNodes int
+	Total    int64 // application bytes (sum over requesting extents)
+}
+
+// PlanCollective computes the two-phase aggregation schedule for a
+// collective transfer of extents under filled hints h. Extents must already
+// be validated.
+func PlanCollective(extents []ioreq.Extent, h Hints, nprocs, ppn int) *CollPlan {
 	runs := coverageRuns(extents)
 
 	// Partition the covered byte range among aggregators in contiguous
 	// file-domain slices, then stage cb_buffer_size bytes per aggregator
 	// per round.
-	agg := f.hints.CBNodes
+	agg := h.CBNodes
 	var covered int64
 	for _, r := range runs {
 		covered += r.Size
@@ -140,15 +169,14 @@ func (f *File) transferAll(extents []ioreq.Extent, isWrite bool) (float64, error
 	if domain == 0 {
 		domain = 1
 	}
-	rounds := int((domain + f.hints.CBBufferSize - 1) / f.hints.CBBufferSize)
+	rounds := int((domain + h.CBBufferSize - 1) / h.CBBufferSize)
 	if rounds == 0 {
 		rounds = 1
 	}
 
 	// Aggregators are spread evenly over the ranks (ROMIO picks one per
 	// node where possible), so count the distinct nodes they land on.
-	ppn := f.sim.Cluster.ProcsPerNode
-	spacing := f.nprocs / agg
+	spacing := nprocs / agg
 	if spacing < 1 {
 		spacing = 1
 	}
@@ -156,14 +184,17 @@ func (f *File) transferAll(extents []ioreq.Extent, isWrite bool) (float64, error
 	for a := 0; a < agg; a++ {
 		aggNodeSet[(a*spacing)/ppn] = struct{}{}
 	}
-	aggNodes := len(aggNodeSet)
-	srcNodes := f.nprocs / ppn
-	if f.nprocs%ppn != 0 {
+	srcNodes := nprocs / ppn
+	if nprocs%ppn != 0 {
 		srcNodes++
 	}
 
-	elapsed := 0.0
-	perRound := f.hints.CBBufferSize
+	plan := &CollPlan{
+		SrcNodes: srcNodes,
+		AggNodes: len(aggNodeSet),
+		Total:    ioreq.TotalBytes(extents),
+	}
+	perRound := h.CBBufferSize
 	for round := 0; round < rounds; round++ {
 		var roundExtents []ioreq.Extent
 		var roundBytes int64
@@ -187,24 +218,35 @@ func (f *File) transferAll(extents []ioreq.Extent, isWrite bool) (float64, error
 		if len(roundExtents) == 0 {
 			continue
 		}
+		plan.Rounds = append(plan.Rounds, CollRound{Extents: roundExtents, Bytes: roundBytes})
+	}
+	return plan
+}
+
+// ExecCollective services a precomputed collective plan against the live
+// backend, charging shuffle, storage, and barrier time in the same order as
+// a directly issued collective transfer.
+func (f *File) ExecCollective(p *CollPlan, isWrite bool) float64 {
+	elapsed := 0.0
+	for _, rd := range p.Rounds {
 		if isWrite {
 			// Phase 1: shuffle rank data to aggregators; ~one message per
 			// (rank, aggregator) pair that exchanges data, bounded by ranks.
-			elapsed += f.sim.NetworkShuffle(roundBytes, srcNodes, aggNodes, f.nprocs)
-			elapsed += f.backend.WritePhase(f.name, roundExtents)
+			elapsed += f.sim.NetworkShuffle(rd.Bytes, p.SrcNodes, p.AggNodes, f.nprocs)
+			elapsed += f.backend.WritePhase(f.name, rd.Extents)
 		} else {
-			elapsed += f.backend.ReadPhase(f.name, roundExtents)
-			elapsed += f.sim.NetworkShuffle(roundBytes, aggNodes, srcNodes, f.nprocs)
+			elapsed += f.backend.ReadPhase(f.name, rd.Extents)
+			elapsed += f.sim.NetworkShuffle(rd.Bytes, p.AggNodes, p.SrcNodes, f.nprocs)
 		}
 	}
 	elapsed += f.sim.Barrier(f.nprocs)
 
 	if isWrite {
-		f.sim.Report.AddWrite("mpiio", total, elapsed)
+		f.sim.Report.AddWrite("mpiio", p.Total, elapsed)
 	} else {
-		f.sim.Report.AddRead("mpiio", total, elapsed)
+		f.sim.Report.AddRead("mpiio", p.Total, elapsed)
 	}
-	return elapsed, nil
+	return elapsed
 }
 
 // coverageRuns merges all extents (ignoring rank) into disjoint sorted

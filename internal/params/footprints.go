@@ -1,0 +1,48 @@
+package params
+
+// Stage footprints declare which parameters each stage of the staged
+// trace-replay evaluation engine (internal/replay) actually reads. Two
+// assignments whose projections onto a stage's footprint are equal produce
+// byte-identical stage artifacts, so the engine caches each stage's output
+// keyed by the assignment's ProjectionKey over that footprint.
+//
+// The three stages mirror the stack layers a transfer flows through:
+//
+//   - PlanStage: HDF5 slab→extent/chunk planning. Reads the alignment
+//     policy (data offsets), the sieve buffer (extent coalescing), and the
+//     chunk cache capacity (which chunks need read-modify-write).
+//   - AggregateStage: MPI-IO two-phase lowering plus metadata routing.
+//     Reads the collective-buffering hints and the collective-metadata
+//     switches (which decide how planned extents become wire requests).
+//     The aggregation schedule is computed over the plan-stage artifact, so
+//     its cache key is the union of both footprints.
+//   - ServiceStage: Lustre/cluster service of the wire plan. Striping and
+//     the metadata-cache level feed the runtime cost model directly; this
+//     stage also consumes the run seed (noise), so it is never cached.
+var (
+	PlanStage = []string{Alignment, SieveBufSize, ChunkCache}
+
+	AggregateStage = []string{
+		CollectiveWrite, CBNodes, CBBufferSize,
+		CollMetadataOps, CollMetadataWrite, MetaBlockSize,
+	}
+
+	ServiceStage = []string{StripingFactor, StripingUnit, MDCConfig}
+)
+
+// ProjectionKey returns a compact comparable key identifying the
+// assignment's projection onto the named parameters: the stage-cache key.
+// Value indices (not raw values) are encoded, one byte each — every value
+// list in Space() has fewer than 256 entries. Names must exist in the
+// assignment's space.
+func (a *Assignment) ProjectionKey(names []string) string {
+	buf := make([]byte, len(names))
+	for i, name := range names {
+		j := Index(a.space, name)
+		if j < 0 {
+			panic("params: unknown parameter " + name)
+		}
+		buf[i] = byte(a.idx[j])
+	}
+	return string(buf)
+}

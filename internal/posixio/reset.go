@@ -1,0 +1,6 @@
+package posixio
+
+// Reset discards all files, returning the MemFS to its post-NewMemFS state.
+func (m *MemFS) Reset() {
+	clear(m.files)
+}

@@ -1,0 +1,113 @@
+package replay
+
+import (
+	"sync"
+
+	"tunio/internal/hdf5"
+	"tunio/internal/params"
+)
+
+// wireFootprint is the union of the plan and aggregate footprints: the
+// parameters a wire plan depends on.
+var wireFootprint = append(append([]string{}, params.PlanStage...), params.AggregateStage...)
+
+// StageCache memoizes the staged artifacts of one trace by parameter
+// projection: stack plans keyed by the plan footprint, wire plans keyed by
+// the plan+aggregate footprint. A GA population whose genomes differ only
+// in service-stage parameters (striping, mdc_conf) shares a single wire
+// plan across all of them. Safe for concurrent use.
+type StageCache struct {
+	trace *Trace
+
+	mu    sync.Mutex
+	plans map[string]*StackPlan
+	wires map[string]*WirePlan
+	stats StageStats
+}
+
+// StageStats counts cache traffic per stage.
+type StageStats struct {
+	PlanHits, PlanMisses int64
+	WireHits, WireMisses int64
+}
+
+// PlanHitRate returns the stage-1 hit fraction (0 when never queried).
+func (s StageStats) PlanHitRate() float64 {
+	if t := s.PlanHits + s.PlanMisses; t > 0 {
+		return float64(s.PlanHits) / float64(t)
+	}
+	return 0
+}
+
+// WireHitRate returns the stage-2 hit fraction (0 when never queried).
+func (s StageStats) WireHitRate() float64 {
+	if t := s.WireHits + s.WireMisses; t > 0 {
+		return float64(s.WireHits) / float64(t)
+	}
+	return 0
+}
+
+// NewStageCache returns an empty cache over the trace.
+func NewStageCache(t *Trace) *StageCache {
+	return &StageCache{
+		trace: t,
+		plans: map[string]*StackPlan{},
+		wires: map[string]*WirePlan{},
+	}
+}
+
+// Trace returns the underlying trace.
+func (c *StageCache) Trace() *Trace { return c.trace }
+
+// Stats returns a snapshot of the cache counters.
+func (c *StageCache) Stats() StageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// WireFor returns the wire plan of the assignment's configuration, building
+// (and caching) the stage artifacts its projections miss. s must be
+// a.Settings() and ppn the cluster's processes per node.
+func (c *StageCache) WireFor(a *params.Assignment, s params.StackSettings, ppn int) (*WirePlan, error) {
+	wireKey := a.ProjectionKey(wireFootprint)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wp, ok := c.wires[wireKey]; ok {
+		c.stats.WireHits++
+		return wp, nil
+	}
+	c.stats.WireMisses++
+	sp, err := c.planLocked(a, s.HDF5)
+	if err != nil {
+		return nil, err
+	}
+	wp := LowerPlan(sp, s.Hints, s.HDF5, ppn)
+	c.wires[wireKey] = wp
+	return wp, nil
+}
+
+func (c *StageCache) planLocked(a *params.Assignment, cfg hdf5.Config) (*StackPlan, error) {
+	planKey := a.ProjectionKey(params.PlanStage)
+	if sp, ok := c.plans[planKey]; ok {
+		c.stats.PlanHits++
+		return sp, nil
+	}
+	c.stats.PlanMisses++
+	sp, err := BuildStackPlan(c.trace, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.plans[planKey] = sp
+	return sp, nil
+}
+
+// Lower is the uncached form of WireFor, used by tests comparing cache-hit
+// artifacts to fresh recomputation.
+func (c *StageCache) Lower(s params.StackSettings, ppn int) (*WirePlan, error) {
+	sp, err := BuildStackPlan(c.trace, s.HDF5)
+	if err != nil {
+		return nil, err
+	}
+	return LowerPlan(sp, s.Hints, s.HDF5, ppn), nil
+}

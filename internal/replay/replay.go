@@ -26,11 +26,16 @@ type EventKind string
 // Trace event kinds.
 const (
 	EvCreateFile    EventKind = "create_file"
+	EvOpenFile      EventKind = "open_file"
 	EvCloseFile     EventKind = "close_file"
 	EvCreateDataset EventKind = "create_dataset"
+	EvOpenDataset   EventKind = "open_dataset"
+	EvCreateGroup   EventKind = "create_group"
+	EvAttribute     EventKind = "attribute"
 	EvWrite         EventKind = "write"
 	EvRead          EventKind = "read"
 	EvCompute       EventKind = "compute"
+	EvBarrier       EventKind = "barrier"
 )
 
 // Slab mirrors one rank's hyperslab in a phase.
@@ -40,7 +45,8 @@ type Slab struct {
 	Count []int64 `json:"count"`
 }
 
-// Event is one recorded operation.
+// Event is one recorded operation. Dataset doubles as the group or
+// attribute name for EvCreateGroup/EvAttribute events.
 type Event struct {
 	Kind    EventKind `json:"kind"`
 	File    string    `json:"file,omitempty"`
@@ -50,6 +56,8 @@ type Event struct {
 	Chunk   []int64   `json:"chunk,omitempty"`
 	Slabs   []Slab    `json:"slabs,omitempty"`
 	Flops   float64   `json:"flops,omitempty"`
+	N       int       `json:"n,omitempty"`     // barrier depth
+	Bytes   int64     `json:"bytes,omitempty"` // attribute footprint
 }
 
 // Trace is a recorded I/O kernel.
@@ -101,9 +109,36 @@ func (r *Recorder) OnCreateFile(name string) {
 	r.trace.Events = append(r.trace.Events, Event{Kind: EvCreateFile, File: name})
 }
 
+// OnOpenFile implements hdf5.Tracer.
+func (r *Recorder) OnOpenFile(name string) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvOpenFile, File: name})
+}
+
 // OnCloseFile implements hdf5.Tracer.
 func (r *Recorder) OnCloseFile(name string) {
 	r.trace.Events = append(r.trace.Events, Event{Kind: EvCloseFile, File: name})
+}
+
+// OnOpenDataset implements hdf5.Tracer.
+func (r *Recorder) OnOpenDataset(file, name string) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvOpenDataset, File: file, Dataset: name})
+}
+
+// OnCreateGroup implements hdf5.Tracer.
+func (r *Recorder) OnCreateGroup(file, name string) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvCreateGroup, File: file, Dataset: name})
+}
+
+// OnAttribute implements hdf5.Tracer.
+func (r *Recorder) OnAttribute(file, name string, bytes int64) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvAttribute, File: file, Dataset: name, Bytes: bytes})
+}
+
+// OnBarrier records an application-level barrier (MPI_Init/Finalize/
+// MPI_Barrier in interpreted kernels), observed through the simulation's
+// barrier hook.
+func (r *Recorder) OnBarrier(n int) {
+	r.trace.Events = append(r.trace.Events, Event{Kind: EvBarrier, N: n})
 }
 
 // OnCreateDataset implements hdf5.Tracer.
@@ -138,16 +173,26 @@ func (r *Recorder) OnCompute(flops float64) {
 }
 
 // Record executes a workload once on a fresh stack and returns its trace,
-// including compute phases observed through the simulation's compute hook.
+// including compute and barrier phases observed through the simulation's
+// hooks.
 func Record(w workload.Workload, st *workload.Stack) (*Trace, error) {
+	return RecordFunc(st, w.Run)
+}
+
+// RecordFunc records whatever run drives on the stack — the general form
+// of Record for runners that are not workload.Workload values (e.g. the C
+// interpreter executing a discovered kernel).
+func RecordFunc(st *workload.Stack, run func(st *workload.Stack) error) (*Trace, error) {
 	rec := NewRecorder(st.Lib.Nprocs())
 	detach := rec.Attach(st.Lib)
 	st.Sim.ComputeHook = rec.OnCompute
+	st.Sim.BarrierHook = rec.OnBarrier
 	defer func() {
 		detach()
 		st.Sim.ComputeHook = nil
+		st.Sim.BarrierHook = nil
 	}()
-	if err := w.Run(st); err != nil {
+	if err := run(st); err != nil {
 		return nil, err
 	}
 	return rec.Trace(), nil
@@ -179,11 +224,18 @@ func (p *Player) Run(st *workload.Stack) error {
 	files := map[string]*hdf5.File{}
 	datasets := map[string]*hdf5.Dataset{}
 	key := func(file, ds string) string { return file + "\x00" + ds }
+	var slabBuf []hdf5.Slab // reused across transfer events
 
 	for i, ev := range p.T.Events {
 		switch ev.Kind {
 		case EvCreateFile:
 			f, err := st.Lib.CreateFile(ev.File)
+			if err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+			files[ev.File] = f
+		case EvOpenFile:
+			f, err := st.Lib.OpenFile(ev.File)
 			if err != nil {
 				return fmt.Errorf("replay: event %d: %w", i, err)
 			}
@@ -214,15 +266,42 @@ func (p *Player) Run(st *workload.Stack) error {
 				return fmt.Errorf("replay: event %d: %w", i, err)
 			}
 			datasets[key(ev.File, ev.Dataset)] = ds
+		case EvOpenDataset:
+			f := files[ev.File]
+			if f == nil {
+				return fmt.Errorf("replay: event %d: dataset on unopened %s", i, ev.File)
+			}
+			ds, err := f.OpenDataset(ev.Dataset)
+			if err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+			datasets[key(ev.File, ev.Dataset)] = ds
+		case EvCreateGroup:
+			f := files[ev.File]
+			if f == nil {
+				return fmt.Errorf("replay: event %d: group on unopened %s", i, ev.File)
+			}
+			if err := f.CreateGroup(ev.Dataset); err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
+		case EvAttribute:
+			f := files[ev.File]
+			if f == nil {
+				return fmt.Errorf("replay: event %d: attribute on unopened %s", i, ev.File)
+			}
+			if err := f.WriteAttribute(ev.Dataset, ev.Bytes); err != nil {
+				return fmt.Errorf("replay: event %d: %w", i, err)
+			}
 		case EvWrite, EvRead:
 			ds := datasets[key(ev.File, ev.Dataset)]
 			if ds == nil {
 				return fmt.Errorf("replay: event %d: transfer on unknown dataset %s", i, ev.Dataset)
 			}
-			slabs := make([]hdf5.Slab, len(ev.Slabs))
-			for si, sl := range ev.Slabs {
-				slabs[si] = hdf5.Slab{Rank: sl.Rank, Start: sl.Start, Count: sl.Count}
+			slabs := slabBuf[:0]
+			for _, sl := range ev.Slabs {
+				slabs = append(slabs, hdf5.Slab{Rank: sl.Rank, Start: sl.Start, Count: sl.Count})
 			}
+			slabBuf = slabs[:0]
 			var err error
 			if ev.Kind == EvWrite {
 				_, err = ds.Write(slabs)
@@ -236,6 +315,8 @@ func (p *Player) Run(st *workload.Stack) error {
 			if !p.SkipCompute {
 				st.Sim.Compute(ev.Flops)
 			}
+		case EvBarrier:
+			st.Sim.Barrier(ev.N)
 		default:
 			return fmt.Errorf("replay: event %d: unknown kind %q", i, ev.Kind)
 		}

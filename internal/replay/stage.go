@@ -1,0 +1,459 @@
+package replay
+
+import (
+	"fmt"
+
+	"tunio/internal/hdf5"
+	"tunio/internal/ioreq"
+	"tunio/internal/mpiio"
+	"tunio/internal/workload"
+)
+
+// The staged replay engine factors scoring a recorded trace under a
+// configuration into three stages mirroring the stack layers a transfer
+// flows through:
+//
+//	trace --(1: BuildStackPlan)--> StackPlan --(2: LowerPlan)--> WirePlan --(3: Runtime.Exec)--> report
+//
+// Stage 1 resolves HDF5-level behavior — allocation/alignment, sieve
+// coalescing, chunk planning with read-modify-write and chunk-cache
+// decisions, metadata dirtying — into file extents and abstract metadata
+// operations. It reads only the plan-footprint parameters (alignment,
+// sieve buffer, chunk cache; params.PlanStage).
+//
+// Stage 2 lowers planned operations onto the MPI-IO wire: collective
+// transfers get their two-phase aggregation schedule (mpiio.PlanCollective),
+// metadata reads materialize per-rank or collective extents, and metadata
+// flushes get their request counts. It additionally reads the aggregate
+// footprint (params.AggregateStage).
+//
+// Both artifacts are pure integer data — no clock, RNG, or backend state —
+// so they are cacheable by parameter projection (StageCache) and one
+// artifact scores every genome that shares the projection. Stage 3 replays
+// the wire plan against a live stack, consuming the service-footprint
+// parameters (striping, metadata-cache level) plus the run seed; it charges
+// time and counters through the same cluster/lustre/mpiio code paths in the
+// same order as a live run, so its report is bit-identical to one.
+
+type planOpKind uint8
+
+const (
+	opOpen planOpKind = iota
+	opMetaRead
+	opMetaTouch
+	opMetaFlush
+	opData
+	opBarrier
+	opCompute
+	opAccount
+)
+
+// planOp is one stage-1 operation. Field use by kind:
+//
+//	opOpen:      file
+//	opMetaRead:  file, items
+//	opMetaTouch: file, items
+//	opMetaFlush: file, items, offset, bytes
+//	opData:      file, isWrite, extents
+//	opBarrier:   n
+//	opCompute:   flops
+//	opAccount:   isWrite, bytes (app bytes), ops (app op count)
+type planOp struct {
+	kind    planOpKind
+	file    int32
+	isWrite bool
+	items   int64
+	offset  int64
+	bytes   int64
+	ops     int64
+	n       int
+	flops   float64
+	extents []ioreq.Extent
+}
+
+// StackPlan is the stage-1 artifact: the trace resolved to file extents and
+// abstract metadata operations under one plan-footprint projection.
+type StackPlan struct {
+	Nprocs int
+	Files  []string
+	ops    []planOp
+}
+
+// planFileState tracks one file's evolution while planning. Dataset state
+// is shared across close/reopen (like the live library's preserved dataset
+// map); the chunk cache is per-handle.
+type planFileState struct {
+	idx          int32
+	eof          int64
+	pendingBytes int64
+	pendingItems int64
+	datasets     map[string]*planDataset
+	cache        *hdf5.ChunkCache
+}
+
+type planDataset struct {
+	space      hdf5.Space
+	dataOffset int64
+	cp         *hdf5.ChunkPlanner
+}
+
+func (st *planFileState) addMeta(bytes int64) {
+	st.pendingBytes += bytes
+	st.pendingItems += hdf5.MetaItemsFor(bytes)
+}
+
+// BuildStackPlan resolves the trace under cfg's plan-footprint fields
+// (alignment policy, sieve buffer, chunk cache capacity). The returned plan
+// is immutable and safe to lower concurrently.
+func BuildStackPlan(t *Trace, cfg hdf5.Config) (*StackPlan, error) {
+	if t == nil || t.Nprocs <= 0 {
+		return nil, fmt.Errorf("replay: plan of empty trace")
+	}
+	plan := &StackPlan{Nprocs: t.Nprocs}
+	states := map[string]*planFileState{}
+	fileIdx := map[string]int32{}
+	var slabBuf []hdf5.Slab
+
+	fileOf := func(name string) int32 {
+		idx, ok := fileIdx[name]
+		if !ok {
+			idx = int32(len(plan.Files))
+			plan.Files = append(plan.Files, name)
+			fileIdx[name] = idx
+		}
+		return idx
+	}
+	emit := func(op planOp) { plan.ops = append(plan.ops, op) }
+
+	for i, ev := range t.Events {
+		switch ev.Kind {
+		case EvCreateFile:
+			idx := fileOf(ev.File)
+			st := &planFileState{
+				idx:      idx,
+				datasets: map[string]*planDataset{},
+				cache:    hdf5.NewChunkCache(cfg.ChunkCacheBytes),
+			}
+			states[ev.File] = st
+			emit(planOp{kind: opOpen, file: idx})
+			st.addMeta(hdf5.SuperblockBytes)
+
+		case EvOpenFile:
+			prev := states[ev.File]
+			if prev == nil {
+				return nil, fmt.Errorf("replay: event %d: open of unknown %s", i, ev.File)
+			}
+			st := &planFileState{
+				idx:      prev.idx,
+				eof:      prev.eof,
+				datasets: prev.datasets,
+				cache:    hdf5.NewChunkCache(cfg.ChunkCacheBytes),
+			}
+			states[ev.File] = st
+			emit(planOp{kind: opOpen, file: st.idx})
+			emit(planOp{kind: opMetaRead, file: st.idx, items: hdf5.OpenFileMetaItems})
+
+		case EvCloseFile:
+			st := states[ev.File]
+			if st == nil {
+				return nil, fmt.Errorf("replay: event %d: close of unopened %s", i, ev.File)
+			}
+			if st.pendingBytes > 0 {
+				off := st.eof // metadata is never aligned
+				st.eof += st.pendingBytes
+				emit(planOp{kind: opMetaFlush, file: st.idx,
+					offset: off, bytes: st.pendingBytes, items: st.pendingItems})
+				st.pendingBytes, st.pendingItems = 0, 0
+			}
+			emit(planOp{kind: opBarrier, n: t.Nprocs})
+
+		case EvCreateDataset:
+			st := states[ev.File]
+			if st == nil {
+				return nil, fmt.Errorf("replay: event %d: dataset on unopened %s", i, ev.File)
+			}
+			space, err := hdf5.NewSpace(ev.Dims, ev.Elem)
+			if err != nil {
+				return nil, fmt.Errorf("replay: event %d: %w", i, err)
+			}
+			ds := &planDataset{space: space}
+			if len(ev.Chunk) > 0 {
+				cp, err := hdf5.NewChunkPlanner(ev.Dataset, space, ev.Chunk)
+				if err != nil {
+					return nil, fmt.Errorf("replay: event %d: %w", i, err)
+				}
+				ds.cp = cp
+			} else {
+				size := space.TotalBytes()
+				ds.dataOffset = cfg.Align(st.eof, size)
+				st.eof = ds.dataOffset + size
+			}
+			st.addMeta(hdf5.ObjectHeaderBytes)
+			st.datasets[ev.Dataset] = ds
+
+		case EvOpenDataset:
+			st := states[ev.File]
+			if st == nil || st.datasets[ev.Dataset] == nil {
+				return nil, fmt.Errorf("replay: event %d: open of unknown dataset %s", i, ev.Dataset)
+			}
+			emit(planOp{kind: opMetaRead, file: st.idx, items: hdf5.OpenDatasetMetaItems})
+
+		case EvCreateGroup:
+			st := states[ev.File]
+			if st == nil {
+				return nil, fmt.Errorf("replay: event %d: group on unopened %s", i, ev.File)
+			}
+			st.addMeta(hdf5.GroupHeaderBytes)
+
+		case EvAttribute:
+			st := states[ev.File]
+			if st == nil {
+				return nil, fmt.Errorf("replay: event %d: attribute on unopened %s", i, ev.File)
+			}
+			st.addMeta(ev.Bytes)
+
+		case EvWrite, EvRead:
+			st := states[ev.File]
+			if st == nil {
+				return nil, fmt.Errorf("replay: event %d: transfer on unopened %s", i, ev.File)
+			}
+			ds := st.datasets[ev.Dataset]
+			if ds == nil {
+				return nil, fmt.Errorf("replay: event %d: transfer on unknown dataset %s", i, ev.Dataset)
+			}
+			if len(ev.Slabs) == 0 {
+				continue
+			}
+			isWrite := ev.Kind == EvWrite
+			slabs := slabBuf[:0]
+			for _, sl := range ev.Slabs {
+				slabs = append(slabs, hdf5.Slab{Rank: sl.Rank, Start: sl.Start, Count: sl.Count})
+			}
+			slabBuf = slabs[:0]
+			var appBytes int64
+			for _, sl := range slabs {
+				if err := ds.space.ValidateSlab(sl); err != nil {
+					return nil, fmt.Errorf("replay: event %d: %w", i, err)
+				}
+				appBytes += ds.space.SlabBytes(sl)
+			}
+
+			if ds.cp == nil {
+				// Contiguous: object-header revisits, then the sieved extents.
+				emit(planOp{kind: opMetaTouch, file: st.idx, items: int64(len(slabs))})
+				var extents []ioreq.Extent
+				for _, sl := range slabs {
+					extents = hdf5.ContiguousSlabExtents(ds.space, sl, ds.dataOffset, cfg.SieveBufSize, extents)
+				}
+				emit(planOp{kind: opData, file: st.idx, isWrite: isWrite, extents: extents})
+			} else {
+				ph := ds.cp.Plan(slabs, isWrite, st.cache, func(size int64) int64 {
+					off := cfg.Align(st.eof, size)
+					st.eof = off + size
+					return off
+				})
+				for n := int64(0); n < ph.NewChunks; n++ {
+					st.addMeta(hdf5.MetaItemSize) // chunk index entry
+				}
+				if ph.MetaTouches > 0 {
+					emit(planOp{kind: opMetaTouch, file: st.idx, items: ph.MetaTouches})
+				}
+				if len(ph.Read) > 0 {
+					// read-modify-write prefetch: a read phase even on writes
+					emit(planOp{kind: opData, file: st.idx, isWrite: false,
+						extents: append([]ioreq.Extent(nil), ph.Read...)})
+				}
+				if len(ph.Data) > 0 {
+					emit(planOp{kind: opData, file: st.idx, isWrite: isWrite,
+						extents: append([]ioreq.Extent(nil), ph.Data...)})
+				}
+			}
+			emit(planOp{kind: opAccount, isWrite: isWrite, bytes: appBytes, ops: int64(len(slabs))})
+
+		case EvCompute:
+			emit(planOp{kind: opCompute, flops: ev.Flops})
+
+		case EvBarrier:
+			emit(planOp{kind: opBarrier, n: ev.N})
+
+		default:
+			return nil, fmt.Errorf("replay: event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	return plan, nil
+}
+
+type wireOpKind uint8
+
+const (
+	wOpen wireOpKind = iota
+	wIndep
+	wColl
+	wMetaTouch
+	wBarrier
+	wCompute
+	wAccount
+)
+
+// wireOp is one stage-2 operation. metaItems > 0 marks a metadata transfer
+// (charged to the hdf5 meta counters instead of the transfer accumulator).
+type wireOp struct {
+	kind      wireOpKind
+	file      int32
+	isWrite   bool
+	metaItems int64
+	n         int
+	flops     float64
+	bytes     int64
+	ops       int64
+	extents   []ioreq.Extent
+	coll      *mpiio.CollPlan
+}
+
+// WirePlan is the stage-2 artifact: the stack plan lowered onto the MPI-IO
+// wire under one aggregate-footprint projection. Immutable; one wire plan
+// serves any number of concurrent stage-3 executions.
+type WirePlan struct {
+	Nprocs      int
+	PPN         int
+	Files       []string
+	CollMetaOps bool
+	ops         []wireOp
+}
+
+// LowerPlan lowers a stack plan onto the wire for the given (unfilled)
+// hints, cfg's aggregate-footprint fields, and ppn processes per node.
+func LowerPlan(sp *StackPlan, hints mpiio.Hints, cfg hdf5.Config, ppn int) *WirePlan {
+	h := hints.Fill(sp.Nprocs)
+	wp := &WirePlan{
+		Nprocs:      sp.Nprocs,
+		PPN:         ppn,
+		Files:       sp.Files,
+		CollMetaOps: cfg.CollMetadataOps,
+		ops:         make([]wireOp, 0, len(sp.ops)),
+	}
+	for i := range sp.ops {
+		op := &sp.ops[i]
+		switch op.kind {
+		case opOpen:
+			wp.ops = append(wp.ops, wireOp{kind: wOpen, file: op.file})
+		case opMetaRead:
+			wp.ops = append(wp.ops, wireOp{kind: wIndep, file: op.file,
+				metaItems: op.items,
+				extents:   hdf5.MetaReadExtents(cfg.CollMetadataOps, sp.Nprocs, ppn, op.items, nil)})
+		case opMetaTouch:
+			wp.ops = append(wp.ops, wireOp{kind: wMetaTouch, file: op.file, metaItems: op.items})
+		case opMetaFlush:
+			requests := hdf5.MetaFlushRequests(cfg.CollMetadataWrite, cfg.MetaBlockSize, op.bytes, op.items)
+			wp.ops = append(wp.ops, wireOp{kind: wIndep, file: op.file, isWrite: true,
+				metaItems: op.items,
+				extents:   []ioreq.Extent{{Offset: op.offset, Size: op.bytes, Rank: 0, Count: requests}}})
+		case opData:
+			collective := h.CollectiveWrite
+			if !op.isWrite {
+				collective = h.CollectiveRead
+			}
+			if collective {
+				wp.ops = append(wp.ops, wireOp{kind: wColl, file: op.file, isWrite: op.isWrite,
+					coll: mpiio.PlanCollective(op.extents, h, sp.Nprocs, ppn)})
+			} else {
+				wp.ops = append(wp.ops, wireOp{kind: wIndep, file: op.file, isWrite: op.isWrite,
+					extents: op.extents})
+			}
+		case opBarrier:
+			wp.ops = append(wp.ops, wireOp{kind: wBarrier, n: op.n})
+		case opCompute:
+			wp.ops = append(wp.ops, wireOp{kind: wCompute, flops: op.flops})
+		case opAccount:
+			wp.ops = append(wp.ops, wireOp{kind: wAccount, isWrite: op.isWrite,
+				bytes: op.bytes, ops: op.ops})
+		}
+	}
+	return wp
+}
+
+// Runtime executes wire plans against live stacks, keeping reusable scratch
+// (MPI-IO handles, metadata extent buffer) across executions. One Runtime
+// serves one goroutine.
+type Runtime struct {
+	mpfs    []*mpiio.File
+	metaBuf []ioreq.Extent
+}
+
+// Exec replays the wire plan against the stack, charging clock time and
+// darshan counters through the same layer code paths — in the same order,
+// consuming the same RNG stream — as a live run of the recorded workload
+// under the stack's configuration.
+func (rt *Runtime) Exec(wp *WirePlan, st *workload.Stack) error {
+	sim := st.Sim
+	lib := st.Lib
+	if lib.Nprocs() != wp.Nprocs {
+		return fmt.Errorf("replay: wire plan for %d procs, stack has %d", wp.Nprocs, lib.Nprocs())
+	}
+	hitRate := lib.Config().MDC.HitRate()
+	if cap(rt.mpfs) < len(wp.Files) {
+		rt.mpfs = make([]*mpiio.File, len(wp.Files))
+	}
+	mpfs := rt.mpfs[:len(wp.Files)]
+	clear(mpfs)
+
+	var acc float64 // current transfer's data-phase elapsed time
+	for i := range wp.ops {
+		op := &wp.ops[i]
+		switch op.kind {
+		case wOpen:
+			name := wp.Files[op.file]
+			mpf, err := mpiio.Open(sim, lib.Backend(name), name, wp.Nprocs, lib.Hints())
+			if err != nil {
+				return err
+			}
+			mpfs[op.file] = mpf
+		case wIndep:
+			var elapsed float64
+			var err error
+			if op.isWrite {
+				elapsed, err = mpfs[op.file].WriteIndependent(op.extents)
+			} else {
+				elapsed, err = mpfs[op.file].ReadIndependent(op.extents)
+			}
+			if err != nil {
+				return err
+			}
+			if op.metaItems > 0 {
+				sim.Report.AddMeta("hdf5", op.metaItems, elapsed)
+			} else {
+				acc += elapsed
+			}
+		case wColl:
+			acc += mpfs[op.file].ExecCollective(op.coll, op.isWrite)
+		case wMetaTouch:
+			misses := hdf5.MetaMisses(op.metaItems, hitRate, sim.Rand().Float64())
+			if misses > 0 {
+				extents := hdf5.MetaReadExtents(wp.CollMetaOps, wp.Nprocs, wp.PPN, misses, rt.metaBuf[:0])
+				rt.metaBuf = extents[:0]
+				elapsed, err := mpfs[op.file].ReadIndependent(extents)
+				if err != nil {
+					return err
+				}
+				sim.Report.AddMeta("hdf5", misses, elapsed)
+			}
+		case wBarrier:
+			sim.Barrier(op.n)
+		case wCompute:
+			sim.Compute(op.flops)
+		case wAccount:
+			lc := sim.Report.Layer("hdf5")
+			if op.isWrite {
+				lc.WriteOps += op.ops
+				lc.BytesWritten += op.bytes
+				lc.WriteTime += acc
+			} else {
+				lc.ReadOps += op.ops
+				lc.BytesRead += op.bytes
+				lc.ReadTime += acc
+			}
+			acc = 0
+		}
+	}
+	return nil
+}

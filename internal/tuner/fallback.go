@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"sync"
+
 	"tunio/internal/params"
 )
 
@@ -9,26 +11,37 @@ import (
 // to using the full application". Evaluations go to Primary (the kernel);
 // on the first Primary error the evaluator permanently switches to
 // Fallback (the full application) and re-evaluates the failed
-// configuration there.
+// configuration there. Safe for concurrent use when Primary and Fallback
+// are.
 type FallbackEvaluator struct {
 	Primary  Evaluator
 	Fallback Evaluator
 
 	// FellBack reports whether the switch happened, and KernelErr records
-	// the error that triggered it.
+	// the error that triggered it. Read them only after evaluations have
+	// quiesced.
 	FellBack  bool
 	KernelErr error
+
+	mu sync.Mutex
 }
 
 // Evaluate implements Evaluator.
 func (e *FallbackEvaluator) Evaluate(a *params.Assignment, iteration int) (float64, float64, error) {
-	if !e.FellBack {
+	e.mu.Lock()
+	fell := e.FellBack
+	e.mu.Unlock()
+	if !fell {
 		perf, cost, err := e.Primary.Evaluate(a, iteration)
 		if err == nil {
 			return perf, cost, nil
 		}
-		e.FellBack = true
-		e.KernelErr = err
+		e.mu.Lock()
+		if !e.FellBack {
+			e.FellBack = true
+			e.KernelErr = err
+		}
+		e.mu.Unlock()
 	}
 	return e.Fallback.Evaluate(a, iteration)
 }

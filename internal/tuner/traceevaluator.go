@@ -1,0 +1,146 @@
+package tuner
+
+import (
+	"fmt"
+	"sync"
+
+	"tunio/internal/cinterp"
+	"tunio/internal/cluster"
+	"tunio/internal/csrc"
+	"tunio/internal/params"
+	"tunio/internal/replay"
+	"tunio/internal/workload"
+)
+
+// TraceEvaluator scores configurations by staged trace replay: the kernel
+// (a workload model or an interpreted C program) runs exactly once, under
+// the untuned default configuration, to record its HDF5-level trace; every
+// genome is then scored by replaying the trace through the staged engine
+// (internal/replay), whose per-stage artifacts are cached by parameter
+// projection. Replay charges the same layer code paths in the same order
+// as a live run, so scores are bit-identical to the live evaluators' — the
+// interpreter and workload logic just leave the inner loop.
+//
+// Safe for concurrent use (unless Legacy is set): workers share the stage
+// cache and recycle stacks and runtimes through pools.
+type TraceEvaluator struct {
+	// Workload or Prog selects the kernel; exactly one must be set.
+	Workload workload.Workload
+	Prog     *csrc.File
+
+	Cluster *cluster.Cluster
+	Reps    int   // default 3
+	Seed    int64 // base seed
+
+	// Legacy reproduces the serial evaluators' call-counter seed
+	// derivation (CSourceEvaluator / WorkloadEvaluator). It makes the
+	// evaluator order-dependent and single-goroutine, so leave it unset
+	// with the batch engine, which expects SeedFor-derived seeds.
+	Legacy bool
+	// KernelStyle selects the C-kernel evaluators' averaging arithmetic
+	// (perf summed then divided, minutes accumulated per rep) instead of
+	// the workload evaluators' (per-rep divided perf, runtime divided
+	// once). The results differ only in floating-point rounding; set it to
+	// match whichever evaluator curves are being compared against.
+	KernelStyle bool
+
+	once   sync.Once
+	recErr error
+	cache  *replay.StageCache
+	stacks *workload.StackPool
+	rts    sync.Pool // *replay.Runtime
+	evals  int       // Legacy seed counter
+}
+
+// record runs the kernel once under the default configuration and builds
+// the stage cache. Any failure (interpreter error, unsupported construct)
+// is sticky: every Evaluate call reports it, so a FallbackEvaluator
+// wrapping this one reverts permanently.
+func (e *TraceEvaluator) record(space []params.Parameter) {
+	defaults := params.DefaultAssignment(space).Settings()
+	st, err := workload.BuildStack(e.Cluster, defaults, e.Seed)
+	if err != nil {
+		e.recErr = err
+		return
+	}
+	var t *replay.Trace
+	switch {
+	case e.Prog != nil:
+		t, err = replay.RecordFunc(st, func(st *workload.Stack) error {
+			_, err := cinterp.Run(e.Prog, st.Lib)
+			return err
+		})
+	case e.Workload != nil:
+		t, err = replay.Record(e.Workload, st)
+	default:
+		err = fmt.Errorf("tuner: TraceEvaluator needs a Workload or a Prog")
+	}
+	if err != nil {
+		e.recErr = fmt.Errorf("tuner: trace recording: %w", err)
+		return
+	}
+	e.cache = replay.NewStageCache(t)
+	e.stacks = workload.NewStackPool(e.Cluster)
+}
+
+// Stats returns the stage-cache counters (zero value before the first
+// evaluation or after a recording failure).
+func (e *TraceEvaluator) Stats() replay.StageStats {
+	if e.cache == nil {
+		return replay.StageStats{}
+	}
+	return e.cache.Stats()
+}
+
+// Evaluate implements Evaluator.
+func (e *TraceEvaluator) Evaluate(a *params.Assignment, iteration int) (float64, float64, error) {
+	e.once.Do(func() { e.record(a.Space()) })
+	if e.recErr != nil {
+		return 0, 0, e.recErr
+	}
+	reps := e.Reps
+	if reps == 0 {
+		reps = 3
+	}
+	var base int64
+	if e.Legacy {
+		e.evals++
+		base = e.Seed + int64(e.evals)*104729 + int64(iteration)*1299709
+	} else {
+		base = SeedFor(e.Seed, iteration, a)
+	}
+	s := a.Settings()
+	wp, err := e.cache.WireFor(a, s, e.Cluster.ProcsPerNode)
+	if err != nil {
+		return 0, 0, err
+	}
+	rt, _ := e.rts.Get().(*replay.Runtime)
+	if rt == nil {
+		rt = &replay.Runtime{}
+	}
+	defer e.rts.Put(rt)
+
+	var perfSum, minutes, runtime float64
+	for r := 0; r < reps; r++ {
+		st, err := e.stacks.Get(s, base+int64(r)*7919)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := rt.Exec(wp, st); err != nil {
+			return 0, 0, err
+		}
+		perf, _ := workload.Perf(st.Sim.Report)
+		if e.KernelStyle {
+			perfSum += perf
+			minutes += st.Sim.Now() / 60
+		} else {
+			perfSum += perf / float64(reps)
+			runtime += st.Sim.Now()
+		}
+		e.stacks.Put(st)
+	}
+	if e.KernelStyle {
+		return perfSum / float64(reps), minutes, nil
+	}
+	return perfSum, runtime / 60, nil
+}

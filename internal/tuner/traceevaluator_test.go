@@ -1,0 +1,147 @@
+package tuner
+
+import (
+	"reflect"
+	"testing"
+
+	"tunio/internal/cluster"
+	"tunio/internal/csrc"
+	"tunio/internal/params"
+	"tunio/internal/workload"
+)
+
+func shrinkWorkload(w workload.Workload) {
+	switch x := w.(type) {
+	case *workload.VPIC:
+		x.ParticlesPerRank = 16 << 10
+		x.ComputeFlops = 1e9
+	case *workload.HACC:
+		x.ParticlesPerRank = 16 << 10
+	case *workload.FLASH:
+		x.BlocksPerRank = 8
+		x.Unknowns = 3
+	case *workload.BDCATS:
+		x.ParticlesPerRank = 16 << 10
+	case *workload.MACSio:
+		x.PartsPerRank = 2
+		x.PartBytes = 256 << 10
+		x.Dumps = 3
+	}
+}
+
+// TestTraceEvaluatorMatchesCSourceCurves proves the equivalence the staged
+// engine promises: a full tuning run scored by trace replay of the
+// interpreted C kernel produces a bit-identical curve to one that
+// re-interprets the kernel for every evaluation, on all five workloads.
+func TestTraceEvaluatorMatchesCSourceCurves(t *testing.T) {
+	c := cluster.CoriHaswell(1, 8)
+	for _, name := range []string{"vpic", "hacc", "flash", "bdcats", "macsio"} {
+		w, err := workload.ByName(name, c.Procs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shrinkWorkload(w)
+		prog, err := csrc.Parse(w.(workload.HasCSource).CSource())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg := Config{Space: params.Space(), PopSize: 4, MaxIterations: 3, Seed: 11}
+
+		direct, err := Run(cfg, &CSourceEvaluator{Prog: prog, Cluster: c, Reps: 2, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s direct: %v", name, err)
+		}
+		traced, err := Run(cfg, &TraceEvaluator{Prog: prog, Cluster: c, Reps: 2, Seed: 11,
+			Legacy: true, KernelStyle: true})
+		if err != nil {
+			t.Fatalf("%s traced: %v", name, err)
+		}
+
+		if direct.BestPerf != traced.BestPerf {
+			t.Errorf("%s: best perf %v (direct) != %v (traced)", name, direct.BestPerf, traced.BestPerf)
+		}
+		if !reflect.DeepEqual(direct.Curve, traced.Curve) {
+			t.Errorf("%s: curves differ:\n direct %+v\n traced %+v", name, direct.Curve, traced.Curve)
+		}
+	}
+}
+
+// TestTraceEvaluatorMatchesSeededWorkloadEvaluator pins the default batch
+// engine swap: for the Go workload forms, trace replay returns bit-equal
+// (perf, cost) to direct simulation under SeedFor-derived seeds.
+func TestTraceEvaluatorMatchesSeededWorkloadEvaluator(t *testing.T) {
+	c := cluster.CoriHaswell(2, 8)
+	for _, name := range []string{"vpic", "hacc", "flash", "bdcats", "macsio"} {
+		w, err := workload.ByName(name, c.Procs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shrinkWorkload(w)
+		direct := &SeededWorkloadEvaluator{Workload: w, Cluster: c, Reps: 3, Seed: 5}
+		traced := &TraceEvaluator{Workload: w, Cluster: c, Reps: 3, Seed: 5}
+
+		assignments := []*params.Assignment{params.DefaultAssignment(params.Space())}
+		for i, pairs := range []map[string]int{
+			{params.CollectiveWrite: 1, params.CBNodes: 4},
+			{params.Alignment: 4, params.StripingFactor: 7},
+			{params.ChunkCache: 2, params.MDCConfig: 0, params.CollMetadataWrite: 1},
+		} {
+			a := params.DefaultAssignment(params.Space())
+			for n, idx := range pairs {
+				if err := a.SetIndex(n, idx); err != nil {
+					t.Fatalf("case %d: %v", i, err)
+				}
+			}
+			assignments = append(assignments, a)
+		}
+		for i, a := range assignments {
+			for _, iter := range []int{0, 3} {
+				p1, c1, err := direct.Evaluate(a, iter)
+				if err != nil {
+					t.Fatalf("%s direct: %v", name, err)
+				}
+				p2, c2, err := traced.Evaluate(a, iter)
+				if err != nil {
+					t.Fatalf("%s traced: %v", name, err)
+				}
+				if p1 != p2 || c1 != c2 {
+					t.Errorf("%s case %d iter %d: direct (%v, %v) != traced (%v, %v)",
+						name, i, iter, p1, c1, p2, c2)
+				}
+			}
+		}
+		stats := traced.Stats()
+		if stats.WireMisses == 0 || stats.PlanMisses == 0 {
+			t.Errorf("%s: stage cache never exercised: %+v", name, stats)
+		}
+	}
+}
+
+// TestTraceEvaluatorRecordingFailureFallsBack proves the §III-B recovery
+// path: a kernel that fails to record reverts permanently to the fallback.
+func TestTraceEvaluatorRecordingFailureFallsBack(t *testing.T) {
+	c := cluster.CoriHaswell(1, 2)
+	prog, err := csrc.Parse(`int main() { frobnicate(); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	fb := &FallbackEvaluator{
+		Primary: &TraceEvaluator{Prog: prog, Cluster: c, Reps: 1, Seed: 1},
+		Fallback: FuncEvaluator(func(a *params.Assignment, _ int) (float64, float64, error) {
+			calls++
+			return 42, 1, nil
+		}),
+	}
+	a := params.DefaultAssignment(params.Space())
+	perf, _, err := fb.Evaluate(a, 0)
+	if err != nil || perf != 42 {
+		t.Fatalf("fallback did not engage: perf %v err %v", perf, err)
+	}
+	if !fb.FellBack || fb.KernelErr == nil {
+		t.Fatalf("FellBack %v KernelErr %v", fb.FellBack, fb.KernelErr)
+	}
+	if _, _, err := fb.Evaluate(a, 1); err != nil || calls != 2 {
+		t.Fatalf("second call did not stay on fallback: calls %d err %v", calls, err)
+	}
+}

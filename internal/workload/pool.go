@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"sync"
+
+	"tunio/internal/cluster"
+	"tunio/internal/hdf5"
+	"tunio/internal/ioreq"
+	"tunio/internal/lustre"
+	"tunio/internal/params"
+	"tunio/internal/posixio"
+)
+
+// rewire binds a library for the given settings onto the stack's existing
+// simulation and storage backends.
+func (st *Stack) rewire(s params.StackSettings) error {
+	lb := &lustre.Backend{FS: st.FS, StripeCount: s.StripeCount, StripeSize: s.StripeSize}
+	resolver := func(path string) ioreq.Backend {
+		if posixio.IsMemPath(path) {
+			return st.Mem
+		}
+		return lb
+	}
+	lib, err := hdf5.NewLibrary(st.Sim, resolver, s.Hints, s.HDF5, st.Sim.Cluster.Procs())
+	if err != nil {
+		return err
+	}
+	st.Lib = lib
+	return nil
+}
+
+// Reset rewinds the stack for a fresh run under new settings and seed,
+// reusing the simulation context and storage backends (with their scratch
+// buffers) instead of rebuilding them. A reset stack is indistinguishable
+// from a freshly built one: the clock, RNG stream, report counters, and
+// file namespaces all start over.
+func (st *Stack) Reset(s params.StackSettings, seed int64) error {
+	st.Sim.Reset(seed)
+	st.FS.Reset()
+	st.Mem.Reset()
+	return st.rewire(s)
+}
+
+// StackPool recycles stacks across evaluations of one cluster. Workers in
+// a tuning pool Get a stack per run and Put it back, amortizing the lustre
+// scratch and backend allocations over the whole tune.
+type StackPool struct {
+	C    *cluster.Cluster
+	pool sync.Pool
+}
+
+// NewStackPool returns a pool building stacks over the cluster.
+func NewStackPool(c *cluster.Cluster) *StackPool {
+	return &StackPool{C: c}
+}
+
+// Get returns a stack configured for the settings and seed, reusing a
+// pooled one when available.
+func (p *StackPool) Get(s params.StackSettings, seed int64) (*Stack, error) {
+	if v := p.pool.Get(); v != nil {
+		st := v.(*Stack)
+		if err := st.Reset(s, seed); err != nil {
+			return nil, err
+		}
+		return st, nil
+	}
+	return BuildStack(p.C, s, seed)
+}
+
+// Put returns a stack to the pool for reuse.
+func (p *StackPool) Put(st *Stack) {
+	if st != nil {
+		p.pool.Put(st)
+	}
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# bench.sh — measure the evaluation engine and emit machine-readable
+# results.
+#
+# Runs the staged trace-replay micro-benchmarks (ns/op and B/op for the
+# replay inner loop and both evaluators), then the population-32
+# evaluator benchmark over every paper workload, writing its result —
+# ns/genome, B/genome, stage-cache hit rates, speedup, and score
+# identity per workload — as JSON.
+#
+# Usage: scripts/bench.sh [output.json]   (default BENCH_eval.json)
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_eval.json}"
+
+echo "== micro-benchmarks (ns/op, B/op) =="
+go test -run '^$' -bench 'BenchmarkStagedExec|BenchmarkEval(DirectInterp|TraceReplay)' \
+    -benchmem ./internal/replay ./internal/tuner
+
+echo "== population benchmark (32 genomes x 5 workloads) -> $out =="
+go run ./cmd/tunebench -fig eval -json "$out"
+
+echo "bench: wrote $out"

@@ -27,9 +27,12 @@ echo "== go test =="
 go test "$pkgs"
 
 echo "== go test -race (evaluation engine) =="
-# The batch evaluation engine's concurrency tests always run under the
-# race detector, even when a narrower package pattern was requested.
-go test -race -run 'TestPool|TestMemo|TestSeedFor|TestRunBatch|TestTune(ParallelDeterminism|Cancellation|Memoization)' ./internal/tuner .
+# The batch evaluation engine's concurrency and staged-replay equivalence
+# tests always run under the race detector, even when a narrower package
+# pattern was requested: the stage cache and stack pool are shared across
+# workers, so the bit-identity proofs must hold concurrently too.
+go test -race -run 'TestPool|TestMemo|TestSeedFor|TestRunBatch|TestTune(ParallelDeterminism|Cancellation|Memoization)|TestTraceEvaluator' ./internal/tuner .
+go test -race -run 'TestStagedExec|TestStageCache|TestPooledStack' ./internal/replay
 
 echo "== go test -race =="
 go test -race "$pkgs"

@@ -120,7 +120,18 @@ type TuneOptions struct {
 	// the batch engine: deterministic (iteration, genome)-derived seeds,
 	// a worker pool of that many workers (1 = serial batch), and genome
 	// memoization — curves are identical for every Parallelism >= 1.
+	//
+	// The batch engine scores genomes by staged trace replay (the
+	// workload runs once to record its I/O trace; every configuration
+	// replays it through parameter-projection-cached stage plans), which
+	// produces bit-identical curves to direct simulation at a fraction of
+	// the cost. If recording fails the engine reverts permanently to
+	// direct simulation for the run.
 	Parallelism int
+	// NoTrace opts the batch engine out of trace replay, forcing direct
+	// simulation of every evaluation (the pre-replay behavior; curves are
+	// identical either way).
+	NoTrace bool
 	// Progress, when non-nil, receives each curve point as the
 	// corresponding iteration completes.
 	Progress func(metrics.Point)
@@ -164,8 +175,15 @@ func Tune(opts TuneOptions) (*Result, error) {
 	}
 	if opts.Parallelism >= 1 {
 		// Batch engine: order-independent seeds, worker pool, memoization.
+		// Evaluations default to staged trace replay with direct
+		// simulation as the permanent fallback if recording fails.
 		seeded := &tuner.SeededWorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
-		batch := tuner.NewMemo(&tuner.Pool{Eval: seeded, Workers: opts.Parallelism})
+		var eval tuner.Evaluator = seeded
+		if !opts.NoTrace {
+			trace := &tuner.TraceEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
+			eval = &tuner.FallbackEvaluator{Primary: trace, Fallback: seeded}
+		}
+		batch := tuner.NewMemo(&tuner.Pool{Eval: eval, Workers: opts.Parallelism})
 		return tuner.RunBatch(ctx, cfg, batch)
 	}
 	eval := &tuner.WorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
