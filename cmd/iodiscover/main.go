@@ -6,7 +6,7 @@
 // Usage:
 //
 //	iodiscover [-loop-reduction 0.01] [-path-switch] [-keep fn1,fn2]
-//	           [-heuristic] [-marked] [-o kernel.c] input.c
+//	           [-heuristic] [-marked] [-sig [-json]] [-o kernel.c] input.c
 //
 // The exit code is 0 on success, 1 when the transform verifier reports an
 // error-severity diagnostic (the kernel is still written, but at least one
@@ -16,12 +16,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"tunio/internal/analysis"
+	"tunio/internal/csrc"
 	"tunio/internal/discovery"
 )
 
@@ -34,6 +36,8 @@ func main() {
 	heuristic := flag.Bool("heuristic", false, "slice with per-line fixpoint marking instead of CFG def-use chains (the pre-promotion default)")
 	precise := flag.Bool("precise", false, "deprecated: precise slicing is the default; overrides -heuristic")
 	showMarked := flag.Bool("marked", false, "print the marking report instead of the kernel")
+	showSig := flag.Bool("sig", false, "print the kernel's symbolic I/O signature instead of the kernel")
+	jsonOut := flag.Bool("json", false, "with -sig, emit the signature as JSON")
 	out := flag.String("o", "", "write the kernel to this file (default stdout)")
 	flag.Parse()
 
@@ -78,6 +82,24 @@ func main() {
 				tag = "KEEP  "
 			}
 			fmt.Printf("%s%4d  %s\n", tag, i+1, line)
+		}
+		return
+	}
+
+	if *showSig {
+		f, err := csrc.Parse(kernel.Source)
+		if err != nil {
+			fatal(fmt.Errorf("re-parsing kernel: %w", err))
+		}
+		s := analysis.ComputeSignature(f, analysis.SignatureOptions{})
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(s); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(s.Format())
 		}
 		return
 	}

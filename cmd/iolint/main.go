@@ -1,38 +1,76 @@
 // Command iolint runs TunIO's static I/O diagnostics over application
 // source code: unreachable I/O calls, writes overwritten before any read,
 // I/O inside loops that never exit, unused variables, locals shadowing
-// I/O library names, and unclosed file handles.
+// I/O library names, unclosed file handles, and signature-derived
+// inefficiency findings (small writes in hot loops, read-modify-write
+// extents).
 //
 // Usage:
 //
-//	iolint [-json] [-verify] input.c ...
+//	iolint [-json] [-verify] [-sig] input.c ...
 //
 // The exit code is 0 when no diagnostic reaches error severity, 1 when at
 // least one does, and 2 on usage or parse errors. In human-readable mode,
 // error-severity findings print on stdout while warnings and notes go to
 // stderr, so piping stdout captures exactly the findings that fail the
-// run. JSON mode emits every diagnostic on stdout.
+// run. JSON mode emits every diagnostic on stdout. Diagnostics are sorted
+// by (file, line, rule ID) in both modes, so output is byte-stable across
+// runs.
+//
+// With -sig, iolint prints each file's symbolic I/O signature (total
+// bytes moved, per-API op counts, access pattern) instead of diagnostics;
+// -json emits the signature as JSON.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"tunio/internal/analysis"
 	"tunio/internal/csrc"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	verify := flag.Bool("verify", false, "also run transform-safety checks (loop reduction, path switching, blind-write removal)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: iolint [-json] [-verify] input.c ...")
-		flag.Usage()
-		os.Exit(2)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit output as JSON")
+	verify := fs.Bool("verify", false, "also run transform-safety checks (loop reduction, path switching, blind-write removal)")
+	sig := fs.Bool("sig", false, "print each file's symbolic I/O signature instead of diagnostics")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: iolint [-json] [-verify] [-sig] input.c ...")
+		fs.Usage()
+		return 2
+	}
+
+	files := make(map[string]*csrc.File, fs.NArg())
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "iolint:", err)
+			return 2
+		}
+		f, err := csrc.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(stderr, "iolint: %s: %v\n", path, err)
+			return 2
+		}
+		files[path] = f
+	}
+
+	if *sig {
+		return runSig(fs.Args(), files, *jsonOut, stdout, stderr)
 	}
 
 	type fileDiag struct {
@@ -40,20 +78,10 @@ func main() {
 		analysis.Diagnostic
 	}
 	var all []fileDiag
-	for _, path := range flag.Args() {
-		src, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "iolint:", err)
-			os.Exit(2)
-		}
-		f, err := csrc.Parse(string(src))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "iolint: %s: %v\n", path, err)
-			os.Exit(2)
-		}
-		diags := analysis.Lint(f, analysis.LintOptions{})
+	for _, path := range fs.Args() {
+		diags := analysis.Lint(files[path], analysis.LintOptions{})
 		if *verify {
-			diags = append(diags, analysis.VerifyTransforms(f, analysis.TransformOptions{
+			diags = append(diags, analysis.VerifyTransforms(files[path], analysis.TransformOptions{
 				LoopReduction:     true,
 				PathSwitch:        true,
 				RemoveBlindWrites: true,
@@ -64,27 +92,38 @@ func main() {
 			all = append(all, fileDiag{File: path, Diagnostic: d})
 		}
 	}
+	// Deterministic output: global order by (file, line, rule ID) however
+	// the individual passes emitted their findings.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		return all[i].Code < all[j].Code
+	})
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if all == nil {
 			all = []fileDiag{}
 		}
 		if err := enc.Encode(all); err != nil {
-			fmt.Fprintln(os.Stderr, "iolint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "iolint:", err)
+			return 2
 		}
 	} else {
 		for _, d := range all {
-			out := os.Stdout
+			out := stdout
 			if d.Severity < analysis.SevError {
-				out = os.Stderr
+				out = stderr
 			}
 			fmt.Fprintf(out, "%s: %s\n", d.File, d.Diagnostic)
 		}
 		if len(all) == 0 {
-			fmt.Println("iolint: no findings")
+			fmt.Fprintln(stdout, "iolint: no findings")
 		}
 	}
 
@@ -93,6 +132,38 @@ func main() {
 		diags = append(diags, d.Diagnostic)
 	}
 	if analysis.MaxSeverity(diags) >= analysis.SevError {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func runSig(paths []string, files map[string]*csrc.File, jsonOut bool, stdout, stderr io.Writer) int {
+	if jsonOut {
+		type fileSig struct {
+			File      string                `json:"file"`
+			Signature *analysis.IOSignature `json:"signature"`
+		}
+		out := make([]fileSig, 0, len(paths))
+		for _, path := range paths {
+			out = append(out, fileSig{
+				File:      path,
+				Signature: analysis.ComputeSignature(files[path], analysis.SignatureOptions{}),
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "iolint:", err)
+			return 2
+		}
+		return 0
+	}
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		s := analysis.ComputeSignature(files[path], analysis.SignatureOptions{})
+		fmt.Fprintf(stdout, "%s:\n%s", path, s.Format())
+	}
+	return 0
 }

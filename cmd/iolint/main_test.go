@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// capture runs the CLI with stdout and stderr merged into one buffer, so
+// the golden files pin the exact global emit order (file, line, rule ID).
+func capture(t *testing.T, args []string) (int, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := run(args, &buf, &buf)
+	return code, buf.Bytes()
+}
+
+func checkGolden(t *testing.T, got []byte, golden string) {
+	t.Helper()
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestGoldenHuman(t *testing.T) {
+	args := []string{filepath.Join("testdata", "a.c"), filepath.Join("testdata", "b.c")}
+	code1, out1 := capture(t, args)
+	code2, out2 := capture(t, args)
+	if code1 != 1 || code2 != 1 {
+		t.Fatalf("exit codes = %d, %d, want 1 (a.c has an error-severity finding)", code1, code2)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("human output not byte-stable across runs:\n%s\nvs\n%s", out1, out2)
+	}
+	checkGolden(t, out1, filepath.Join("testdata", "lint.golden"))
+}
+
+func TestGoldenJSON(t *testing.T) {
+	args := []string{"-json", filepath.Join("testdata", "a.c"), filepath.Join("testdata", "b.c")}
+	code1, out1 := capture(t, args)
+	code2, out2 := capture(t, args)
+	if code1 != 1 || code2 != 1 {
+		t.Fatalf("exit codes = %d, %d, want 1", code1, code2)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("JSON output not byte-stable across runs")
+	}
+	checkGolden(t, out1, filepath.Join("testdata", "lint_json.golden"))
+}
+
+func TestSigMode(t *testing.T) {
+	code, out := capture(t, []string{"-sig", filepath.Join("testdata", "a.c")})
+	if code != 0 {
+		t.Fatalf("-sig exit code = %d, want 0", code)
+	}
+	for _, want := range []string{"signature:", "bytes written:", "hash:"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("-sig output missing %q:\n%s", want, out)
+		}
+	}
+	codeJ, outJ := capture(t, []string{"-sig", "-json", filepath.Join("testdata", "a.c")})
+	if codeJ != 0 {
+		t.Fatalf("-sig -json exit code = %d, want 0", codeJ)
+	}
+	for _, want := range []string{`"signature"`, `"bytes_written"`, `"hash"`} {
+		if !bytes.Contains(outJ, []byte(want)) {
+			t.Errorf("-sig -json output missing %q:\n%s", want, outJ)
+		}
+	}
+}

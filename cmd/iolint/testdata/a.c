@@ -1,0 +1,11 @@
+int main() {
+    int i;
+    char buf[256];
+    int f = fopen("out.dat", "w");
+    for (i = 0; i < 128; i++) {
+        fwrite(buf, 1, 256, f);
+    }
+    fclose(f);
+    return 0;
+    fclose(f);
+}

@@ -1,0 +1,5 @@
+int main() {
+    hid_t f = H5Fcreate("out.h5", 0, 0, 0);
+    int unused = 3;
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Command statecheck enforces the evaluation engine's no-global-state
+// rule: packages whose types are shared across worker goroutines
+// (internal/replay, internal/tuner) must not declare package-level
+// mutable variables, because any such state would be invisible to the
+// per-evaluator synchronization and would break the engine's
+// order-independence proofs.
+//
+// Usage:
+//
+//	statecheck [-allow name1,name2] dir ...
+//
+// Blank identifiers (compile-time interface assertions) are exempt, as
+// are names listed in -allow (append-once lookup tables that are never
+// written after init). Exit code 1 when a violation is found, 2 on
+// parse errors.
+//
+// The check is stdlib-only (go/parser + go/ast) by design: the
+// repository has no external dependencies, so golang.org/x/tools'
+// analysis framework is off the table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	allow := flag.String("allow", "", "comma-separated package-level var names to permit")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: statecheck [-allow name1,name2] dir ...")
+		os.Exit(2)
+	}
+	allowed := map[string]bool{}
+	for _, name := range strings.Split(*allow, ",") {
+		if name != "" {
+			allowed[name] = true
+		}
+	}
+
+	var violations []string
+	fset := token.NewFileSet()
+	for _, dir := range flag.Args() {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "statecheck:", err)
+			os.Exit(2)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "statecheck:", err)
+				os.Exit(2)
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, ident := range vs.Names {
+						if ident.Name == "_" || allowed[ident.Name] {
+							continue
+						}
+						pos := fset.Position(ident.Pos())
+						violations = append(violations, fmt.Sprintf(
+							"%s:%d: package-level mutable state: var %s", pos.Filename, pos.Line, ident.Name))
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}

@@ -96,6 +96,27 @@ const (
 	// CodeIrreducibleLoop warns that an I/O loop has a shape loop reduction
 	// cannot rewrite, so LoopScale under-counts the skipped loop.
 	CodeIrreducibleLoop = "TR005"
+	// CodeOutOfBoundsIndex reports (at error severity) an array index the
+	// interval analysis proves entirely outside the array's bounds on a
+	// reachable path.
+	CodeOutOfBoundsIndex = "TR006"
+	// CodeNonTerminatingIOLoop reports (at error severity) an I/O loop whose
+	// induction variable provably moves away from its bound (or whose
+	// condition variables are never modified), so the loop never exits.
+	CodeNonTerminatingIOLoop = "TR007"
+	// CodeVolumeChanged warns that a discovery transform changed the
+	// kernel's symbolic I/O volume (total bytes written or read), so the
+	// rewritten kernel no longer issues the original request stream.
+	CodeVolumeChanged = "TR008"
+
+	// CodeSmallWritesInLoop warns about transfers issued from a loop whose
+	// trip count the bounds analysis proves high while each transfer is
+	// provably small — a request-merging opportunity.
+	CodeSmallWritesInLoop = "IO007"
+	// CodeRepeatedExtentRMW warns that the same dataset extent is both read
+	// and written on every iteration of a loop (a read-modify-write that
+	// could be hoisted).
+	CodeRepeatedExtentRMW = "IO008"
 )
 
 // Diagnostic is one structured finding with a source position.

@@ -1,0 +1,705 @@
+package analysis
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tunio/internal/csrc"
+)
+
+// Symbolic loop bounds: affine induction-variable recognition over for
+// loops, producing trip counts as SymExpr terms over the free symbols of
+// the kernel (MPI rank/size, tunable parameters), plus the divergence
+// checks behind TR006/TR007. The I/O signature (signature.go) multiplies
+// per-iteration transfer terms by these trip counts to get closed-form
+// volumes.
+
+// symOp enumerates SymExpr node kinds.
+type symOp int
+
+const (
+	opConst symOp = iota
+	opVar
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMax0
+)
+
+// SymExpr is a symbolic integer expression: constants, named symbols, the
+// four integer operators (division truncates, as in C), and max(0, x).
+// Construct with SymConst/SymVar/SymAdd/...; constructors fold constants,
+// so structurally equal values render to equal strings.
+type SymExpr struct {
+	op   symOp
+	k    int64
+	name string
+	x, y *SymExpr
+}
+
+// SymConst returns the constant k.
+func SymConst(k int64) *SymExpr { return &SymExpr{op: opConst, k: k} }
+
+// SymVar returns the free symbol name.
+func SymVar(name string) *SymExpr { return &SymExpr{op: opVar, name: name} }
+
+// Const reports the constant value when the expression folded to one.
+func (e *SymExpr) Const() (int64, bool) {
+	if e != nil && e.op == opConst {
+		return e.k, true
+	}
+	return 0, false
+}
+
+// SymAdd returns x + y.
+func SymAdd(x, y *SymExpr) *SymExpr {
+	if x == nil || y == nil {
+		return nil
+	}
+	if a, ok := x.Const(); ok {
+		if b, ok := y.Const(); ok {
+			return SymConst(a + b)
+		}
+		if a == 0 {
+			return y
+		}
+	}
+	if b, ok := y.Const(); ok && b == 0 {
+		return x
+	}
+	return &SymExpr{op: opAdd, x: x, y: y}
+}
+
+// SymSub returns x - y.
+func SymSub(x, y *SymExpr) *SymExpr {
+	if x == nil || y == nil {
+		return nil
+	}
+	if a, ok := x.Const(); ok {
+		if b, ok := y.Const(); ok {
+			return SymConst(a - b)
+		}
+	}
+	if b, ok := y.Const(); ok && b == 0 {
+		return x
+	}
+	return &SymExpr{op: opSub, x: x, y: y}
+}
+
+// SymMul returns x * y.
+func SymMul(x, y *SymExpr) *SymExpr {
+	if x == nil || y == nil {
+		return nil
+	}
+	if a, ok := x.Const(); ok {
+		if b, ok := y.Const(); ok {
+			return SymConst(a * b)
+		}
+		if a == 0 {
+			return SymConst(0)
+		}
+		if a == 1 {
+			return y
+		}
+	}
+	if b, ok := y.Const(); ok {
+		if b == 0 {
+			return SymConst(0)
+		}
+		if b == 1 {
+			return x
+		}
+	}
+	return &SymExpr{op: opMul, x: x, y: y}
+}
+
+// SymDiv returns x / y (C truncated division; a constant zero divisor
+// yields nil — unknown).
+func SymDiv(x, y *SymExpr) *SymExpr {
+	if x == nil || y == nil {
+		return nil
+	}
+	if b, ok := y.Const(); ok {
+		if b == 0 {
+			return nil
+		}
+		if b == 1 {
+			return x
+		}
+		if a, ok := x.Const(); ok {
+			return SymConst(a / b)
+		}
+	}
+	return &SymExpr{op: opDiv, x: x, y: y}
+}
+
+// SymMax0 returns max(0, x).
+func SymMax0(x *SymExpr) *SymExpr {
+	if x == nil {
+		return nil
+	}
+	if a, ok := x.Const(); ok {
+		if a < 0 {
+			return SymConst(0)
+		}
+		return x
+	}
+	if x.op == opMax0 {
+		return x
+	}
+	return &SymExpr{op: opMax0, x: x}
+}
+
+// prec ranks operators for minimal parenthesization.
+func (e *SymExpr) prec() int {
+	switch e.op {
+	case opAdd, opSub:
+		return 1
+	case opMul, opDiv:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// String renders the expression canonically; equal renderings imply equal
+// abstract values for expressions built through the constructors.
+func (e *SymExpr) String() string {
+	if e == nil {
+		return "?"
+	}
+	child := func(c *SymExpr, min int) string {
+		s := c.String()
+		if c.prec() < min {
+			return "(" + s + ")"
+		}
+		return s
+	}
+	switch e.op {
+	case opConst:
+		return strconv.FormatInt(e.k, 10)
+	case opVar:
+		return e.name
+	case opAdd:
+		return child(e.x, 1) + " + " + child(e.y, 1)
+	case opSub:
+		return child(e.x, 1) + " - " + child(e.y, 2)
+	case opMul:
+		return child(e.x, 2) + "*" + child(e.y, 2)
+	case opDiv:
+		return child(e.x, 2) + "/" + child(e.y, 3)
+	case opMax0:
+		return "max(0, " + e.x.String() + ")"
+	default:
+		return "?"
+	}
+}
+
+// Eval evaluates the expression under a binding of the free symbols. An
+// unbound symbol or a zero divisor is an error.
+func (e *SymExpr) Eval(bind map[string]int64) (int64, error) {
+	if e == nil {
+		return 0, fmt.Errorf("unknown symbolic term")
+	}
+	switch e.op {
+	case opConst:
+		return e.k, nil
+	case opVar:
+		v, ok := bind[e.name]
+		if !ok {
+			return 0, fmt.Errorf("unbound symbol %q", e.name)
+		}
+		return v, nil
+	case opMax0:
+		v, err := e.x.Eval(bind)
+		if err != nil {
+			return 0, err
+		}
+		if v < 0 {
+			return 0, nil
+		}
+		return v, nil
+	}
+	x, err := e.x.Eval(bind)
+	if err != nil {
+		return 0, err
+	}
+	y, err := e.y.Eval(bind)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case opAdd:
+		return x + y, nil
+	case opSub:
+		return x - y, nil
+	case opMul:
+		return x * y, nil
+	case opDiv:
+		if y == 0 {
+			return 0, fmt.Errorf("division by zero in symbolic term")
+		}
+		return x / y, nil
+	}
+	return 0, fmt.Errorf("malformed symbolic term")
+}
+
+// FreeVars adds the expression's free symbols to set.
+func (e *SymExpr) FreeVars(set map[string]bool) {
+	if e == nil {
+		return
+	}
+	if e.op == opVar {
+		set[e.name] = true
+	}
+	e.x.FreeVars(set)
+	e.y.FreeVars(set)
+}
+
+// HasVar reports whether name occurs free in the expression.
+func (e *SymExpr) HasVar(name string) bool {
+	if e == nil {
+		return false
+	}
+	if e.op == opVar && e.name == name {
+		return true
+	}
+	return e.x.HasVar(name) || e.y.HasVar(name)
+}
+
+// forStep extracts the constant per-iteration step the post statement
+// applies to ivar (i++, i--, i += c, i -= c, i = i ± c).
+func forStep(post csrc.Stmt, ivar string) (int64, bool) {
+	as, ok := post.(*csrc.AssignStmt)
+	if !ok {
+		return 0, false
+	}
+	lhs, ok := as.LHS.(*csrc.Ident)
+	if !ok || lhs.Name != ivar {
+		return 0, false
+	}
+	switch as.Op {
+	case "++":
+		return 1, true
+	case "--":
+		return -1, true
+	case "+=":
+		if c, ok := foldInt(as.RHS); ok {
+			return c, true
+		}
+	case "-=":
+		if c, ok := foldInt(as.RHS); ok {
+			return -c, true
+		}
+	case "=":
+		if b, ok := as.RHS.(*csrc.BinaryExpr); ok {
+			if id, ok := b.X.(*csrc.Ident); ok && id.Name == ivar {
+				if c, ok := foldInt(b.Y); ok {
+					switch b.Op {
+					case "+":
+						return c, true
+					case "-":
+						return -c, true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// forShape destructures a for statement into (induction var, initial
+// value expr, comparison op, bound expr), without judging the step.
+func forShape(st *csrc.ForStmt) (ivar string, init csrc.Expr, op string, bound csrc.Expr, ok bool) {
+	switch d := st.Init.(type) {
+	case *csrc.DeclStmt:
+		if d.ArrayLen != nil || d.InitList != nil || d.Init == nil {
+			return "", nil, "", nil, false
+		}
+		ivar, init = d.Name, d.Init
+	case *csrc.AssignStmt:
+		lhs, isIdent := d.LHS.(*csrc.Ident)
+		if !isIdent || d.Op != "=" {
+			return "", nil, "", nil, false
+		}
+		ivar, init = lhs.Name, d.RHS
+	default:
+		return "", nil, "", nil, false
+	}
+	cond, isBin := st.Cond.(*csrc.BinaryExpr)
+	if !isBin {
+		return "", nil, "", nil, false
+	}
+	lhs, isIdent := cond.X.(*csrc.Ident)
+	if !isIdent || lhs.Name != ivar {
+		return "", nil, "", nil, false
+	}
+	switch cond.Op {
+	case "<", "<=", ">", ">=":
+		return ivar, init, cond.Op, cond.Y, true
+	}
+	return "", nil, "", nil, false
+}
+
+// loopBodyDefs collects every variable the loop body may define, including
+// conjectured call-argument writes (conservative for bound stability).
+func loopBodyDefs(body *csrc.Block) map[string]bool {
+	defs := map[string]bool{}
+	if body == nil {
+		return defs
+	}
+	for _, s := range body.Stmts {
+		walkStmtTree(s, func(st csrc.Stmt) {
+			for _, d := range StmtDefUse(st).Defs {
+				defs[d.Var] = true
+			}
+		})
+	}
+	return defs
+}
+
+// loopBodyExits reports whether the body can leave the loop early: a
+// break, a return, or a call to exit.
+func loopBodyExits(body *csrc.Block) bool {
+	found := false
+	if body == nil {
+		return false
+	}
+	for _, s := range body.Stmts {
+		walkStmtTree(s, func(st csrc.Stmt) {
+			switch st.(type) {
+			case *csrc.BreakStmt, *csrc.ReturnStmt:
+				found = true
+			}
+			for _, c := range stmtCalls(st) {
+				if c == "exit" {
+					found = true
+				}
+			}
+		})
+	}
+	return found
+}
+
+// nestedBreakOrContinue reports whether the body contains break, continue,
+// or return anywhere — the strict form the trip-count derivation needs
+// (continue still reaches the post statement, but signature clients also
+// use this to decide whether per-iteration effects are unconditional).
+func nestedBreakOrContinue(body *csrc.Block) bool {
+	found := false
+	if body == nil {
+		return false
+	}
+	for _, s := range body.Stmts {
+		walkStmtTree(s, func(st csrc.Stmt) {
+			switch st.(type) {
+			case *csrc.BreakStmt, *csrc.ContinueStmt, *csrc.ReturnStmt:
+				found = true
+			}
+		})
+	}
+	return found
+}
+
+// ForTrip derives the symbolic trip count of an affine for loop:
+//
+//	for (i = A; i < B; i += s)   →   max(0, (B - A + s - 1) / s)
+//
+// (and the <=, >, >= variants). eval abstracts init/bound expressions to
+// SymExpr in the caller's environment; it returns nil for unknown. ForTrip
+// returns ("", nil) unless the loop's shape is affine, the step constant
+// and correctly signed, the body free of early exits, and the induction
+// and bound variables unmutated by the body.
+func ForTrip(st *csrc.ForStmt, eval func(csrc.Expr) *SymExpr) (string, *SymExpr) {
+	ivar, init, op, bound, ok := forShape(st)
+	if !ok || st.Post == nil {
+		return "", nil
+	}
+	step, ok := forStep(st.Post, ivar)
+	if !ok || step == 0 {
+		return "", nil
+	}
+	up := op == "<" || op == "<="
+	if (up && step < 0) || (!up && step > 0) {
+		return "", nil // diverging loop: no finite trip count
+	}
+
+	defs := loopBodyDefs(st.Body)
+	if defs[ivar] || loopBodyExits(st.Body) {
+		return "", nil
+	}
+	for _, v := range csrc.ExprVars(bound) {
+		if defs[v] {
+			return "", nil
+		}
+	}
+
+	a := eval(init)
+	b := eval(bound)
+	if a == nil || b == nil {
+		return ivar, nil
+	}
+	s := step
+	diff := SymSub(b, a)
+	if !up {
+		s = -step
+		diff = SymSub(a, b)
+	}
+	extra := s - 1
+	if op == "<=" || op == ">=" {
+		extra = s
+	}
+	return ivar, SymMax0(SymDiv(SymAdd(diff, SymConst(extra)), SymConst(s)))
+}
+
+// boundsChecker runs the interval-backed verifier checks (TR006/TR007).
+type boundsChecker struct {
+	file   *csrc.File
+	iv     *Intervals
+	locals map[string]map[string]bool
+	isIO   func(string) bool
+	diags  []Diagnostic
+}
+
+// BoundsDiagnostics runs the TR006 (provably out-of-bounds index) and
+// TR007 (statically unbounded I/O loop) checks over a file. Both fire at
+// error severity: each describes a program that cannot behave as written.
+func BoundsDiagnostics(f *csrc.File, isIO func(string) bool) []Diagnostic {
+	if isIO == nil {
+		isIO = DefaultIsIOCall
+	}
+	bc := &boundsChecker{file: f, iv: NewIntervals(f), locals: LocalNames(f), isIO: isIO}
+	bc.checkIndexes()
+	bc.checkLoops()
+	return bc.diags
+}
+
+func (bc *boundsChecker) add(code string, pos int, fn, format string, args ...interface{}) {
+	bc.diags = append(bc.diags, Diagnostic{
+		Code: code, Severity: SevError, Line: pos, Func: fn,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// arrayLen folds a declaration's array length (explicit or from the
+// initializer list).
+func arrayLen(d *csrc.DeclStmt) (int64, bool) {
+	if d.ArrayLen != nil {
+		if n, ok := foldInt(d.ArrayLen); ok && n >= 0 {
+			return n, true
+		}
+		return 0, false
+	}
+	if d.InitList != nil {
+		return int64(len(d.InitList)), true
+	}
+	return 0, false
+}
+
+// checkIndexes flags reachable array indexes whose interval lies entirely
+// outside [0, len).
+func (bc *boundsChecker) checkIndexes() {
+	globalArr := map[string]int64{}
+	for _, g := range bc.file.Globals {
+		if n, ok := arrayLen(g); ok {
+			globalArr[g.Name] = n
+		}
+	}
+	for _, fn := range bc.file.Funcs {
+		// The map is name-keyed across the whole function, but C block
+		// scoping allows re-declaring a name with a different length;
+		// such names are ambiguous here and must not be checked.
+		localArr := map[string]int64{}
+		ambiguous := map[string]bool{}
+		walkFuncStmts(fn, func(s csrc.Stmt) bool {
+			if d, ok := s.(*csrc.DeclStmt); ok {
+				if n, ok := arrayLen(d); ok {
+					if prev, seen := localArr[d.Name]; seen && prev != n {
+						ambiguous[d.Name] = true
+					}
+					localArr[d.Name] = n
+				} else if d.ArrayLen != nil || d.InitList != nil {
+					ambiguous[d.Name] = true
+				}
+			}
+			return true
+		})
+		walkFuncStmts(fn, func(s csrc.Stmt) bool {
+			for _, x := range stmtExprs(s) {
+				csrc.WalkExpr(x, func(node csrc.Expr) bool {
+					ix, ok := node.(*csrc.IndexExpr)
+					if !ok {
+						return true
+					}
+					id, ok := ix.X.(*csrc.Ident)
+					if !ok {
+						return true
+					}
+					var n int64
+					if bc.locals[fn.Name][id.Name] {
+						ln, ok := localArr[id.Name]
+						if !ok || ambiguous[id.Name] {
+							return true
+						}
+						n = ln
+					} else {
+						gn, ok := globalArr[id.Name]
+						if !ok {
+							return true
+						}
+						n = gn
+					}
+					idx := bc.iv.At(s, ix.Index)
+					if idx.Empty { // unreachable or infeasible
+						return true
+					}
+					if (!idx.HiUnb && idx.Hi < 0) || (!idx.LoUnb && idx.Lo >= n) {
+						bc.add(CodeOutOfBoundsIndex, s.Base().Pos, fn.Name,
+							"index of %q is provably out of bounds: value in %s never intersects [0, %d)",
+							id.Name, idx, n)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// loopHasIO reports whether the loop tree contains a (non-shadowed) I/O
+// call.
+func (bc *boundsChecker) loopHasIO(loop csrc.Stmt, fn string) bool {
+	found := false
+	walkStmtTree(loop, func(st csrc.Stmt) {
+		for _, c := range stmtCalls(st) {
+			if bc.isIO(c) && !bc.locals[fn][c] {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// condLocalVars returns the condition's variables when every one of them
+// is a local of fn (so no callee can mutate them behind the analysis) and
+// the condition calls no functions; otherwise nil, false.
+func (bc *boundsChecker) condLocalVars(cond csrc.Expr, fn string) ([]string, bool) {
+	hasCall := false
+	csrc.WalkExpr(cond, func(x csrc.Expr) bool {
+		if _, ok := x.(*csrc.CallExpr); ok {
+			hasCall = true
+		}
+		return true
+	})
+	if hasCall {
+		return nil, false
+	}
+	vars := csrc.ExprVars(cond)
+	if len(vars) == 0 {
+		return nil, false
+	}
+	for _, v := range vars {
+		if !bc.locals[fn][v] {
+			return nil, false
+		}
+	}
+	return vars, true
+}
+
+// condEntered reports whether the loop condition could be true when the
+// loop statement is reached (unreachable or provably-false loops never
+// spin).
+func (bc *boundsChecker) condEntered(loop csrc.Stmt, cond csrc.Expr) bool {
+	civ := bc.iv.At(loop, cond)
+	if civ.Empty {
+		return false
+	}
+	if c, ok := civ.IsConst(); ok && c == 0 {
+		return false
+	}
+	return true
+}
+
+// checkLoops flags loops that provably never terminate while performing
+// I/O (TR007). Always-true conditions are IO003's domain (lint) and are
+// not re-reported here; this check proves divergence of loops that look
+// bounded.
+func (bc *boundsChecker) checkLoops() {
+	for _, fn := range bc.file.Funcs {
+		walkFuncStmts(fn, func(s csrc.Stmt) bool {
+			switch st := s.(type) {
+			case *csrc.ForStmt:
+				bc.checkForLoop(st, fn.Name)
+			case *csrc.WhileStmt:
+				bc.checkWhileLoop(st, fn.Name)
+			}
+			return true
+		})
+	}
+}
+
+func (bc *boundsChecker) checkForLoop(st *csrc.ForStmt, fn string) {
+	if condAlwaysTrue(st.Cond) || loopBodyExits(st.Body) || !bc.loopHasIO(st, fn) {
+		return
+	}
+	vars, ok := bc.condLocalVars(st.Cond, fn)
+	if !ok || !bc.condEntered(st, st.Cond) {
+		return
+	}
+	defs := loopBodyDefs(st.Body)
+
+	// A for loop with a step diverges when the step moves the induction
+	// variable away from (or never toward) the bound.
+	if ivar, _, op, bound, shaped := forShape(st); shaped && st.Post != nil {
+		if step, stepOK := forStep(st.Post, ivar); stepOK {
+			up := op == "<" || op == "<="
+			wrongWay := (up && step <= 0) || (!up && step >= 0)
+			boundStable := true
+			for _, v := range csrc.ExprVars(bound) {
+				if defs[v] {
+					boundStable = false
+				}
+			}
+			if wrongWay && boundStable && !defs[ivar] {
+				bc.add(CodeNonTerminatingIOLoop, st.Base().Pos, fn,
+					"I/O loop never terminates: induction variable %q steps by %d away from its bound", ivar, step)
+			}
+			return
+		}
+	}
+
+	// No recognizable step: diverges if nothing in the body (or post)
+	// touches any condition variable.
+	if st.Post != nil {
+		for _, d := range StmtDefUse(st.Post).Defs {
+			defs[d.Var] = true
+		}
+	}
+	for _, v := range vars {
+		if defs[v] {
+			return
+		}
+	}
+	bc.add(CodeNonTerminatingIOLoop, st.Base().Pos, fn,
+		"I/O loop never terminates: condition variables %s are never modified", strings.Join(vars, ", "))
+}
+
+func (bc *boundsChecker) checkWhileLoop(st *csrc.WhileStmt, fn string) {
+	if condAlwaysTrue(st.Cond) || loopBodyExits(st.Body) || !bc.loopHasIO(st, fn) {
+		return
+	}
+	vars, ok := bc.condLocalVars(st.Cond, fn)
+	if !ok || !bc.condEntered(st, st.Cond) {
+		return
+	}
+	defs := loopBodyDefs(st.Body)
+	for _, v := range vars {
+		if defs[v] {
+			return
+		}
+	}
+	bc.add(CodeNonTerminatingIOLoop, st.Base().Pos, fn,
+		"I/O loop never terminates: condition variables %s are never modified", strings.Join(vars, ", "))
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func boundsDiags(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	return BoundsDiagnostics(mustParse(t, src), nil)
+}
+
+func TestTR006ProvableOOBIndex(t *testing.T) {
+	src := `int main() {
+    double a[4];
+    int i = 5;
+    a[i] = 1.0;
+    return 0;
+}`
+	got := findCode(boundsDiags(t, src), CodeOutOfBoundsIndex)
+	if len(got) != 1 {
+		t.Fatalf("want one TR006, got %v", got)
+	}
+	if got[0].Line != 4 || got[0].Severity != SevError {
+		t.Errorf("TR006 = %+v, want error at line 4", got[0])
+	}
+	if !strings.Contains(got[0].Message, `"a"`) {
+		t.Errorf("message should name the array: %s", got[0].Message)
+	}
+}
+
+func TestTR006NegativeIndex(t *testing.T) {
+	src := `int main() {
+    double a[4];
+    int i = 0 - 2;
+    a[i] = 1.0;
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeOutOfBoundsIndex); len(got) != 1 {
+		t.Fatalf("want one TR006 for a negative index, got %v", got)
+	}
+}
+
+func TestTR006InBoundsLoopIndexNotFlagged(t *testing.T) {
+	src := `int main() {
+    double a[4];
+    int i;
+    for (i = 0; i < 4; i++) {
+        a[i] = 1.0;
+    }
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeOutOfBoundsIndex); len(got) != 0 {
+		t.Errorf("in-bounds loop index flagged: %v", got)
+	}
+}
+
+func TestTR006UnknownIndexNotFlagged(t *testing.T) {
+	// An index the analysis cannot bound is ⊤: it may be in range, so no
+	// diagnostic fires (the check only reports provable violations).
+	src := `int main() {
+    double a[4];
+    int i = get_index();
+    a[i] = 1.0;
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeOutOfBoundsIndex); len(got) != 0 {
+		t.Errorf("unbounded index flagged: %v", got)
+	}
+}
+
+func TestTR006ShadowedRedeclarationNotFlagged(t *testing.T) {
+	// Block scoping re-declares "start" with a different length; the
+	// name-keyed length map cannot tell the two apart, so the name must
+	// be treated as ambiguous rather than checked against either length
+	// (this is the BDCATS fixture shape: start[2] in a loop, start[1]
+	// later at function scope).
+	src := `int main() {
+    int i;
+    for (i = 0; i < 4; i++) {
+        double start[2];
+        start[1] = 5.0;
+    }
+    double start[1];
+    start[0] = 1.0;
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeOutOfBoundsIndex); len(got) != 0 {
+		t.Errorf("shadowed redeclaration flagged: %v", got)
+	}
+}
+
+func TestTR007DivergingForLoop(t *testing.T) {
+	src := `int main() {
+    int i;
+    char buf[16];
+    FILE* fp = fopen("/scratch/x.bin", "w");
+    for (i = 0; i < 8; i--) {
+        fwrite(buf, 4, 1, fp);
+    }
+    fclose(fp);
+    return 0;
+}`
+	got := findCode(boundsDiags(t, src), CodeNonTerminatingIOLoop)
+	if len(got) != 1 {
+		t.Fatalf("want one TR007, got %v", got)
+	}
+	if got[0].Line != 5 || got[0].Severity != SevError {
+		t.Errorf("TR007 = %+v, want error at line 5", got[0])
+	}
+}
+
+func TestTR007ConditionNeverModified(t *testing.T) {
+	src := `int main() {
+    int n = 4;
+    int i = 0;
+    char buf[16];
+    FILE* fp = fopen("/scratch/x.bin", "w");
+    for (i = 0; i < n; ) {
+        fwrite(buf, 4, 1, fp);
+    }
+    fclose(fp);
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeNonTerminatingIOLoop); len(got) != 1 {
+		t.Fatalf("want one TR007 for untouched condition variables, got %v", got)
+	}
+}
+
+func TestTR007WellFormedLoopNotFlagged(t *testing.T) {
+	src := `int main() {
+    int i;
+    char buf[16];
+    FILE* fp = fopen("/scratch/x.bin", "w");
+    for (i = 0; i < 8; i++) {
+        fwrite(buf, 4, 1, fp);
+    }
+    fclose(fp);
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeNonTerminatingIOLoop); len(got) != 0 {
+		t.Errorf("terminating loop flagged: %v", got)
+	}
+}
+
+func TestTR007LoopWithoutIONotFlagged(t *testing.T) {
+	// Divergence without I/O is not TR007's business (the loop may be a
+	// deliberate spin); only I/O loops are checked.
+	src := `int main() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < 8; i--) {
+        acc = acc + 1;
+    }
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeNonTerminatingIOLoop); len(got) != 0 {
+		t.Errorf("compute-only loop flagged: %v", got)
+	}
+}
+
+func TestTR007BreakSuppresses(t *testing.T) {
+	src := `int main() {
+    int i;
+    char buf[16];
+    FILE* fp = fopen("/scratch/x.bin", "w");
+    for (i = 0; i < 8; i--) {
+        fwrite(buf, 4, 1, fp);
+        if (i < 0 - 100) {
+            break;
+        }
+    }
+    fclose(fp);
+    return 0;
+}`
+	if got := findCode(boundsDiags(t, src), CodeNonTerminatingIOLoop); len(got) != 0 {
+		t.Errorf("loop with a break flagged: %v", got)
+	}
+}

@@ -266,6 +266,12 @@ func (p *StringProp) collectGlobalConsts() {
 // arguments of unmodeled calls. Unlike StmtDefUse, the read-only arguments
 // of the modeled string writers are not conjectured writes.
 func (p *StringProp) clobberedVars(s csrc.Stmt, fn string) []string {
+	return clobberedNames(p.locals, s, fn)
+}
+
+// clobberedNames is the package-level form of clobberedVars, shared with
+// the interval analysis (which applies the same write conjecture).
+func clobberedNames(locals map[string]map[string]bool, s csrc.Stmt, fn string) []string {
 	var out []string
 	for _, x := range stmtExprs(s) {
 		csrc.WalkExpr(x, func(node csrc.Expr) bool {
@@ -273,7 +279,7 @@ func (p *StringProp) clobberedVars(s csrc.Stmt, fn string) []string {
 			if !ok {
 				return true
 			}
-			shadowed := fn != "" && p.locals[fn][c.Fun]
+			shadowed := fn != "" && locals[fn][c.Fun]
 			if _, isWriter := stringWriterCalls[c.Fun]; isWriter && !shadowed {
 				if len(c.Args) > 0 {
 					if base := rootIdent(c.Args[0]); base != "" {

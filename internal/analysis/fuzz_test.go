@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzInterval decodes a fuzz-provided (lo, hi, flags) triple into a
+// normal-form interval: bit 0 of flags drops the lower bound, bit 1 the
+// upper, bit 2 selects the empty interval. Out-of-order finite bounds
+// are swapped so every decoded value is a valid lattice element.
+func fuzzInterval(lo, hi int64, flags uint8) Interval {
+	if flags&4 != 0 {
+		return EmptyInterval()
+	}
+	if flags&3 == 3 {
+		return TopInterval()
+	}
+	if flags&1 != 0 {
+		return Interval{LoUnb: true, Hi: hi}
+	}
+	if flags&2 != 0 {
+		return Interval{HiUnb: true, Lo: lo}
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// FuzzIntervalJoinWiden checks the lattice laws the fixpoint iteration
+// in bounds.go relies on: join is a commutative upper bound, widening
+// covers the join, and widening is stable on its second argument (the
+// property that forces ascending chains to terminate).
+func FuzzIntervalJoinWiden(f *testing.F) {
+	f.Add(int64(0), int64(7), uint8(0), int64(3), int64(9), uint8(0))
+	f.Add(int64(-5), int64(5), uint8(1), int64(0), int64(0), uint8(2))
+	f.Add(int64(0), int64(0), uint8(4), int64(1), int64(2), uint8(0))
+	f.Add(int64(-9223372036854775808), int64(9223372036854775807), uint8(0), int64(0), int64(0), uint8(3))
+	f.Fuzz(func(t *testing.T, lo1, hi1 int64, fl1 uint8, lo2, hi2 int64, fl2 uint8) {
+		a := fuzzInterval(lo1, hi1, fl1)
+		b := fuzzInterval(lo2, hi2, fl2)
+
+		j := JoinIntervals(a, b)
+		if !j.ContainsInterval(a) || !j.ContainsInterval(b) {
+			t.Fatalf("join %v ⊔ %v = %v does not contain both operands", a, b, j)
+		}
+		if jr := JoinIntervals(b, a); jr != j {
+			t.Fatalf("join not commutative: %v vs %v", j, jr)
+		}
+
+		w := WidenInterval(a, b)
+		if !w.ContainsInterval(j) {
+			t.Fatalf("widen %v ∇ %v = %v does not contain the join %v", a, b, w, j)
+		}
+		if w2 := WidenInterval(w, b); w2 != w {
+			t.Fatalf("widening unstable: (%v ∇ %v) ∇ %v = %v, want %v", a, b, b, w2, w)
+		}
+
+		m := MeetIntervals(a, b)
+		if !a.ContainsInterval(m) || !b.ContainsInterval(m) {
+			t.Fatalf("meet %v ⊓ %v = %v escapes an operand", a, b, m)
+		}
+		n := NarrowInterval(w, j)
+		if !n.ContainsInterval(j) {
+			t.Fatalf("narrow %v Δ %v = %v lost the join %v", w, j, n, j)
+		}
+	})
+}
+
+// FuzzExpandFormat checks that the format-string expander never panics
+// and that a successful expansion consumed only supported verbs. Seeds
+// cover the format strings the five built-in fixture workloads use.
+func FuzzExpandFormat(f *testing.F) {
+	f.Add("%s/%s", "out", 0)
+	f.Add("ds%05d", "", 12)
+	f.Add("%05d", "", 7)
+	f.Add("out.%d.h5", "", 3)
+	f.Add("%s", "vpic", 0)
+	f.Add("%x-%ld-%%", "", -1)
+	f.Add("%*d", "", 5)
+	f.Add("%", "", 0)
+	f.Fuzz(func(t *testing.T, format, s string, i int) {
+		args := []constVal{strConst(s), intConst(int64(i)), strConst(s), intConst(int64(i))}
+		out, ok := expandFormat(format, args)
+		if !ok {
+			return
+		}
+		// A successful expansion of a %%-free format with no verbs must
+		// echo the format verbatim.
+		if !strings.ContainsRune(format, '%') && out != format {
+			t.Fatalf("expandFormat(%q) = %q, want the format itself", format, out)
+		}
+	})
+}

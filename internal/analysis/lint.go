@@ -59,6 +59,7 @@ func Lint(f *csrc.File, opts LintOptions) []Diagnostic {
 		l.lintFunc(fn)
 	}
 	l.unusedGlobals()
+	l.signatureChecks()
 	sort.SliceStable(l.diags, func(i, j int) bool { return l.diags[i].Line < l.diags[j].Line })
 	return l.diags
 }
@@ -354,6 +355,54 @@ func (l *linter) unusedGlobals() {
 		if !used[g.Name] {
 			l.add(CodeUnusedVariable, SevInfo, g.Pos, "",
 				"global %q is declared but never read", g.Name)
+		}
+	}
+}
+
+// Thresholds for IO007: a transfer site must provably execute at least
+// this many times, each moving at most this many bytes per rank, before
+// the small-writes warning fires.
+const (
+	smallWriteTripMin  = 64
+	smallWriteBytesMax = 4096
+)
+
+// signatureChecks runs the signature-derived rules over main's transfer
+// sites: IO007 (a provably high-count loop of provably small transfers —
+// a request-merging opportunity) and IO008 (the same dataset extent read
+// and written on every iteration of one loop — a hoistable
+// read-modify-write).
+func (l *linter) signatureChecks() {
+	sig := ComputeSignature(l.file, SignatureOptions{IsIOCall: l.isIO})
+	for _, t := range sig.Transfers {
+		if t.loopLine == 0 || !t.Write || t.Count == nil || t.RankBytes == nil {
+			continue
+		}
+		n, okN := t.Count.Const()
+		by, okB := t.RankBytes.Const()
+		if okN && okB && n >= smallWriteTripMin && by > 0 && by <= smallWriteBytesMax {
+			l.add(CodeSmallWritesInLoop, SevWarning, t.Line, "",
+				"loop issues %d writes of %d bytes each; merging them would cut per-request overhead", n, by)
+		}
+	}
+	type extent struct {
+		loop int
+		ds   int
+		key  string
+	}
+	reads := map[extent]bool{}
+	for _, t := range sig.Transfers {
+		if t.loopLine != 0 && !t.Write && t.dsObj >= 0 && t.extentKey != "" && !t.loopDep {
+			reads[extent{t.loopLine, t.dsObj, t.extentKey}] = true
+		}
+	}
+	for _, t := range sig.Transfers {
+		if t.loopLine == 0 || !t.Write || t.dsObj < 0 || t.extentKey == "" || t.loopDep {
+			continue
+		}
+		if reads[extent{t.loopLine, t.dsObj, t.extentKey}] {
+			l.add(CodeRepeatedExtentRMW, SevWarning, t.Line, "",
+				"the same dataset extent is read and written on every iteration of the loop at line %d (read-modify-write could be hoisted)", t.loopLine)
 		}
 	}
 }

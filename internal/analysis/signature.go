@@ -1,0 +1,1527 @@
+package analysis
+
+// signature.go derives a kernel's symbolic I/O signature: closed-form
+// expressions — over the parameter symbols "nprocs" and "rank" plus the
+// program's own constants — for how many trace events of each kind the
+// kernel issues and how many bytes each transfer moves. The walker is an
+// abstract interpreter over the csrc AST that mirrors the cinterp builtin
+// model (hid_t objects, dataspaces, hyperslab selections, 8-byte
+// elements); loop trip counts come from ForTrip, so every count is a
+// SymExpr the replay engine can evaluate at concrete parameters and
+// cross-validate against a recorded trace.
+//
+// Exactness is tracked, not assumed: any construct the walker cannot
+// count precisely (unknown trip counts, conditional I/O, strided
+// selections, unmodeled I/O externs) demotes the signature to inexact
+// with a reason, and Concrete refuses to evaluate inexact signatures —
+// an inexact signature can still be hashed and printed, but never serves
+// as a validation oracle.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tunio/internal/csrc"
+)
+
+// Family labels the API family an operation belongs to.
+type Family string
+
+// API families distinguished by the signature.
+const (
+	FamHDF5  Family = "hdf5"
+	FamMPIIO Family = "mpiio"
+	FamPOSIX Family = "posix"
+	FamMPI   Family = "mpi"
+	FamSim   Family = "sim"
+)
+
+// Access-pattern labels for transfer sites.
+const (
+	PatContiguous  = "contiguous"
+	PatStrided     = "strided"
+	PatBlockCyclic = "block-cyclic"
+	PatUnknown     = "unknown"
+	PatMixed       = "mixed"
+	PatNone        = "none"
+)
+
+// OpCount is the symbolic number of times one call executes. A nil Count
+// means the walker could not bound it (the signature is then inexact).
+type OpCount struct {
+	Op     string
+	Family Family
+	Count  *SymExpr
+}
+
+// TransferSite describes one static H5Dwrite/H5Dread/fwrite/fread call
+// site: how often it executes (Count) and how many bytes each execution
+// moves. For collective HDF5 transfers Bytes aggregates all ranks
+// (RankBytes × nprocs), matching the one-event-per-collective-call trace
+// model; for POSIX stream calls Bytes is per process.
+type TransferSite struct {
+	Op        string
+	Family    Family
+	Write     bool
+	Line      int
+	Count     *SymExpr // executions (product of enclosing trip counts)
+	RankBytes *SymExpr // bytes per execution on one rank
+	Bytes     *SymExpr // bytes per execution across ranks (trace-event bytes)
+	Pattern   string
+
+	// loop context for the lint rules (IO007/IO008).
+	loopLine  int      // innermost enclosing loop (0 at top level)
+	loopTrip  *SymExpr // innermost loop's trip count (nil unknown)
+	dsObj     int      // identity of the dataset handle (-1 unknown)
+	extentKey string   // canonical start|count rendering ("" unknown)
+	loopDep   bool     // extent or size depends on a loop induction var
+}
+
+// IOSignature is the per-kernel symbolic I/O signature.
+type IOSignature struct {
+	Exact        bool
+	Reason       string // first inexactness reason ("" when exact)
+	Pattern      string
+	Ops          []OpCount // sorted by op name
+	Transfers    []TransferSite
+	BytesWritten *SymExpr // nil when not statically bounded
+	BytesRead    *SymExpr
+}
+
+// ConcreteTransfer is a TransferSite evaluated at concrete parameters.
+type ConcreteTransfer struct {
+	Op    string
+	Write bool
+	Count int64
+	Bytes int64 // per execution, across ranks
+}
+
+// ConcreteSignature is an exact signature evaluated at a parameter
+// binding (typically {"nprocs": N}).
+type ConcreteSignature struct {
+	Ops          map[string]int64
+	Transfers    []ConcreteTransfer
+	BytesWritten int64
+	BytesRead    int64
+}
+
+// SignatureOptions configures signature extraction.
+type SignatureOptions struct {
+	// IsIOCall classifies extern calls as I/O; nil means DefaultIsIOCall.
+	IsIOCall func(string) bool
+}
+
+// sigEventFam maps the modeled calls that produce trace events to their
+// API family. Calls outside this map either have no trace footprint
+// (sigSilentCalls) or are unmodeled.
+var sigEventFam = map[string]Family{
+	"MPI_Init": FamMPI, "MPI_Finalize": FamMPI, "MPI_Barrier": FamMPI,
+	"compute_flops": FamSim,
+	"H5Fcreate":     FamHDF5, "H5Fopen": FamHDF5, "H5Fclose": FamHDF5,
+	"H5Dcreate": FamHDF5, "H5Dopen": FamHDF5, "H5Gcreate": FamHDF5,
+	"H5Acreate": FamHDF5, "H5Dwrite": FamHDF5, "H5Dread": FamHDF5,
+	"fopen": FamPOSIX, "fclose": FamPOSIX, "fwrite": FamPOSIX, "fread": FamPOSIX,
+}
+
+// sigSilentCalls are modeled calls with no trace event of their own.
+var sigSilentCalls = map[string]bool{
+	"H5Dclose": true, "H5Sclose": true, "H5Gclose": true, "H5Aclose": true,
+	"H5Pclose": true, "H5Awrite": true,
+	"H5Screate_simple": true, "H5Sselect_hyperslab": true, "H5Pcreate": true,
+	"dsname": true, "printf": true, "malloc": true, "calloc": true,
+	"free": true, "sqrt": true, "exit": true,
+	"sprintf": true, "snprintf": true, "strcpy": true, "strncpy": true,
+	"strcat":        true,
+	"MPI_Comm_rank": true, "MPI_Comm_size": true,
+	"__loop_reduce": true,
+}
+
+// sigIdentConsts mirrors the interpreter's named-constant table for the
+// identifiers that matter to the abstract walk.
+var sigIdentConsts = map[string]int64{
+	"NULL": 0, "MPI_INFO_NULL": 0, "H5P_DEFAULT": 0, "H5S_ALL": 0,
+}
+
+type sigKind int
+
+const (
+	sigUnknown sigKind = iota
+	sigInt
+	sigStr
+	sigArr
+	sigSpaceK
+	sigPlistK
+	sigObjectK // file or dataset handle
+)
+
+type sigSpace struct {
+	dims     []*SymExpr
+	selStart []*SymExpr // nil until a hyperslab is selected
+	selCount []*SymExpr
+	bad      bool // selection the model cannot express (e.g. strided)
+}
+
+type sigPlist struct{ chunk []*SymExpr }
+
+type sigObject struct{ id int }
+
+type sigVal struct {
+	kind sigKind
+	n    *SymExpr
+	s    string
+	arr  []*SymExpr
+	sp   *sigSpace
+	pl   *sigPlist
+	obj  *sigObject
+}
+
+func intSigVal(e *SymExpr) sigVal {
+	if e == nil {
+		return sigVal{}
+	}
+	return sigVal{kind: sigInt, n: e}
+}
+
+func strSigVal(s string) sigVal { return sigVal{kind: sigStr, s: s} }
+
+type sigEnv map[string]sigVal
+
+func cloneSigEnv(e sigEnv) sigEnv {
+	out := make(sigEnv, len(e))
+	for k, v := range e {
+		if v.kind == sigArr {
+			v.arr = append([]*SymExpr(nil), v.arr...)
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func symStr(e *SymExpr) string {
+	if e == nil {
+		return "?"
+	}
+	return e.String()
+}
+
+func sameSigVal(a, b sigVal) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case sigInt:
+		return symStr(a.n) == symStr(b.n)
+	case sigStr:
+		return a.s == b.s
+	case sigArr:
+		if len(a.arr) != len(b.arr) {
+			return false
+		}
+		for i := range a.arr {
+			if symStr(a.arr[i]) != symStr(b.arr[i]) {
+				return false
+			}
+		}
+		return true
+	case sigSpaceK:
+		return a.sp == b.sp
+	case sigPlistK:
+		return a.pl == b.pl
+	case sigObjectK:
+		return a.obj == b.obj
+	}
+	return true
+}
+
+func symMulNil(a, b *SymExpr) *SymExpr {
+	if a == nil || b == nil {
+		return nil
+	}
+	return SymMul(a, b)
+}
+
+type sigLoop struct {
+	line int
+	trip *SymExpr // nil unknown
+	sym  string   // induction-variable symbol ("" when unrecognized)
+}
+
+type sigWalker struct {
+	f         *csrc.File
+	locals    map[string]map[string]bool
+	isIO      func(string) bool
+	globalInt map[string]int64
+	funcHasIO map[string]bool
+
+	ops       map[string]*SymExpr
+	opFam     map[string]Family
+	opUnknown map[string]bool
+	transfers []TransferSite
+	inexact   []string
+
+	mult      *SymExpr // execution multiplier of the current point; nil unknown
+	loops     []sigLoop
+	curFn     string
+	curPos    int
+	retVal    sigVal
+	condTaint bool // an undecided branch may have returned early
+	halted    bool // exit() was reached
+	nextID    int
+	depth     int
+	active    map[string]bool
+}
+
+// ComputeSignature derives the symbolic I/O signature of f's main
+// function. It never fails: anything unprovable yields an inexact
+// signature carrying the first reason.
+func ComputeSignature(f *csrc.File, opts SignatureOptions) *IOSignature {
+	isIO := opts.IsIOCall
+	if isIO == nil {
+		isIO = DefaultIsIOCall
+	}
+	w := &sigWalker{
+		f:         f,
+		locals:    LocalNames(f),
+		isIO:      isIO,
+		globalInt: sigGlobalInts(f),
+		ops:       map[string]*SymExpr{},
+		opFam:     map[string]Family{},
+		opUnknown: map[string]bool{},
+		mult:      SymConst(1),
+		active:    map[string]bool{},
+	}
+	w.computeFuncHasIO()
+	main := f.Func("main")
+	if main == nil {
+		return &IOSignature{Reason: "no main function"}
+	}
+	w.walkFunc(main, nil)
+	return w.assemble()
+}
+
+// sigGlobalInts collects global integer variables with a foldable
+// initializer that no statement anywhere redefines.
+func sigGlobalInts(f *csrc.File) map[string]int64 {
+	locals := LocalNames(f)
+	clobbered := map[string]bool{}
+	for _, fn := range f.Funcs {
+		name := fn.Name
+		walkFuncStmts(fn, func(s csrc.Stmt) bool {
+			for _, n := range clobberedNames(locals, s, name) {
+				if !locals[name][n] {
+					clobbered[n] = true
+				}
+			}
+			return true
+		})
+	}
+	out := map[string]int64{}
+	for _, g := range f.Globals {
+		if g.ArrayLen != nil || g.InitList != nil || g.Init == nil || clobbered[g.Name] {
+			continue
+		}
+		if v, ok := foldInt(g.Init); ok {
+			out[g.Name] = v
+		}
+	}
+	return out
+}
+
+func (w *sigWalker) markInexact(format string, args ...interface{}) {
+	w.inexact = append(w.inexact, fmt.Sprintf(format, args...))
+}
+
+// isEventCall reports whether a call to name from fn contributes trace
+// events (directly or, for user functions, transitively).
+func (w *sigWalker) isEventCall(name, fn string) bool {
+	if w.locals[fn][name] {
+		return false
+	}
+	if _, ok := sigEventFam[name]; ok {
+		return true
+	}
+	if w.funcHasIO[name] {
+		return true
+	}
+	if sigSilentCalls[name] || strings.HasPrefix(name, "H5Pset_") {
+		return false
+	}
+	return w.isIO(name)
+}
+
+func (w *sigWalker) computeFuncHasIO() {
+	has := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range w.f.Funcs {
+			if has[fn.Name] {
+				continue
+			}
+			name := fn.Name
+			walkFuncStmts(fn, func(s csrc.Stmt) bool {
+				for _, c := range stmtCalls(s) {
+					if w.locals[name][c] {
+						continue
+					}
+					if _, ev := sigEventFam[c]; ev || has[c] ||
+						(!sigSilentCalls[c] && !strings.HasPrefix(c, "H5Pset_") && w.isIO(c)) {
+						has[name] = true
+					}
+				}
+				return true
+			})
+			if has[name] {
+				changed = true
+			}
+		}
+	}
+	w.funcHasIO = has
+}
+
+func (w *sigWalker) treeHasEvents(b *csrc.Block) bool {
+	found := false
+	if b == nil {
+		return false
+	}
+	walkStmtTree(b, func(s csrc.Stmt) {
+		for _, c := range stmtCalls(s) {
+			if w.isEventCall(c, w.curFn) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// treeHasStop reports whether the block can abandon the rest of the
+// function (return or exit()).
+func (w *sigWalker) treeHasStop(b *csrc.Block) bool {
+	found := false
+	if b == nil {
+		return false
+	}
+	walkStmtTree(b, func(s csrc.Stmt) {
+		if _, ok := s.(*csrc.ReturnStmt); ok {
+			found = true
+		}
+		for _, c := range stmtCalls(s) {
+			if c == "exit" && !w.locals[w.curFn]["exit"] {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func (w *sigWalker) addOp(op string, fam Family) {
+	if w.condTaint {
+		w.condTaint = false
+		w.markInexact("%s at line %d executes after a conditional early return", op, w.curPos)
+	}
+	w.opFam[op] = fam
+	if w.opUnknown[op] {
+		return
+	}
+	if w.mult == nil {
+		w.opUnknown[op] = true
+		w.ops[op] = nil
+		return
+	}
+	prev := w.ops[op]
+	if prev == nil {
+		prev = SymConst(0)
+	}
+	w.ops[op] = SymAdd(prev, w.mult)
+}
+
+// walkFunc abstractly executes one function with the given argument
+// values and returns its return value.
+func (w *sigWalker) walkFunc(fn *csrc.FuncDecl, args []sigVal) sigVal {
+	if w.active[fn.Name] || w.depth >= 32 {
+		if w.funcHasIO[fn.Name] {
+			w.markInexact("recursive or deeply nested call to %s", fn.Name)
+		}
+		return sigVal{}
+	}
+	w.active[fn.Name] = true
+	w.depth++
+	savedFn, savedRet := w.curFn, w.retVal
+	w.curFn, w.retVal = fn.Name, sigVal{}
+	env := sigEnv{}
+	for i, p := range fn.Params {
+		if p.Name != "" && i < len(args) {
+			env[p.Name] = args[i]
+		}
+	}
+	w.walkStmt(env, fn.Body)
+	ret := w.retVal
+	w.curFn, w.retVal = savedFn, savedRet
+	w.depth--
+	delete(w.active, fn.Name)
+	return ret
+}
+
+// walkStmt abstractly executes s, returning true when control cannot
+// continue past it (return, exit, or both branches of an if stopping).
+func (w *sigWalker) walkStmt(env sigEnv, s csrc.Stmt) bool {
+	if s == nil || w.halted {
+		return w.halted
+	}
+	w.curPos = s.Base().Pos
+	switch st := s.(type) {
+	case *csrc.Block:
+		for _, c := range st.Stmts {
+			if w.walkStmt(env, c) {
+				return true
+			}
+		}
+	case *csrc.DeclStmt:
+		w.walkDecl(env, st)
+	case *csrc.ExprStmt:
+		w.evalExpr(env, st.X)
+	case *csrc.AssignStmt:
+		w.walkAssign(env, st)
+	case *csrc.IfStmt:
+		return w.walkIf(env, st)
+	case *csrc.ForStmt:
+		w.walkFor(env, st)
+	case *csrc.WhileStmt:
+		w.walkWhile(env, st)
+	case *csrc.ReturnStmt:
+		if st.X != nil {
+			w.retVal = w.evalExpr(env, st.X)
+		}
+		return true
+	}
+	return w.halted
+}
+
+func (w *sigWalker) walkDecl(env sigEnv, st *csrc.DeclStmt) {
+	if st.ArrayLen != nil || st.InitList != nil {
+		n := int64(len(st.InitList))
+		if st.ArrayLen != nil {
+			if v, ok := foldInt(st.ArrayLen); ok && v >= 0 && v < 1<<16 {
+				n = v
+			} else {
+				delete(env, st.Name)
+				return
+			}
+		}
+		arr := make([]*SymExpr, n)
+		for i, e := range st.InitList {
+			if int64(i) < n {
+				arr[i] = w.evalToSym(env, e)
+			}
+		}
+		env[st.Name] = sigVal{kind: sigArr, arr: arr}
+		return
+	}
+	if st.Init != nil {
+		env[st.Name] = w.evalExpr(env, st.Init)
+		return
+	}
+	delete(env, st.Name)
+}
+
+func (w *sigWalker) walkAssign(env sigEnv, st *csrc.AssignStmt) {
+	switch st.Op {
+	case "=":
+		switch lhs := st.LHS.(type) {
+		case *csrc.Ident:
+			env[lhs.Name] = w.evalExpr(env, st.RHS)
+			return
+		case *csrc.IndexExpr:
+			if base, ok := lhs.X.(*csrc.Ident); ok {
+				if v, have := env[base.Name]; have && v.kind == sigArr {
+					if idx := w.evalToSym(env, lhs.Index); idx != nil {
+						if k, isC := idx.Const(); isC && k >= 0 && k < int64(len(v.arr)) {
+							v.arr[k] = w.evalToSym(env, st.RHS)
+							return
+						}
+					}
+				}
+			}
+		}
+	case "++", "--":
+		if lhs, ok := st.LHS.(*csrc.Ident); ok {
+			if v, have := env[lhs.Name]; have && v.kind == sigInt {
+				if st.Op == "++" {
+					env[lhs.Name] = intSigVal(SymAdd(v.n, SymConst(1)))
+				} else {
+					env[lhs.Name] = intSigVal(SymSub(v.n, SymConst(1)))
+				}
+				return
+			}
+		}
+	default: // compound assignment
+		if lhs, ok := st.LHS.(*csrc.Ident); ok {
+			if v, have := env[lhs.Name]; have && v.kind == sigInt {
+				rhs := w.evalToSym(env, st.RHS)
+				var out *SymExpr
+				switch strings.TrimSuffix(st.Op, "=") {
+				case "+":
+					out = SymAdd(v.n, rhs)
+				case "-":
+					out = SymSub(v.n, rhs)
+				case "*":
+					out = SymMul(v.n, rhs)
+				case "/":
+					out = SymDiv(v.n, rhs)
+				}
+				env[lhs.Name] = intSigVal(out)
+				return
+			}
+		}
+	}
+	if root := rootIdent(st.LHS); root != "" {
+		delete(env, root)
+	}
+}
+
+func (w *sigWalker) walkIf(env sigEnv, st *csrc.IfStmt) bool {
+	if c, ok := foldInt(st.Cond); ok {
+		if c != 0 {
+			return w.walkStmt(env, st.Then)
+		}
+		if st.Else != nil {
+			return w.walkStmt(env, st.Else)
+		}
+		return false
+	}
+	if w.treeHasEvents(st.Then) || w.treeHasEvents(st.Else) {
+		w.markInexact("conditional I/O at line %d", st.Base().Pos)
+	}
+	if w.treeHasStop(st.Then) || w.treeHasStop(st.Else) {
+		w.condTaint = true
+	}
+	envT := cloneSigEnv(env)
+	stoppedT := w.walkStmt(envT, st.Then)
+	envE := cloneSigEnv(env)
+	stoppedE := false
+	if st.Else != nil {
+		stoppedE = w.walkStmt(envE, st.Else)
+	}
+	for k := range env {
+		delete(env, k)
+	}
+	for k, v := range envT {
+		if other, ok := envE[k]; ok && sameSigVal(v, other) {
+			env[k] = v
+		}
+	}
+	return stoppedT && stoppedE
+}
+
+func (w *sigWalker) walkFor(env sigEnv, st *csrc.ForStmt) {
+	w.walkStmt(env, st.Init)
+	var ivar string
+	var trip *SymExpr
+	if st.Cond != nil && !condAlwaysTrue(st.Cond) {
+		ivar, trip = ForTrip(st, func(e csrc.Expr) *SymExpr { return w.evalToSym(env, e) })
+	}
+	// A continue makes per-iteration effects conditional even though the
+	// trip count itself stays well defined.
+	if trip != nil && nestedBreakOrContinue(st.Body) {
+		trip = nil
+	}
+	if trip == nil && w.treeHasEvents(st.Body) {
+		w.markInexact("I/O inside loop at line %d with unknown trip count", st.Base().Pos)
+	}
+	defs := sigLoopBodyDefs(w.f, st.Body)
+	if st.Post != nil {
+		for _, d := range StmtDefUse(st.Post).Defs {
+			defs[d.Var] = true
+		}
+	}
+	if ivar != "" {
+		defs[ivar] = true
+	}
+	for v := range defs {
+		delete(env, v)
+	}
+	lsym := ""
+	if ivar != "" {
+		lsym = fmt.Sprintf("%s#%d", ivar, st.Base().Pos)
+		env[ivar] = intSigVal(SymVar(lsym))
+	}
+	savedMult := w.mult
+	w.mult = symMulNil(w.mult, trip)
+	w.loops = append(w.loops, sigLoop{line: st.Base().Pos, trip: trip, sym: lsym})
+	w.walkStmt(env, st.Body)
+	w.loops = w.loops[:len(w.loops)-1]
+	w.mult = savedMult
+	for v := range defs {
+		delete(env, v)
+	}
+}
+
+func (w *sigWalker) walkWhile(env sigEnv, st *csrc.WhileStmt) {
+	if w.treeHasEvents(st.Body) {
+		w.markInexact("I/O inside while loop at line %d with unknown trip count", st.Base().Pos)
+	}
+	defs := sigLoopBodyDefs(w.f, st.Body)
+	for v := range defs {
+		delete(env, v)
+	}
+	savedMult := w.mult
+	w.mult = nil
+	w.loops = append(w.loops, sigLoop{line: st.Base().Pos})
+	w.walkStmt(env, st.Body)
+	w.loops = w.loops[:len(w.loops)-1]
+	w.mult = savedMult
+	for v := range defs {
+		delete(env, v)
+	}
+}
+
+func (w *sigWalker) evalToSym(env sigEnv, e csrc.Expr) *SymExpr {
+	v := w.evalExpr(env, e)
+	if v.kind != sigInt {
+		return nil
+	}
+	return v.n
+}
+
+func (w *sigWalker) evalExpr(env sigEnv, e csrc.Expr) sigVal {
+	switch x := e.(type) {
+	case *csrc.NumberLit:
+		if x.IsFloat {
+			return sigVal{}
+		}
+		return intSigVal(SymConst(x.Int))
+	case *csrc.CharLit:
+		return intSigVal(SymConst(int64(x.Value)))
+	case *csrc.StringLit:
+		return strSigVal(x.Value)
+	case *csrc.Ident:
+		if v, ok := env[x.Name]; ok {
+			return v
+		}
+		if w.locals[w.curFn][x.Name] {
+			return sigVal{}
+		}
+		if c, ok := sigIdentConsts[x.Name]; ok {
+			return intSigVal(SymConst(c))
+		}
+		if c, ok := w.globalInt[x.Name]; ok {
+			return intSigVal(SymConst(c))
+		}
+		return sigVal{}
+	case *csrc.UnaryExpr:
+		switch x.Op {
+		case "-":
+			return intSigVal(SymSub(SymConst(0), w.evalToSym(env, x.X)))
+		case "+":
+			return w.evalExpr(env, x.X)
+		}
+		return sigVal{}
+	case *csrc.BinaryExpr:
+		l := w.evalToSym(env, x.X)
+		r := w.evalToSym(env, x.Y)
+		switch x.Op {
+		case "+":
+			return intSigVal(SymAdd(l, r))
+		case "-":
+			return intSigVal(SymSub(l, r))
+		case "*":
+			return intSigVal(SymMul(l, r))
+		case "/":
+			return intSigVal(SymDiv(l, r))
+		case "%":
+			if l != nil && r != nil {
+				if a, ok := l.Const(); ok {
+					if b, ok2 := r.Const(); ok2 && b != 0 {
+						return intSigVal(SymConst(a % b))
+					}
+				}
+			}
+		}
+		return sigVal{}
+	case *csrc.IndexExpr:
+		if base, ok := x.X.(*csrc.Ident); ok {
+			if v, have := env[base.Name]; have && v.kind == sigArr {
+				if idx := w.evalToSym(env, x.Index); idx != nil {
+					if k, isC := idx.Const(); isC && k >= 0 && k < int64(len(v.arr)) {
+						return intSigVal(v.arr[k])
+					}
+				}
+			}
+		}
+		return sigVal{}
+	case *csrc.CastExpr:
+		return w.evalExpr(env, x.X)
+	case *csrc.SizeofExpr:
+		if n, ok := sizeofType(x.Type); ok {
+			return intSigVal(SymConst(n))
+		}
+		return sigVal{}
+	case *csrc.CallExpr:
+		return w.evalCall(env, x)
+	}
+	return sigVal{}
+}
+
+// argArray resolves a call argument expected to be an array of integers
+// (a dims/start/count/chunk buffer). It returns (nil, true) for an
+// explicit NULL and (nil, false) for anything unresolvable.
+func (w *sigWalker) argArray(env sigEnv, e csrc.Expr) ([]*SymExpr, bool) {
+	if u, ok := e.(*csrc.UnaryExpr); ok && u.Op == "&" {
+		e = u.X
+	}
+	v := w.evalExpr(env, e)
+	switch v.kind {
+	case sigArr:
+		return append([]*SymExpr(nil), v.arr...), true
+	case sigInt:
+		if k, ok := v.n.Const(); ok && k == 0 {
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// clobberCallArgs invalidates caller bindings a call may write through:
+// &x arguments and bare identifiers bound to arrays (which decay to
+// pointers).
+func (w *sigWalker) clobberCallArgs(env sigEnv, c *csrc.CallExpr) {
+	for _, a := range c.Args {
+		if u, ok := a.(*csrc.UnaryExpr); ok && u.Op == "&" {
+			if root := rootIdent(u.X); root != "" {
+				delete(env, root)
+			}
+			continue
+		}
+		if id, ok := a.(*csrc.Ident); ok {
+			if v, have := env[id.Name]; have && v.kind == sigArr {
+				delete(env, id.Name)
+			}
+		}
+	}
+}
+
+func (w *sigWalker) newObject() *sigObject {
+	w.nextID++
+	return &sigObject{id: w.nextID}
+}
+
+func (w *sigWalker) evalCall(env sigEnv, c *csrc.CallExpr) sigVal {
+	if w.locals[w.curFn][c.Fun] {
+		w.clobberCallArgs(env, c)
+		return sigVal{}
+	}
+	arg := func(i int) sigVal {
+		if i < len(c.Args) {
+			return w.evalExpr(env, c.Args[i])
+		}
+		return sigVal{}
+	}
+	switch c.Fun {
+	case "MPI_Init", "MPI_Finalize", "MPI_Barrier":
+		w.addOp(c.Fun, FamMPI)
+		return intSigVal(SymConst(0))
+	case "MPI_Comm_rank", "MPI_Comm_size":
+		sym := "rank"
+		if c.Fun == "MPI_Comm_size" {
+			sym = "nprocs"
+		}
+		if len(c.Args) >= 2 {
+			if u, ok := c.Args[1].(*csrc.UnaryExpr); ok && u.Op == "&" {
+				if id, ok := u.X.(*csrc.Ident); ok {
+					env[id.Name] = intSigVal(SymVar(sym))
+					return intSigVal(SymConst(0))
+				}
+			}
+		}
+		w.clobberCallArgs(env, c)
+		return intSigVal(SymConst(0))
+	case "compute_flops":
+		w.addOp(c.Fun, FamSim)
+		return intSigVal(SymConst(0))
+	case "H5Screate_simple":
+		ndims := w.evalToSym(env, argOrNil(c, 0))
+		dims, ok := w.argArray(env, argOrNil(c, 1))
+		sp := &sigSpace{}
+		if n, isC := constOf(ndims); ok && isC && n >= 0 && n <= int64(len(dims)) {
+			sp.dims = dims[:n]
+		} else {
+			sp.bad = true
+		}
+		return sigVal{kind: sigSpaceK, sp: sp}
+	case "H5Sselect_hyperslab":
+		spv := arg(0)
+		if spv.kind != sigSpaceK {
+			return sigVal{}
+		}
+		sp := spv.sp
+		if stride, ok := w.argArray(env, argOrNil(c, 3)); !ok || stride != nil {
+			w.markInexact("strided or unresolved hyperslab selection at line %d", w.curPos)
+			sp.bad = true
+			return intSigVal(SymConst(0))
+		}
+		start, okS := w.argArray(env, argOrNil(c, 2))
+		count, okC := w.argArray(env, argOrNil(c, 4))
+		if !okS || !okC || count == nil {
+			sp.bad = true
+			return intSigVal(SymConst(0))
+		}
+		if len(start) > len(sp.dims) {
+			start = start[:len(sp.dims)]
+		}
+		if len(count) > len(sp.dims) {
+			count = count[:len(sp.dims)]
+		}
+		sp.selStart, sp.selCount = start, count
+		return intSigVal(SymConst(0))
+	case "H5Pcreate":
+		return sigVal{kind: sigPlistK, pl: &sigPlist{}}
+	case "H5Pset_chunk":
+		plv := arg(0)
+		if plv.kind == sigPlistK {
+			if chunk, ok := w.argArray(env, argOrNil(c, 2)); ok {
+				plv.pl.chunk = chunk
+			}
+		}
+		return intSigVal(SymConst(0))
+	case "H5Fcreate", "H5Fopen", "fopen":
+		fam := FamHDF5
+		if c.Fun == "fopen" {
+			fam = FamPOSIX
+		}
+		arg(0) // path, for effect
+		w.addOp(c.Fun, fam)
+		return sigVal{kind: sigObjectK, obj: w.newObject()}
+	case "H5Fclose":
+		w.addOp(c.Fun, FamHDF5)
+		return intSigVal(SymConst(0))
+	case "fclose":
+		w.addOp(c.Fun, FamPOSIX)
+		return intSigVal(SymConst(0))
+	case "H5Gcreate":
+		w.addOp(c.Fun, FamHDF5)
+		return arg(0) // the interpreter aliases groups to the file handle
+	case "H5Acreate":
+		w.addOp(c.Fun, FamHDF5)
+		return intSigVal(SymConst(0))
+	case "H5Dcreate", "H5Dopen":
+		arg(1) // dataset name, for effect
+		w.addOp(c.Fun, FamHDF5)
+		return sigVal{kind: sigObjectK, obj: w.newObject()}
+	case "H5Dwrite", "H5Dread":
+		w.addOp(c.Fun, FamHDF5)
+		w.recordHDF5Transfer(env, c, c.Fun == "H5Dwrite")
+		return intSigVal(SymConst(0))
+	case "fwrite", "fread":
+		w.addOp(c.Fun, FamPOSIX)
+		w.recordPosixTransfer(env, c, c.Fun == "fwrite")
+		return intSigVal(SymConst(0))
+	case "dsname":
+		if n := w.evalToSym(env, argOrNil(c, 0)); n != nil {
+			if k, ok := n.Const(); ok {
+				return strSigVal(fmt.Sprintf("ds%05d", k))
+			}
+		}
+		return sigVal{}
+	case "sprintf", "snprintf", "strcpy", "strncpy", "strcat":
+		w.modelStringWrite(env, c)
+		return intSigVal(SymConst(0))
+	case "exit":
+		w.halted = true
+		return sigVal{}
+	case "printf", "malloc", "calloc", "free", "sqrt", "__loop_reduce":
+		return sigVal{}
+	case "H5Dclose", "H5Sclose", "H5Gclose", "H5Aclose", "H5Pclose", "H5Awrite":
+		return intSigVal(SymConst(0))
+	}
+	if strings.HasPrefix(c.Fun, "H5Pset_") {
+		return intSigVal(SymConst(0))
+	}
+	if fn := w.f.Func(c.Fun); fn != nil {
+		args := make([]sigVal, len(c.Args))
+		for i := range c.Args {
+			args[i] = w.evalExpr(env, c.Args[i])
+		}
+		ret := w.walkFunc(fn, args)
+		w.clobberCallArgs(env, c)
+		return ret
+	}
+	w.clobberCallArgs(env, c)
+	if w.isIO(c.Fun) {
+		fam := FamPOSIX
+		switch {
+		case strings.HasPrefix(c.Fun, "H5"):
+			fam = FamHDF5
+		case strings.HasPrefix(c.Fun, "MPI_File"):
+			fam = FamMPIIO
+		case strings.HasPrefix(c.Fun, "MPI_"):
+			fam = FamMPI
+		}
+		w.addOp(c.Fun, fam)
+		w.markInexact("unmodeled I/O call %s at line %d", c.Fun, w.curPos)
+	}
+	return sigVal{}
+}
+
+func argOrNil(c *csrc.CallExpr, i int) csrc.Expr {
+	if i < len(c.Args) {
+		return c.Args[i]
+	}
+	return nil
+}
+
+func constOf(e *SymExpr) (int64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	return e.Const()
+}
+
+func (w *sigWalker) modelStringWrite(env sigEnv, c *csrc.CallExpr) {
+	dst := ""
+	if len(c.Args) > 0 {
+		dst = rootIdent(c.Args[0])
+	}
+	if dst == "" {
+		return
+	}
+	toConst := func(e csrc.Expr) (constVal, bool) {
+		v := w.evalExpr(env, e)
+		switch v.kind {
+		case sigStr:
+			return strConst(v.s), true
+		case sigInt:
+			if k, ok := v.n.Const(); ok {
+				return intConst(k), true
+			}
+		}
+		return constVal{}, false
+	}
+	var out string
+	ok := false
+	switch c.Fun {
+	case "sprintf", "snprintf":
+		fmtIdx := 1
+		if c.Fun == "snprintf" {
+			fmtIdx = 2
+		}
+		if f, fOK := toConst(argOrNil(c, fmtIdx)); fOK && f.kind == constStr {
+			var args []constVal
+			good := true
+			for i := fmtIdx + 1; i < len(c.Args); i++ {
+				v, vOK := toConst(c.Args[i])
+				if !vOK {
+					good = false
+					break
+				}
+				args = append(args, v)
+			}
+			if good {
+				out, ok = expandFormat(f.s, args)
+			}
+		}
+	case "strcpy":
+		if v, vOK := toConst(argOrNil(c, 1)); vOK && v.kind == constStr {
+			out, ok = v.s, true
+		}
+	case "strcat":
+		if cur, have := env[dst]; have && cur.kind == sigStr {
+			if v, vOK := toConst(argOrNil(c, 1)); vOK && v.kind == constStr {
+				out, ok = cur.s+v.s, true
+			}
+		}
+	}
+	if ok {
+		env[dst] = strSigVal(out)
+	} else {
+		delete(env, dst)
+	}
+}
+
+// loopCtx returns the innermost-loop context of the current point.
+func (w *sigWalker) loopCtx() (line int, trip *SymExpr) {
+	if len(w.loops) == 0 {
+		return 0, nil
+	}
+	l := w.loops[len(w.loops)-1]
+	return l.line, l.trip
+}
+
+// dependsOnLoop reports whether e mentions any active loop induction
+// symbol.
+func (w *sigWalker) dependsOnLoop(e *SymExpr) bool {
+	if e == nil {
+		return false
+	}
+	for _, l := range w.loops {
+		if l.sym != "" && e.HasVar(l.sym) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *sigWalker) recordHDF5Transfer(env sigEnv, c *csrc.CallExpr, write bool) {
+	site := TransferSite{
+		Op: c.Fun, Family: FamHDF5, Write: write, Line: w.curPos,
+		Count: w.mult, dsObj: -1,
+	}
+	site.loopLine, site.loopTrip = w.loopCtx()
+	if dsv := w.evalExpr(env, argOrNil(c, 0)); dsv.kind == sigObjectK {
+		site.dsObj = dsv.obj.id
+	}
+	spv := sigVal{}
+	if len(c.Args) >= 4 {
+		spv = w.evalExpr(env, c.Args[3])
+	}
+	if spv.kind != sigSpaceK || spv.sp.bad {
+		w.markInexact("%s at line %d uses an unresolved dataspace", c.Fun, w.curPos)
+		w.finishTransfer(site)
+		return
+	}
+	sp := spv.sp
+	extent := sp.selCount
+	if extent == nil {
+		extent = sp.dims
+	}
+	rankBytes := SymConst(8)
+	for _, d := range extent {
+		rankBytes = symMulNil(rankBytes, d)
+	}
+	if rankBytes == nil {
+		w.markInexact("%s at line %d transfers an unresolved extent", c.Fun, w.curPos)
+		w.finishTransfer(site)
+		return
+	}
+	if w.dependsOnLoop(rankBytes) {
+		w.markInexact("%s at line %d transfer size depends on a loop variable", c.Fun, w.curPos)
+		site.loopDep = true
+		w.finishTransfer(site)
+		return
+	}
+	site.RankBytes = rankBytes
+	site.Bytes = SymMul(rankBytes, SymVar("nprocs"))
+	site.Pattern = classifyPattern(sp)
+	site.extentKey = renderExtent(sp.selStart, extent)
+	for _, d := range sp.selStart {
+		if w.dependsOnLoop(d) {
+			site.loopDep = true
+		}
+	}
+	w.finishTransfer(site)
+}
+
+func (w *sigWalker) recordPosixTransfer(env sigEnv, c *csrc.CallExpr, write bool) {
+	site := TransferSite{
+		Op: c.Fun, Family: FamPOSIX, Write: write, Line: w.curPos,
+		Count: w.mult, Pattern: PatContiguous, dsObj: -1,
+	}
+	site.loopLine, site.loopTrip = w.loopCtx()
+	size := w.evalToSym(env, argOrNil(c, 1))
+	nmemb := w.evalToSym(env, argOrNil(c, 2))
+	bytes := symMulNil(size, nmemb)
+	if bytes == nil {
+		w.markInexact("%s at line %d transfers an unresolved byte count", c.Fun, w.curPos)
+	} else if w.dependsOnLoop(bytes) {
+		w.markInexact("%s at line %d transfer size depends on a loop variable", c.Fun, w.curPos)
+		site.loopDep = true
+		bytes = nil
+	}
+	site.RankBytes = bytes
+	site.Bytes = bytes // stream I/O is per process, not collective
+	w.finishTransfer(site)
+}
+
+func (w *sigWalker) finishTransfer(site TransferSite) {
+	if site.Count == nil || site.Bytes == nil {
+		if site.Count == nil {
+			w.markInexact("%s at line %d executes an unknown number of times", site.Op, site.Line)
+		}
+	}
+	w.transfers = append(w.transfers, site)
+}
+
+func renderExtent(start, count []*SymExpr) string {
+	var b strings.Builder
+	for i, e := range start {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(symStr(e))
+	}
+	b.WriteByte('|')
+	for i, e := range count {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(symStr(e))
+	}
+	return b.String()
+}
+
+// classifyPattern labels a hyperslab selection. A selection is
+// contiguous when it covers a row-major prefix-degenerate slab (some
+// leading dims of extent 1 — or a single partial dim — followed by full
+// dims); otherwise the outermost partial dimension decides: a start
+// offset scaled by the rank symbol means each rank owns interleaved
+// blocks (block-cyclic), anything else is strided.
+func classifyPattern(sp *sigSpace) string {
+	dims := sp.dims
+	if len(dims) == 0 {
+		return PatUnknown
+	}
+	for _, d := range dims {
+		if d == nil {
+			return PatUnknown
+		}
+	}
+	cnt := sp.selCount
+	if cnt == nil {
+		return PatContiguous // whole-space transfer
+	}
+	if len(cnt) != len(dims) {
+		return PatUnknown
+	}
+	for _, d := range cnt {
+		if d == nil {
+			return PatUnknown
+		}
+	}
+	for k := range cnt {
+		ok := true
+		for j := 0; j < k; j++ {
+			if cnt[j].String() != "1" {
+				ok = false
+				break
+			}
+		}
+		for i := k + 1; ok && i < len(cnt); i++ {
+			if cnt[i].String() != dims[i].String() {
+				ok = false
+			}
+		}
+		if ok {
+			return PatContiguous
+		}
+	}
+	split := -1
+	for i := range cnt {
+		if cnt[i].String() != dims[i].String() {
+			split = i
+		}
+	}
+	if split < 0 {
+		return PatContiguous
+	}
+	if split < len(sp.selStart) && sp.selStart[split] != nil && sp.selStart[split].HasVar("rank") {
+		return PatBlockCyclic
+	}
+	return PatStrided
+}
+
+func (w *sigWalker) assemble() *IOSignature {
+	sig := &IOSignature{Transfers: w.transfers}
+	names := make([]string, 0, len(w.ops))
+	for n := range w.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sig.Ops = append(sig.Ops, OpCount{Op: n, Family: w.opFam[n], Count: w.ops[n]})
+	}
+	bw, br := SymConst(0), SymConst(0)
+	for _, t := range w.transfers {
+		tot := symMulNil(t.Count, t.Bytes)
+		if t.Write {
+			bw = symMulNilSum(bw, tot)
+		} else {
+			br = symMulNilSum(br, tot)
+		}
+	}
+	sig.BytesWritten, sig.BytesRead = bw, br
+	pat := ""
+	for _, t := range w.transfers {
+		p := t.Pattern
+		if p == "" {
+			p = PatUnknown
+		}
+		switch {
+		case pat == "":
+			pat = p
+		case pat != p:
+			pat = PatMixed
+		}
+	}
+	if pat == "" {
+		pat = PatNone
+	}
+	sig.Pattern = pat
+	sig.Exact = len(w.inexact) == 0
+	if !sig.Exact {
+		sig.Reason = w.inexact[0]
+	}
+	return sig
+}
+
+// symMulNilSum adds b into a with nil poisoning both ways.
+func symMulNilSum(a, b *SymExpr) *SymExpr {
+	if a == nil || b == nil {
+		return nil
+	}
+	return SymAdd(a, b)
+}
+
+// canonical renders the signature deterministically for hashing.
+func (s *IOSignature) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exact=%v;pattern=%s;", s.Exact, s.Pattern)
+	for _, o := range s.Ops {
+		fmt.Fprintf(&b, "op:%s:%s=%s;", o.Family, o.Op, symStr(o.Count))
+	}
+	for _, t := range s.Transfers {
+		fmt.Fprintf(&b, "xfer:%s:%d:w=%v:n=%s:b=%s:p=%s;",
+			t.Op, t.Line, t.Write, symStr(t.Count), symStr(t.Bytes), t.Pattern)
+	}
+	fmt.Fprintf(&b, "written=%s;read=%s", symStr(s.BytesWritten), symStr(s.BytesRead))
+	if !s.Exact {
+		b.WriteString(";reason=" + s.Reason)
+	}
+	return b.String()
+}
+
+// Hash returns a short content hash of the signature, the kernel
+// component of signature-keyed caches.
+func (s *IOSignature) Hash() string {
+	sum := sha256.Sum256([]byte(s.canonical()))
+	return hex.EncodeToString(sum[:])[:16]
+}
+
+// Format renders the signature for humans.
+func (s *IOSignature) Format() string {
+	var b strings.Builder
+	if s.Exact {
+		b.WriteString("signature: exact\n")
+	} else {
+		fmt.Fprintf(&b, "signature: inexact (%s)\n", s.Reason)
+	}
+	fmt.Fprintf(&b, "pattern: %s\n", s.Pattern)
+	if len(s.Ops) > 0 {
+		b.WriteString("ops:\n")
+		for _, o := range s.Ops {
+			fmt.Fprintf(&b, "  %-6s %-16s x %s\n", o.Family, o.Op, symStr(o.Count))
+		}
+	}
+	if len(s.Transfers) > 0 {
+		b.WriteString("transfers:\n")
+		for _, t := range s.Transfers {
+			dir := "read"
+			if t.Write {
+				dir = "write"
+			}
+			fmt.Fprintf(&b, "  line %-4d %-9s %-5s x %s, %s bytes/op [%s]\n",
+				t.Line, t.Op, dir, symStr(t.Count), symStr(t.Bytes), t.Pattern)
+		}
+	}
+	fmt.Fprintf(&b, "bytes written: %s\n", symStr(s.BytesWritten))
+	fmt.Fprintf(&b, "bytes read: %s\n", symStr(s.BytesRead))
+	fmt.Fprintf(&b, "hash: %s\n", s.Hash())
+	return b.String()
+}
+
+type sigOpJSON struct {
+	Op     string `json:"op"`
+	Family string `json:"family"`
+	Count  string `json:"count"`
+}
+
+type sigTransferJSON struct {
+	Op      string `json:"op"`
+	Family  string `json:"family"`
+	Write   bool   `json:"write"`
+	Line    int    `json:"line"`
+	Count   string `json:"count"`
+	Bytes   string `json:"bytes"`
+	Pattern string `json:"pattern"`
+}
+
+type sigJSON struct {
+	Exact        bool              `json:"exact"`
+	Reason       string            `json:"reason,omitempty"`
+	Pattern      string            `json:"pattern"`
+	Ops          []sigOpJSON       `json:"ops"`
+	Transfers    []sigTransferJSON `json:"transfers"`
+	BytesWritten string            `json:"bytes_written"`
+	BytesRead    string            `json:"bytes_read"`
+	Hash         string            `json:"hash"`
+}
+
+// MarshalJSON renders the signature with symbolic expressions as
+// canonical strings ("?" when unknown).
+func (s *IOSignature) MarshalJSON() ([]byte, error) {
+	out := sigJSON{
+		Exact:        s.Exact,
+		Reason:       s.Reason,
+		Pattern:      s.Pattern,
+		Ops:          []sigOpJSON{},
+		Transfers:    []sigTransferJSON{},
+		BytesWritten: symStr(s.BytesWritten),
+		BytesRead:    symStr(s.BytesRead),
+		Hash:         s.Hash(),
+	}
+	for _, o := range s.Ops {
+		out.Ops = append(out.Ops, sigOpJSON{Op: o.Op, Family: string(o.Family), Count: symStr(o.Count)})
+	}
+	for _, t := range s.Transfers {
+		out.Transfers = append(out.Transfers, sigTransferJSON{
+			Op: t.Op, Family: string(t.Family), Write: t.Write, Line: t.Line,
+			Count: symStr(t.Count), Bytes: symStr(t.Bytes), Pattern: t.Pattern,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// Concrete evaluates an exact signature at a parameter binding
+// (typically {"nprocs": N}; "rank" never appears in counts or byte
+// totals). It fails on inexact signatures and unbound symbols.
+func (s *IOSignature) Concrete(bind map[string]int64) (*ConcreteSignature, error) {
+	if !s.Exact {
+		return nil, fmt.Errorf("signature is inexact: %s", s.Reason)
+	}
+	cs := &ConcreteSignature{Ops: map[string]int64{}}
+	for _, o := range s.Ops {
+		if o.Count == nil {
+			return nil, fmt.Errorf("op %s has no count", o.Op)
+		}
+		v, err := o.Count.Eval(bind)
+		if err != nil {
+			return nil, fmt.Errorf("op %s: %v", o.Op, err)
+		}
+		cs.Ops[o.Op] = v
+	}
+	for _, t := range s.Transfers {
+		if t.Count == nil || t.Bytes == nil {
+			return nil, fmt.Errorf("transfer at line %d is unbounded", t.Line)
+		}
+		n, err := t.Count.Eval(bind)
+		if err != nil {
+			return nil, fmt.Errorf("transfer at line %d: %v", t.Line, err)
+		}
+		by, err := t.Bytes.Eval(bind)
+		if err != nil {
+			return nil, fmt.Errorf("transfer at line %d: %v", t.Line, err)
+		}
+		if n == 0 {
+			continue
+		}
+		cs.Transfers = append(cs.Transfers, ConcreteTransfer{Op: t.Op, Write: t.Write, Count: n, Bytes: by})
+	}
+	var err error
+	if s.BytesWritten != nil {
+		if cs.BytesWritten, err = s.BytesWritten.Eval(bind); err != nil {
+			return nil, err
+		}
+	}
+	if s.BytesRead != nil {
+		if cs.BytesRead, err = s.BytesRead.Eval(bind); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
+}
+
+// VolumeDiagnostics compares two signatures of the same kernel (before
+// and after a source transform) and reports TR008 when the symbolic I/O
+// volume provably changed. Inexact signatures on either side yield no
+// finding — absence of proof is not proof of change.
+func VolumeDiagnostics(before, after *IOSignature) []Diagnostic {
+	if before == nil || after == nil || !before.Exact || !after.Exact {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(what string, b, a *SymExpr) {
+		if symStr(b) != symStr(a) {
+			diags = append(diags, Diagnostic{
+				Code: CodeVolumeChanged, Severity: SevWarning, Line: 1,
+				Message: fmt.Sprintf("transform changed the kernel's symbolic %s volume from %s to %s bytes",
+					what, symStr(b), symStr(a)),
+			})
+		}
+	}
+	report("write", before.BytesWritten, after.BytesWritten)
+	report("read", before.BytesRead, after.BytesRead)
+	return diags
+}
+
+// sigArgWrite maps modeled calls to the single bare-identifier argument
+// position they may write through (-1: none). The generic def/use
+// analysis must conjecture that any bare identifier passed to an unknown
+// function is written (the C subset has no types), but the walker models
+// these calls precisely, so loop-invariant handles and dims arrays passed
+// to them survive the pre-loop clobber. H5Sselect_hyperslab does mutate
+// its space argument, but the mutation is re-modeled on the walked body,
+// so for clobber purposes the space binding itself is stable.
+var sigArgWrite = map[string]int{
+	"H5Fcreate": -1, "H5Fopen": -1, "H5Fclose": -1,
+	"H5Gcreate": -1, "H5Gclose": -1,
+	"H5Acreate": -1, "H5Aclose": -1, "H5Awrite": -1,
+	"H5Dcreate": -1, "H5Dopen": -1, "H5Dclose": -1,
+	"H5Screate_simple": -1, "H5Sselect_hyperslab": -1, "H5Sclose": -1,
+	"H5Pcreate": -1, "H5Pclose": -1,
+	"H5Dwrite": -1, "H5Dread": 5,
+	"fopen": -1, "fclose": -1, "fwrite": -1, "fread": 0,
+	"MPI_Init": -1, "MPI_Finalize": -1, "MPI_Barrier": -1,
+	"MPI_Comm_rank": -1, "MPI_Comm_size": -1,
+}
+
+// sigLoopBodyDefs is the signature walker's variant of loopBodyDefs:
+// assignment and &x defs are kept verbatim, but conjectured writes
+// through bare call arguments are dropped when the callee is a modeled
+// library call whose argument at that position is read-only. Calls the
+// file itself defines (or shadows) keep the conservative conjecture.
+func sigLoopBodyDefs(f *csrc.File, body *csrc.Block) map[string]bool {
+	defs := map[string]bool{}
+	if body == nil {
+		return defs
+	}
+	for _, s := range body.Stmts {
+		walkStmtTree(s, func(st csrc.Stmt) {
+			for _, d := range StmtDefUse(st).Defs {
+				if !d.Arg {
+					defs[d.Var] = true
+				}
+			}
+			for _, x := range stmtExprs(st) {
+				csrc.WalkExpr(x, func(node csrc.Expr) bool {
+					c, ok := node.(*csrc.CallExpr)
+					if !ok {
+						return true
+					}
+					if knownBuiltins[c.Fun] {
+						return true
+					}
+					wIdx, modeled := sigArgWrite[c.Fun]
+					if !modeled && strings.HasPrefix(c.Fun, "H5Pset_") {
+						wIdx, modeled = -1, true
+					}
+					if modeled && f.Func(c.Fun) != nil {
+						modeled = false // user definition shadows the model
+					}
+					for i, a := range c.Args {
+						id, ok := a.(*csrc.Ident)
+						if !ok {
+							continue
+						}
+						if modeled && i != wIdx {
+							continue
+						}
+						defs[id.Name] = true
+					}
+					return true
+				})
+			}
+		})
+	}
+	return defs
+}

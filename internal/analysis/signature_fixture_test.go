@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tunio/internal/analysis"
+	"tunio/internal/csrc"
+	"tunio/internal/workload"
+)
+
+// TestFixtureSignatures pins the symbolic signature of each built-in
+// fixture workload: every one must be exact (the abstract walker fully
+// bounds its I/O), and the access pattern and total-volume expressions
+// are part of the contract — a walker change that shifts them must be
+// deliberate. Byte-for-byte agreement with recorded traces is asserted
+// separately in internal/replay (TestCrossValidateFixtures).
+func TestFixtureSignatures(t *testing.T) {
+	cases := []struct {
+		name         string
+		pattern      string
+		bytesWritten string
+		bytesRead    string
+	}{
+		{"vpic", "block-cyclic", "16*4194304*nprocs", "0"},
+		{"flash", "contiguous", "10*2097152*nprocs", "0"},
+		{"hacc", "block-cyclic", "18*4194304*nprocs", "0"},
+		{"macsio", "block-cyclic", "25*16777216*nprocs", "0"},
+		{"bdcats", "mixed", "6*8388608*nprocs + 8388608*nprocs", "6*8388608*nprocs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := workload.ByName(tc.name, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, ok := w.(workload.HasCSource)
+			if !ok {
+				t.Fatalf("%s has no C source", tc.name)
+			}
+			f, err := csrc.Parse(cs.CSource())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig := analysis.ComputeSignature(f, analysis.SignatureOptions{})
+			if !sig.Exact {
+				t.Fatalf("signature inexact: %s", sig.Reason)
+			}
+			if sig.Pattern != tc.pattern {
+				t.Errorf("pattern = %s, want %s", sig.Pattern, tc.pattern)
+			}
+			if got := sig.BytesWritten.String(); got != tc.bytesWritten {
+				t.Errorf("bytes written = %s, want %s", got, tc.bytesWritten)
+			}
+			if got := sig.BytesRead.String(); got != tc.bytesRead {
+				t.Errorf("bytes read = %s, want %s", got, tc.bytesRead)
+			}
+			if h := sig.Hash(); len(h) != 16 {
+				t.Errorf("hash %q is not 16 hex chars", h)
+			}
+		})
+	}
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func computeSig(t *testing.T, src string) *IOSignature {
+	t.Helper()
+	return ComputeSignature(mustParse(t, src), SignatureOptions{})
+}
+
+const sigLoopSrc = `int main() {
+    int i;
+    char buf[256];
+    FILE* fp = fopen("/scratch/out.bin", "w");
+    for (i = 0; i < 128; i++) {
+        fwrite(buf, 1, 256, fp);
+    }
+    fclose(fp);
+    return 0;
+}`
+
+func TestSignatureExactLoop(t *testing.T) {
+	sig := computeSig(t, sigLoopSrc)
+	if !sig.Exact {
+		t.Fatalf("signature inexact: %s", sig.Reason)
+	}
+	ops := map[string]string{}
+	for _, o := range sig.Ops {
+		ops[o.Op] = symStr(o.Count)
+	}
+	if ops["fwrite"] != "128" {
+		t.Errorf("fwrite count = %s, want 128", ops["fwrite"])
+	}
+	if got := symStr(sig.BytesWritten); got != "128*256" && got != "32768" {
+		t.Errorf("bytes written = %s, want 128*256", got)
+	}
+	if len(sig.Transfers) != 1 || !sig.Transfers[0].Write {
+		t.Fatalf("transfers = %+v, want one write site", sig.Transfers)
+	}
+	conc, err := sig.Concrete(nil)
+	if err != nil {
+		t.Fatalf("concrete: %v", err)
+	}
+	if conc.BytesWritten != 128*256 {
+		t.Errorf("concrete bytes written = %d, want %d", conc.BytesWritten, 128*256)
+	}
+	if conc.Ops["fwrite"] != 128 {
+		t.Errorf("concrete fwrite count = %d, want 128", conc.Ops["fwrite"])
+	}
+}
+
+func TestSignatureInexactUnknownBound(t *testing.T) {
+	src := `int main() {
+    int i;
+    int n = atoi_like();
+    char buf[256];
+    FILE* fp = fopen("/scratch/out.bin", "w");
+    for (i = 0; i < n; i++) {
+        fwrite(buf, 1, 256, fp);
+    }
+    fclose(fp);
+    return 0;
+}`
+	sig := computeSig(t, src)
+	if sig.Exact {
+		t.Fatal("signature over an unknown trip count claims exactness")
+	}
+	if sig.Reason == "" {
+		t.Error("inexact signature has no reason")
+	}
+	if _, err := sig.Concrete(nil); err == nil {
+		t.Error("Concrete() accepted an inexact signature")
+	}
+}
+
+func TestSignatureInexactConditionalIO(t *testing.T) {
+	src := `int main() {
+    char buf[256];
+    FILE* fp = fopen("/scratch/out.bin", "w");
+    if (coin_flip()) {
+        fwrite(buf, 1, 256, fp);
+    }
+    fclose(fp);
+    return 0;
+}`
+	if sig := computeSig(t, src); sig.Exact {
+		t.Fatal("signature over conditional I/O claims exactness")
+	}
+}
+
+func TestSignatureNoMain(t *testing.T) {
+	sig := computeSig(t, `int helper() { return 0; }`)
+	if sig.Exact {
+		t.Fatal("signature without main claims exactness")
+	}
+	if !strings.Contains(sig.Reason, "main") {
+		t.Errorf("reason = %q, want mention of main", sig.Reason)
+	}
+}
+
+func TestSignatureHashStableAndDiscriminating(t *testing.T) {
+	a1 := computeSig(t, sigLoopSrc)
+	a2 := computeSig(t, sigLoopSrc)
+	if a1.Hash() != a2.Hash() {
+		t.Error("hash differs across identical computations")
+	}
+	changed := strings.Replace(sigLoopSrc, "i < 128", "i < 64", 1)
+	b := computeSig(t, changed)
+	if a1.Hash() == b.Hash() {
+		t.Error("hash identical for kernels with different I/O volume")
+	}
+}
+
+func TestVolumeDiagnostics(t *testing.T) {
+	before := computeSig(t, sigLoopSrc)
+	same := computeSig(t, sigLoopSrc)
+	if got := VolumeDiagnostics(before, same); len(got) != 0 {
+		t.Errorf("TR008 fired on identical volumes: %v", got)
+	}
+	after := computeSig(t, strings.Replace(sigLoopSrc, "i < 128", "i < 64", 1))
+	got := VolumeDiagnostics(before, after)
+	if len(got) != 1 || got[0].Code != CodeVolumeChanged {
+		t.Fatalf("want one TR008, got %v", got)
+	}
+	if got[0].Severity != SevWarning {
+		t.Errorf("TR008 severity = %v, want warning", got[0].Severity)
+	}
+	inexact := computeSig(t, `int helper() { return 0; }`)
+	if got := VolumeDiagnostics(before, inexact); len(got) != 0 {
+		t.Errorf("TR008 fired against an inexact signature: %v", got)
+	}
+	if got := VolumeDiagnostics(nil, after); len(got) != 0 {
+		t.Errorf("TR008 fired on a nil signature: %v", got)
+	}
+}
+
+func TestIO007SmallWritesInLoop(t *testing.T) {
+	got := findCode(runLint(t, sigLoopSrc), CodeSmallWritesInLoop)
+	if len(got) != 1 {
+		t.Fatalf("want one IO007, got %v", got)
+	}
+	if got[0].Severity != SevWarning {
+		t.Errorf("IO007 severity = %v, want warning", got[0].Severity)
+	}
+	if !strings.Contains(got[0].Message, "128") || !strings.Contains(got[0].Message, "256") {
+		t.Errorf("message should state count and size: %s", got[0].Message)
+	}
+}
+
+func TestIO007NotFlaggedFewIterations(t *testing.T) {
+	src := strings.Replace(sigLoopSrc, "i < 128", "i < 8", 1)
+	if got := findCode(runLint(t, src), CodeSmallWritesInLoop); len(got) != 0 {
+		t.Errorf("IO007 fired below the trip-count threshold: %v", got)
+	}
+}
+
+func TestIO007NotFlaggedLargeWrites(t *testing.T) {
+	src := strings.Replace(sigLoopSrc, "fwrite(buf, 1, 256, fp)", "fwrite(buf, 65536, 256, fp)", 1)
+	if got := findCode(runLint(t, src), CodeSmallWritesInLoop); len(got) != 0 {
+		t.Errorf("IO007 fired on large transfers: %v", got)
+	}
+}
+
+const sigRMWSrc = `int main() {
+    hsize_t dims[1];
+    double buf[1024];
+    int i;
+    dims[0] = 1024;
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hid_t file = H5Fcreate("out.h5", 0, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t dset = H5Dcreate(file, "d", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    for (i = 0; i < 4; i++) {
+        H5Dread(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, buf);
+        H5Dwrite(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, buf);
+    }
+    H5Dclose(dset);
+    H5Fclose(file);
+    return 0;
+}`
+
+func TestIO008ReadModifyWrite(t *testing.T) {
+	got := findCode(runLint(t, sigRMWSrc), CodeRepeatedExtentRMW)
+	if len(got) != 1 {
+		t.Fatalf("want one IO008, got %v", got)
+	}
+	if got[0].Severity != SevWarning {
+		t.Errorf("IO008 severity = %v, want warning", got[0].Severity)
+	}
+}
+
+func TestIO008NotFlaggedWriteOnly(t *testing.T) {
+	src := strings.Replace(sigRMWSrc,
+		"H5Dread(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, buf);\n        ", "", 1)
+	if got := findCode(runLint(t, src), CodeRepeatedExtentRMW); len(got) != 0 {
+		t.Errorf("IO008 fired without a read in the loop: %v", got)
+	}
+}
+
+func TestIO008NotFlaggedDistinctExtents(t *testing.T) {
+	// The read walks a per-iteration hyperslab while the write covers the
+	// whole space: different extents, no RMW.
+	src := `int main() {
+    hsize_t dims[1];
+    hsize_t start[1];
+    hsize_t count[1];
+    double buf[1024];
+    int i;
+    dims[0] = 1024;
+    count[0] = 256;
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hid_t file = H5Fcreate("out.h5", 0, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t dset = H5Dcreate(file, "d", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    for (i = 0; i < 4; i++) {
+        start[0] = i * 256;
+        H5Sselect_hyperslab(sp, H5S_SELECT_SET, start, NULL, count, NULL);
+        H5Dread(dset, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, buf);
+    }
+    H5Dclose(dset);
+    H5Fclose(file);
+    return 0;
+}`
+	if got := findCode(runLint(t, src), CodeRepeatedExtentRMW); len(got) != 0 {
+		t.Errorf("IO008 fired on loop-dependent extents: %v", got)
+	}
+}

@@ -52,6 +52,9 @@ func VerifyTransforms(f *csrc.File, opts TransformOptions) []Diagnostic {
 	if opts.RemoveBlindWrites {
 		v.checkBlindWrites()
 	}
+	// TR006/TR007 are transform-independent soundness findings from the
+	// interval analysis; they run on every verification pass.
+	v.diags = append(v.diags, BoundsDiagnostics(f, opts.IsIOCall)...)
 	sort.SliceStable(v.diags, func(i, j int) bool { return v.diags[i].Line < v.diags[j].Line })
 	return v.diags
 }

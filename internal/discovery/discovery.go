@@ -225,14 +225,17 @@ func Discover(source string, opts Options) (*Kernel, error) {
 		}
 	}
 
-	if opts.LoopReduction > 0 || opts.PathSwitch || opts.RemoveBlindWrites {
-		kernel.Warnings = analysis.VerifyTransforms(kernel.File, analysis.TransformOptions{
-			LoopReduction:     opts.LoopReduction > 0,
-			PathSwitch:        opts.PathSwitch,
-			RemoveBlindWrites: opts.RemoveBlindWrites,
-			IsIOCall:          opts.isIOCall,
-		})
-	}
+	// Verification always runs: TR006/TR007 report soundness findings on
+	// the extracted kernel even when no transform is requested, and the
+	// transform-specific checks stay gated on their options inside
+	// VerifyTransforms.
+	kernel.Warnings = analysis.VerifyTransforms(kernel.File, analysis.TransformOptions{
+		LoopReduction:     opts.LoopReduction > 0,
+		PathSwitch:        opts.PathSwitch,
+		RemoveBlindWrites: opts.RemoveBlindWrites,
+		IsIOCall:          opts.isIOCall,
+	})
+	preSig := analysis.ComputeSignature(kernel.File, analysis.SignatureOptions{IsIOCall: opts.isIOCall})
 	if opts.SimulateCompute {
 		kernel.SimulatedComputeCalls = m.simulateCompute(kernel.File)
 	}
@@ -247,6 +250,14 @@ func Discover(source string, opts Options) (*Kernel, error) {
 	}
 	if opts.PathSwitch {
 		kernel.ResolvedPaths = switchPaths(kernel.File)
+	}
+	// TR008: a transform that changed the kernel's symbolic I/O volume no
+	// longer issues the original request stream. Only provable (exact)
+	// before/after signatures are compared; loop reduction is expected to
+	// scale volume and reports through LoopScale instead.
+	if (opts.RemoveBlindWrites || opts.PathSwitch) && opts.LoopReduction == 0 {
+		postSig := analysis.ComputeSignature(kernel.File, analysis.SignatureOptions{IsIOCall: opts.isIOCall})
+		kernel.Warnings = append(kernel.Warnings, analysis.VolumeDiagnostics(preSig, postSig)...)
 	}
 	kernel.Source = csrc.Format(kernel.File)
 	return kernel, nil

@@ -1,0 +1,101 @@
+package discovery
+
+import (
+	"testing"
+
+	"tunio/internal/analysis"
+)
+
+// rmwVolumeSrc has a blind write (the first H5Dwrite is fully overwritten
+// by the second) over a resolvable dataspace, so both the pre- and
+// post-transform signatures are exact and removal halves the volume.
+const rmwVolumeSrc = `
+int main() {
+    hsize_t dims[1];
+    dims[0] = 64;
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hid_t file = H5Fcreate("out.h5", 0, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t d = H5Dcreate(file, "x", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    H5Dclose(d);
+    H5Fclose(file);
+    return 0;
+}
+`
+
+func findWarning(k *Kernel, code string) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range k.Warnings {
+		if d.Code == code {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestTR008BlindWriteRemovalChangesVolume(t *testing.T) {
+	k := mustDiscover(t, rmwVolumeSrc, Options{RemoveBlindWrites: true})
+	if k.RemovedBlindWrites != 1 {
+		t.Fatalf("removed %d blind writes, want 1:\n%s", k.RemovedBlindWrites, k.Source)
+	}
+	got := findWarning(k, analysis.CodeVolumeChanged)
+	if len(got) != 1 {
+		t.Fatalf("want one TR008, got %v (all warnings: %v)", got, k.Warnings)
+	}
+	if got[0].Severity != analysis.SevWarning {
+		t.Errorf("TR008 severity = %v, want warning", got[0].Severity)
+	}
+}
+
+func TestTR008QuietWhenVolumePreserved(t *testing.T) {
+	// Nothing to remove: the transform runs but the volume is unchanged.
+	src := `
+int main() {
+    hsize_t dims[1];
+    dims[0] = 64;
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hid_t file = H5Fcreate("out.h5", 0, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t d = H5Dcreate(file, "x", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    H5Dclose(d);
+    H5Fclose(file);
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{RemoveBlindWrites: true})
+	if k.RemovedBlindWrites != 0 {
+		t.Fatalf("unexpected removal:\n%s", k.Source)
+	}
+	if got := findWarning(k, analysis.CodeVolumeChanged); len(got) != 0 {
+		t.Errorf("TR008 fired with no volume change: %v", got)
+	}
+}
+
+func TestTR008QuietUnderLoopReduction(t *testing.T) {
+	// Loop reduction changes volume by design (reported via LoopScale),
+	// so the comparison is suppressed when it runs.
+	src := `
+int main() {
+    int i;
+    hsize_t dims[1];
+    dims[0] = 64;
+    hid_t sp = H5Screate_simple(1, dims, NULL);
+    hid_t file = H5Fcreate("out.h5", 0, H5P_DEFAULT, H5P_DEFAULT);
+    hid_t d = H5Dcreate(file, "x", H5T_NATIVE_DOUBLE, sp, H5P_DEFAULT, H5P_DEFAULT, H5P_DEFAULT);
+    for (i = 0; i < 8; i++) {
+        H5Dwrite(d, H5T_NATIVE_DOUBLE, H5S_ALL, sp, H5P_DEFAULT, 0);
+    }
+    H5Dclose(d);
+    H5Fclose(file);
+    return 0;
+}
+`
+	k := mustDiscover(t, src, Options{LoopReduction: 0.5})
+	if k.ReducedLoops == 0 {
+		t.Fatalf("loop reduction did not run:\n%s", k.Source)
+	}
+	if got := findWarning(k, analysis.CodeVolumeChanged); len(got) != 0 {
+		t.Errorf("TR008 fired for loop reduction's intended volume change: %v", got)
+	}
+}

@@ -19,10 +19,11 @@ var wireFootprint = append(append([]string{}, params.PlanStage...), params.Aggre
 type StageCache struct {
 	trace *Trace
 
-	mu    sync.Mutex
-	plans map[string]*StackPlan
-	wires map[string]*WirePlan
-	stats StageStats
+	mu        sync.Mutex
+	kernelKey string // signature-derived content hash prefixed onto keys
+	plans     map[string]*StackPlan
+	wires     map[string]*WirePlan
+	stats     StageStats
 }
 
 // StageStats counts cache traffic per stage.
@@ -59,6 +60,24 @@ func NewStageCache(t *Trace) *StageCache {
 // Trace returns the underlying trace.
 func (c *StageCache) Trace() *Trace { return c.trace }
 
+// SetKernelKey installs a kernel content hash (typically
+// IOSignature.Hash-derived) as a prefix on every cache key. Within one
+// StageCache the prefix never changes behavior — the cache already holds
+// a single trace — but it makes the keys self-describing, the groundwork
+// for a cross-session cache shared between kernels.
+func (c *StageCache) SetKernelKey(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.kernelKey = key
+}
+
+// KernelKey returns the installed kernel content hash ("" when unset).
+func (c *StageCache) KernelKey() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kernelKey
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *StageCache) Stats() StageStats {
 	c.mu.Lock()
@@ -70,7 +89,7 @@ func (c *StageCache) Stats() StageStats {
 // (and caching) the stage artifacts its projections miss. s must be
 // a.Settings() and ppn the cluster's processes per node.
 func (c *StageCache) WireFor(a *params.Assignment, s params.StackSettings, ppn int) (*WirePlan, error) {
-	wireKey := a.ProjectionKey(wireFootprint)
+	wireKey := c.kernelKey + "\x00" + a.ProjectionKey(wireFootprint)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if wp, ok := c.wires[wireKey]; ok {
@@ -88,7 +107,7 @@ func (c *StageCache) WireFor(a *params.Assignment, s params.StackSettings, ppn i
 }
 
 func (c *StageCache) planLocked(a *params.Assignment, cfg hdf5.Config) (*StackPlan, error) {
-	planKey := a.ProjectionKey(params.PlanStage)
+	planKey := c.kernelKey + "\x00" + a.ProjectionKey(params.PlanStage)
 	if sp, ok := c.plans[planKey]; ok {
 		c.stats.PlanHits++
 		return sp, nil

@@ -151,15 +151,26 @@ feed:
 type Memo struct {
 	Inner BatchEvaluator
 
-	mu     sync.Mutex
-	cache  map[string]EvalResult
-	hits   int
-	misses int
+	mu      sync.Mutex
+	kernKey string
+	cache   map[string]EvalResult
+	hits    int
+	misses  int
 }
 
 // NewMemo wraps inner with an empty cache.
 func NewMemo(inner BatchEvaluator) *Memo {
 	return &Memo{Inner: inner, cache: map[string]EvalResult{}}
+}
+
+// SetKernelKey installs a kernel content hash (see
+// TraceEvaluator.KernelHash) as a component of every cache key, so a
+// cache serialized or shared beyond one kernel can never return another
+// kernel's measurement for the same genome.
+func (m *Memo) SetKernelKey(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.kernKey = key
 }
 
 // genomeKey renders an assignment's genome as a compact cache key.
@@ -191,7 +202,7 @@ func (m *Memo) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 	firstAt := map[string]int{}
 	m.mu.Lock()
 	for i, a := range batch {
-		k := genomeKey(a)
+		k := m.kernKey + "\x00" + genomeKey(a)
 		keys[i] = k
 		if _, cached := m.cache[k]; cached {
 			continue

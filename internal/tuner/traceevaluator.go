@@ -2,8 +2,10 @@ package tuner
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 
+	"tunio/internal/analysis"
 	"tunio/internal/cinterp"
 	"tunio/internal/cluster"
 	"tunio/internal/csrc"
@@ -44,12 +46,13 @@ type TraceEvaluator struct {
 	// match whichever evaluator curves are being compared against.
 	KernelStyle bool
 
-	once   sync.Once
-	recErr error
-	cache  *replay.StageCache
-	stacks *workload.StackPool
-	rts    sync.Pool // *replay.Runtime
-	evals  int       // Legacy seed counter
+	once    sync.Once
+	recErr  error
+	cache   *replay.StageCache
+	stacks  *workload.StackPool
+	rts     sync.Pool // *replay.Runtime
+	evals   int       // Legacy seed counter
+	kernKey string    // signature- or trace-derived kernel content hash
 }
 
 // record runs the kernel once under the default configuration and builds
@@ -79,9 +82,49 @@ func (e *TraceEvaluator) record(space []params.Parameter) {
 		e.recErr = fmt.Errorf("tuner: trace recording: %w", err)
 		return
 	}
+	e.kernKey = "trace:" + traceHash(t)
+	if e.Prog != nil {
+		// Cross-validate the recorded trace against the kernel's static I/O
+		// signature. An exact signature that disagrees with the trace means
+		// the tracer, the interpreter, or the signature walker is wrong —
+		// refuse to tune on top of the inconsistency.
+		sig := analysis.ComputeSignature(e.Prog, analysis.SignatureOptions{})
+		if sig.Exact {
+			cs, cerr := sig.Concrete(map[string]int64{"nprocs": int64(t.Nprocs)})
+			if cerr == nil {
+				if verr := replay.CrossValidate(t, cs); verr != nil {
+					e.recErr = fmt.Errorf("tuner: signature/trace mismatch: %w", verr)
+					return
+				}
+			}
+			e.kernKey = "sig:" + sig.Hash()
+		}
+	}
 	e.cache = replay.NewStageCache(t)
+	e.cache.SetKernelKey(e.kernKey)
 	e.stacks = workload.NewStackPool(e.Cluster)
 }
+
+// traceHash is the fallback kernel identity when no exact signature
+// exists: an FNV-1a hash of the serialized trace.
+func traceHash(t *replay.Trace) string {
+	h := fnv.New64a()
+	if b, err := t.Marshal(); err == nil {
+		h.Write(b)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Prepare records the trace eagerly (Evaluate does it lazily on first
+// call) and reports any recording or signature-validation error.
+func (e *TraceEvaluator) Prepare(space []params.Parameter) error {
+	e.once.Do(func() { e.record(space) })
+	return e.recErr
+}
+
+// KernelHash returns the kernel content hash ("sig:…" when derived from
+// an exact I/O signature, "trace:…" otherwise; "" before recording).
+func (e *TraceEvaluator) KernelHash() string { return e.kernKey }
 
 // Stats returns the stage-cache counters (zero value before the first
 // evaluation or after a recording failure).

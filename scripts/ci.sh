@@ -34,6 +34,21 @@ echo "== go test -race (evaluation engine) =="
 go test -race -run 'TestPool|TestMemo|TestSeedFor|TestRunBatch|TestTune(ParallelDeterminism|Cancellation|Memoization)|TestTraceEvaluator' ./internal/tuner .
 go test -race -run 'TestStagedExec|TestStageCache|TestPooledStack' ./internal/replay
 
+echo "== go test -race (signature/trace cross-validation) =="
+# The static I/O signature must exactly match the recorded trace on every
+# fixture workload (event counts and byte totals, no tolerance).
+go test -race -run 'TestCrossValidate' ./internal/replay
+
+echo "== statecheck (no package-level mutable state) =="
+# The evaluation engine packages are shared across worker goroutines;
+# allowlisted names are init-once lookup tables that are never written
+# afterwards.
+go run ./cmd/statecheck -allow wireFootprint,sigEventKind internal/replay internal/tuner
+
+echo "== fuzz smoke (interval lattice, format expansion) =="
+go test -run=NONE -fuzz=FuzzIntervalJoinWiden -fuzztime=3s ./internal/analysis
+go test -run=NONE -fuzz=FuzzExpandFormat -fuzztime=3s ./internal/analysis
+
 echo "== go test -race =="
 go test -race "$pkgs"
 

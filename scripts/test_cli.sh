@@ -106,6 +106,42 @@ if grep -q "TR003" "$tmp/warn.out"; then
     fail "warning-severity TR003 leaked to iolint stdout"
 fi
 
+echo "== TR007 (unbounded I/O loop) makes plain iodiscover exit 1 =="
+# The bound-analysis checks run on every verification pass, so a
+# diverging I/O loop fails discovery even with no transform requested.
+cat > "$tmp/tr007.c" <<'EOF'
+int main() {
+    int i;
+    char buf[16];
+    FILE *fp = fopen("/scratch/div.bin", "w");
+    for (i = 0; i < 8; i--) {
+        fwrite(buf, 4, 1, fp);
+    }
+    fclose(fp);
+    return 0;
+}
+EOF
+if go run ./cmd/iodiscover "$tmp/tr007.c" > /dev/null 2> "$tmp/tr007.err"; then
+    fail "iodiscover did not exit nonzero on a statically unbounded I/O loop"
+fi
+grep -q "TR007" "$tmp/tr007.err" ||
+    fail "TR007 diagnostic missing from iodiscover stderr"
+if go run ./cmd/iolint -verify "$tmp/tr007.c" > "$tmp/tr007.out" 2>/dev/null; then
+    fail "iolint -verify did not exit nonzero on a statically unbounded I/O loop"
+fi
+grep -q "TR007" "$tmp/tr007.out" ||
+    fail "error-severity TR007 finding missing from iolint stdout"
+
+echo "== -sig mode prints the symbolic signature =="
+go run ./cmd/iolint -sig "$tmp/ok.c" > "$tmp/sig.out" ||
+    fail "iolint -sig exited nonzero on a clean source"
+grep -q "bytes written:" "$tmp/sig.out" ||
+    fail "iolint -sig output missing the bytes-written line"
+go run ./cmd/iodiscover -sig "$tmp/ok.c" > "$tmp/dsig.out" 2>/dev/null ||
+    fail "iodiscover -sig exited nonzero on a clean source"
+grep -q "hash:" "$tmp/dsig.out" ||
+    fail "iodiscover -sig output missing the signature hash"
+
 echo "== path switch resolves sprintf-of-constants =="
 go run ./cmd/iodiscover -path-switch "$tmp/sprintf_path.c" > "$tmp/kernel.c" 2> "$tmp/switch.err" ||
     fail "iodiscover -path-switch exited nonzero on a resolvable computed path"

@@ -179,11 +179,20 @@ func Tune(opts TuneOptions) (*Result, error) {
 		// simulation as the permanent fallback if recording fails.
 		seeded := &tuner.SeededWorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
 		var eval tuner.Evaluator = seeded
+		var trace *tuner.TraceEvaluator
 		if !opts.NoTrace {
-			trace := &tuner.TraceEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
+			trace = &tuner.TraceEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
 			eval = &tuner.FallbackEvaluator{Primary: trace, Fallback: seeded}
 		}
 		batch := tuner.NewMemo(&tuner.Pool{Eval: eval, Workers: opts.Parallelism})
+		if trace != nil {
+			// Record eagerly so the kernel content hash is part of every
+			// memo key from the first generation on; on a recording failure
+			// the key stays empty and FallbackEvaluator reverts as before.
+			if err := trace.Prepare(cfg.Space); err == nil {
+				batch.SetKernelKey(trace.KernelHash())
+			}
+		}
 		return tuner.RunBatch(ctx, cfg, batch)
 	}
 	eval := &tuner.WorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
