@@ -1,0 +1,98 @@
+// Command tuniod serves tuning-as-a-service: a multi-tenant HTTP server
+// that runs tuning sessions over one shared tunio.Engine, so concurrent
+// jobs share a bounded worker pool, the content-addressed kernel store,
+// and the stage cache — a repeat kernel skips recording entirely and
+// rides cached stage plans.
+//
+// Usage:
+//
+//	tuniod                         # listen on :8377, unbounded workers
+//	tuniod -addr :0 -workers 8     # ephemeral port (printed), 8-worker budget
+//	tuniod -quota 4                # at most 4 concurrent sessions per tenant
+//	tuniod -agent agent.json       # serve pipeline=tunio with this trained agent
+//
+// Submit a job, stream its curve, read engine stats:
+//
+//	curl -s localhost:8377/v1/jobs -d '{"workload":"flash","seed":1}'
+//	curl -N localhost:8377/v1/jobs/job-1/events
+//	curl -s localhost:8377/v1/stats
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tunio"
+	"tunio/internal/core"
+	"tunio/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	workers := flag.Int("workers", 0, "engine-wide evaluation budget shared by all sessions (0 = unbounded)")
+	quota := flag.Int("quota", 0, "max concurrent sessions per tenant (0 = unlimited)")
+	agentIn := flag.String("agent", "", "serve pipeline=tunio jobs with this trained agent JSON (default: train lazily on first use)")
+	trainSeed := flag.Int64("train-seed", 1, "seed for lazy agent training")
+	flag.Parse()
+
+	var agent *tunio.TunIO
+	if *agentIn != "" {
+		blob, err := os.ReadFile(*agentIn)
+		if err != nil {
+			fatal(err)
+		}
+		agent = &tunio.TunIO{Stopper: &core.EarlyStopper{}, Picker: &core.SmartPicker{}}
+		if err := json.Unmarshal(blob, agent); err != nil {
+			fatal(fmt.Errorf("loading agent: %w", err))
+		}
+	}
+
+	engine := tunio.NewEngine(tunio.EngineOptions{Workers: *workers, TenantQuota: *quota})
+	handler, err := server.New(server.Options{
+		Engine:    engine,
+		Agent:     agent,
+		TrainSeed: *trainSeed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// Announce the bound address (not the requested one) so callers that
+	// asked for :0 can discover the port.
+	fmt.Fprintf(os.Stderr, "tuniod: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "tuniod: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tuniod:", err)
+	os.Exit(1)
+}

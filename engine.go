@@ -1,0 +1,595 @@
+package tunio
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"tunio/internal/cluster"
+	"tunio/internal/core"
+	"tunio/internal/csrc"
+	"tunio/internal/discovery"
+	"tunio/internal/metrics"
+	"tunio/internal/params"
+	"tunio/internal/replay"
+	"tunio/internal/tuner"
+	"tunio/internal/workload"
+)
+
+// ErrQuotaExceeded is returned by Engine.Tune when the spec's tenant
+// already holds its quota of concurrently running sessions.
+var ErrQuotaExceeded = errors.New("tunio: tenant quota exceeded")
+
+// EngineOptions configure a tuning engine. The zero value is a private
+// engine: fresh caches, unbounded workers, no quotas — exactly what a
+// one-shot Tune call wants.
+type EngineOptions struct {
+	// Workers bounds the total number of evaluations in flight across
+	// every session the engine runs, machine-wide. Each session still
+	// requests its own Parallelism; the engine gate is the global budget
+	// they share. 0 means unbounded (each session limited only by its own
+	// Parallelism).
+	Workers int
+	// TenantQuota is the maximum number of concurrently running sessions
+	// per tenant; 0 means unlimited.
+	TenantQuota int
+	// KernelStore, when non-nil, is the content-addressed kernel store to
+	// share (e.g. between engines, or a pre-warmed one); nil creates a
+	// fresh store owned by this engine.
+	KernelStore *replay.KernelStore
+	// StageCache, when non-nil, is the multi-kernel stage cache to share;
+	// nil creates a fresh one owned by this engine.
+	StageCache *replay.StageCache
+}
+
+// Engine runs tuning sessions over one shared evaluation substrate: a
+// bounded worker pool, a content-addressed kernel store (kernel identity
+// → recorded trace), and a process-global stage cache keyed by (kernel
+// hash, parameter projection). Sessions are independent — each gets its
+// own GA state, seeds, and genome memo, so a served curve is bit-identical
+// to a solo Tune with the same spec — but they share the artifacts that
+// are pure functions of kernel content: the second session tuning
+// VPIC-shaped I/O skips trace recording entirely and hits the stage plans
+// the first session built.
+//
+// Engine replaces the wiring that used to be inlined in Tune; Tune is now
+// a thin shim over a private single-use Engine. All state is carried by
+// the Engine value (no package-level state), so tests and servers can run
+// as many engines side by side as they like. Safe for concurrent use.
+type Engine struct {
+	gate   *tuner.Gate
+	store  *replay.KernelStore
+	stages *replay.StageCache
+	quota  int
+	caps   EngineOptions
+
+	mu       sync.Mutex
+	active   map[string]int // tenant -> running sessions
+	started  int64
+	running  int
+	done     int64
+	failed   int64
+	canceled int64
+	memoHit  int64
+	memoMiss int64
+}
+
+// NewEngine returns an engine over the given (or freshly created) shared
+// caches.
+func NewEngine(opts EngineOptions) *Engine {
+	store := opts.KernelStore
+	if store == nil {
+		store = replay.NewKernelStore()
+	}
+	stages := opts.StageCache
+	if stages == nil {
+		stages = replay.NewSharedStageCache()
+	}
+	return &Engine{
+		gate:   tuner.NewGate(opts.Workers),
+		store:  store,
+		stages: stages,
+		quota:  opts.TenantQuota,
+		caps:   opts,
+		active: map[string]int{},
+	}
+}
+
+// KernelStore returns the engine's shared kernel store.
+func (e *Engine) KernelStore() *replay.KernelStore { return e.store }
+
+// StageCache returns the engine's shared stage cache.
+func (e *Engine) StageCache() *replay.StageCache { return e.stages }
+
+// EngineStats aggregates an engine's session lifecycle counters and the
+// traffic on its shared caches — the observability surface behind
+// GET /v1/stats.
+type EngineStats struct {
+	// Workers is the shared worker budget (0 = unbounded); InFlight the
+	// currently held evaluation slots (always 0 when unbounded).
+	Workers  int `json:"workers"`
+	InFlight int `json:"in_flight"`
+	// Session lifecycle counters.
+	SessionsStarted  int64 `json:"sessions_started"`
+	SessionsActive   int   `json:"sessions_active"`
+	SessionsDone     int64 `json:"sessions_done"`
+	SessionsFailed   int64 `json:"sessions_failed"`
+	SessionsCanceled int64 `json:"sessions_canceled"`
+	// MemoHits/MemoMisses total the per-session genome-memo traffic of
+	// finished sessions (memos are never shared across sessions: their
+	// entries depend on the session seed).
+	MemoHits   int64 `json:"memo_hits"`
+	MemoMisses int64 `json:"memo_misses"`
+	// Stage is the shared stage cache's cache-wide traffic; Kernels the
+	// kernel store's.
+	Stage   replay.StageStats       `json:"stage"`
+	Kernels replay.KernelStoreStats `json:"kernels"`
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	s := EngineStats{
+		Workers:          e.gate.Cap(),
+		InFlight:         e.gate.InFlight(),
+		SessionsStarted:  e.started,
+		SessionsActive:   e.running,
+		SessionsDone:     e.done,
+		SessionsFailed:   e.failed,
+		SessionsCanceled: e.canceled,
+		MemoHits:         e.memoHit,
+		MemoMisses:       e.memoMiss,
+	}
+	e.mu.Unlock()
+	s.Stage = e.stages.Stats()
+	s.Kernels = e.store.Stats()
+	return s
+}
+
+// JobSpec describes one tuning session: what to tune (a named workload or
+// C source), on what simulated allocation, with which pipeline and
+// budget. It is TuneOptions plus the multi-tenant fields (Tenant, Source,
+// Fix) the service surface needs.
+type JobSpec struct {
+	// Workload names a built-in application model ("vpic", "hacc",
+	// "flash", "bdcats", "macsio"). Exactly one of Workload and Source
+	// must be set.
+	Workload string
+	// Source is C source code to tune: it is parsed (and, with Discover,
+	// reduced to its I/O kernel first) and evaluated SPMD on the
+	// simulated stack.
+	Source string
+	// Discover runs Application I/O Discovery on Source before tuning,
+	// so evaluations interpret the reduced kernel instead of the full
+	// program.
+	Discover bool
+	// Tenant attributes the session for quota accounting ("" is a valid
+	// tenant).
+	Tenant string
+
+	// Nodes/ProcsPerNode size the simulated allocation (default 4x32).
+	Nodes        int
+	ProcsPerNode int
+	// Agent attaches TunIO's RL components; nil runs the plain HSTuner
+	// pipeline. Agents are stateful: give each session its own copy.
+	Agent *TunIO
+	// Heuristic attaches the 5%/5-iteration heuristic stopper instead
+	// (mutually exclusive with Agent).
+	Heuristic bool
+	// PopSize and MaxIterations bound the genetic pipeline (default 16/50).
+	PopSize       int
+	MaxIterations int
+	// Reps is the number of runs averaged per evaluation (default 3).
+	Reps int
+	// Seed drives the whole session.
+	Seed int64
+	// Parallelism is the session's worker count, as in TuneOptions: 0
+	// keeps the legacy serial evaluator, >= 1 the batch engine with
+	// staged trace replay. The engine's shared gate additionally bounds
+	// the sum across sessions.
+	Parallelism int
+	// NoTrace opts the batch engine out of trace replay.
+	NoTrace bool
+	// Fix pins named parameters to fixed raw values, restricting the
+	// tuned space: the value must appear in the parameter's value list.
+	Fix map[string]int64
+	// Progress, when non-nil, receives each curve point synchronously on
+	// the session goroutine (the Run's Events stream is fed either way).
+	Progress func(metrics.Point)
+}
+
+// applySpaceOverrides returns the space with every Fix'd parameter pinned
+// to a single-value list.
+func applySpaceOverrides(space []params.Parameter, fix map[string]int64) ([]params.Parameter, error) {
+	if len(fix) == 0 {
+		return space, nil
+	}
+	seen := 0
+	out := make([]params.Parameter, len(space))
+	copy(out, space)
+	for i, p := range out {
+		v, ok := fix[p.Name]
+		if !ok {
+			continue
+		}
+		seen++
+		found := false
+		for _, have := range p.Values {
+			if have == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("tunio: fix %s=%d: value not in the parameter's list %v", p.Name, v, p.Values)
+		}
+		out[i] = params.Parameter{Name: p.Name, Layer: p.Layer, Values: []int64{v}, Default: 0}
+	}
+	if seen != len(fix) {
+		for name := range fix {
+			if params.Index(space, name) < 0 {
+				return nil, fmt.Errorf("tunio: fix: unknown parameter %q", name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// sessionKernel is a resolved job kernel: exactly one of w and prog set,
+// plus its content-addressed store identity.
+type sessionKernel struct {
+	w        workload.Workload
+	prog     *csrc.File
+	storeKey string
+}
+
+// resolveKernel validates and resolves the spec's kernel selection.
+func resolveKernel(spec JobSpec, c *cluster.Cluster) (sessionKernel, error) {
+	switch {
+	case spec.Workload != "" && spec.Source != "":
+		return sessionKernel{}, fmt.Errorf("tunio: Workload and Source are mutually exclusive")
+	case spec.Workload != "":
+		w, err := workload.ByName(spec.Workload, c.Procs())
+		if err != nil {
+			return sessionKernel{}, err
+		}
+		return sessionKernel{
+			w:        w,
+			storeKey: "workload:" + spec.Workload + "/" + strconv.Itoa(c.Procs()),
+		}, nil
+	case spec.Source != "":
+		src := spec.Source
+		if spec.Discover {
+			k, err := core.DiscoverIO(src, discovery.Options{})
+			if err != nil {
+				return sessionKernel{}, fmt.Errorf("tunio: discovery: %w", err)
+			}
+			src = k.Source
+		}
+		prog, err := csrc.Parse(src)
+		if err != nil {
+			return sessionKernel{}, fmt.Errorf("tunio: parsing source: %w", err)
+		}
+		sum := sha256.Sum256([]byte(src))
+		return sessionKernel{
+			prog:     prog,
+			storeKey: "src:" + hex.EncodeToString(sum[:8]) + "/" + strconv.Itoa(c.Procs()),
+		}, nil
+	}
+	return sessionKernel{}, fmt.Errorf("tunio: job needs a Workload name or C Source")
+}
+
+// Tune starts a tuning session and returns immediately with its Run
+// handle. Submission errors (bad spec, unknown workload, unparsable
+// source, quota) surface here, synchronously; everything after that —
+// progress, cancellation, the result — goes through the Run. Canceling
+// ctx cancels the session.
+func (e *Engine) Tune(ctx context.Context, spec JobSpec) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if spec.Agent != nil && spec.Heuristic {
+		return nil, fmt.Errorf("tunio: Agent and Heuristic are mutually exclusive")
+	}
+	nodes, ppn := spec.Nodes, spec.ProcsPerNode
+	if nodes == 0 {
+		nodes = 4
+	}
+	if ppn == 0 {
+		ppn = 32
+	}
+	c := cluster.CoriHaswell(nodes, ppn)
+	kern, err := resolveKernel(spec, c)
+	if err != nil {
+		return nil, err
+	}
+	space, err := applySpaceOverrides(params.Space(), spec.Fix)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.acquire(spec.Tenant); err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	r := &Run{
+		tenant:  spec.Tenant,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		changed: make(chan struct{}),
+	}
+	go e.runSession(runCtx, r, spec, space, c, kern)
+	return r, nil
+}
+
+// acquire reserves a session slot for the tenant.
+func (e *Engine) acquire(tenant string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.quota > 0 && e.active[tenant] >= e.quota {
+		return fmt.Errorf("%w: tenant %q already runs %d sessions", ErrQuotaExceeded, tenant, e.active[tenant])
+	}
+	e.active[tenant]++
+	e.started++
+	e.running++
+	return nil
+}
+
+// release returns the tenant's slot and folds the session outcome into
+// the engine counters.
+func (e *Engine) release(tenant string, res *Result, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.active[tenant]--
+	if e.active[tenant] <= 0 {
+		delete(e.active, tenant)
+	}
+	e.running--
+	switch {
+	case err == nil:
+		e.done++
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.canceled++
+	default:
+		e.failed++
+	}
+	if res != nil {
+		e.memoHit += int64(res.CacheHits)
+		e.memoMiss += int64(res.CacheMisses)
+	}
+}
+
+// runSession is the session goroutine: the wiring formerly inlined in
+// Tune, pointed at the engine's shared caches and gate.
+func (e *Engine) runSession(ctx context.Context, r *Run, spec JobSpec, space []params.Parameter, c *cluster.Cluster, kern sessionKernel) {
+	cfg := tuner.Config{
+		Space:         space,
+		PopSize:       spec.PopSize,
+		MaxIterations: spec.MaxIterations,
+		Seed:          spec.Seed,
+		Progress: func(p metrics.Point) {
+			r.publish(p)
+			if spec.Progress != nil {
+				spec.Progress(p)
+			}
+		},
+	}
+	switch {
+	case spec.Agent != nil:
+		spec.Agent.Reset()
+		cfg.Stopper = spec.Agent.Stopper
+		cfg.Picker = spec.Agent.Picker
+	case spec.Heuristic:
+		cfg.Stopper = tuner.NewHeuristicStopper()
+	}
+
+	var res *Result
+	var err error
+	if spec.Parallelism >= 1 {
+		// Batch engine: order-independent seeds, worker pool under the
+		// shared gate, memoization. Evaluations default to staged trace
+		// replay against the engine-wide stage cache and kernel store,
+		// with direct simulation as the permanent fallback if recording
+		// fails.
+		var seeded, eval tuner.Evaluator
+		var trace *tuner.TraceEvaluator
+		if kern.prog != nil {
+			seeded = &tuner.SeededCSourceEvaluator{Prog: kern.prog, Cluster: c, Reps: spec.Reps, Seed: spec.Seed}
+		} else {
+			seeded = &tuner.SeededWorkloadEvaluator{Workload: kern.w, Cluster: c, Reps: spec.Reps, Seed: spec.Seed}
+		}
+		eval = seeded
+		var fb *tuner.FallbackEvaluator
+		if !spec.NoTrace {
+			trace = &tuner.TraceEvaluator{
+				Workload: kern.w, Prog: kern.prog,
+				Cluster: c, Reps: spec.Reps, Seed: spec.Seed,
+				KernelStyle: kern.prog != nil,
+				Shared:      e.stages,
+				Store:       e.store,
+				StoreKey:    kern.storeKey,
+			}
+			fb = &tuner.FallbackEvaluator{Primary: trace, Fallback: seeded}
+			eval = fb
+		}
+		batch := tuner.NewMemo(&tuner.Pool{Eval: eval, Workers: spec.Parallelism, Gate: e.gate})
+		var prepErr error
+		if trace != nil {
+			// Record (or adopt from the store) eagerly so the kernel
+			// content hash is part of every memo key from the first
+			// generation on; a recording failure is surfaced on
+			// Result.EngineInfo instead of being discarded.
+			if prepErr = trace.Prepare(cfg.Space); prepErr == nil {
+				batch.SetKernelKey(trace.KernelHash())
+			}
+		}
+		res, err = tuner.RunBatch(ctx, cfg, batch)
+		if res != nil {
+			applyEngineInfo(res, trace, fb, prepErr)
+		}
+	} else {
+		var eval tuner.Evaluator
+		if kern.prog != nil {
+			eval = &tuner.CSourceEvaluator{Prog: kern.prog, Cluster: c, Reps: spec.Reps, Seed: spec.Seed}
+		} else {
+			eval = &tuner.WorkloadEvaluator{Workload: kern.w, Cluster: c, Reps: spec.Reps, Seed: spec.Seed}
+		}
+		res, err = tuner.RunBatch(ctx, cfg, &tuner.Pool{Eval: eval, Workers: 1, Gate: e.gate})
+	}
+
+	e.release(spec.Tenant, res, err)
+	r.finish(res, err)
+}
+
+// applyEngineInfo fills Result.EngineInfo from the session's evaluator
+// wiring once evaluations have quiesced. trace and fb may be nil (NoTrace
+// or legacy-serial sessions).
+func applyEngineInfo(res *Result, trace *tuner.TraceEvaluator, fb *tuner.FallbackEvaluator, prepErr error) {
+	info := tuner.EngineInfo{
+		MemoHits:   res.CacheHits,
+		MemoMisses: res.CacheMisses,
+	}
+	if trace != nil {
+		info.TraceReady = prepErr == nil
+		if prepErr != nil {
+			info.PrepareErr = prepErr.Error()
+		}
+		info.KernelHash = trace.KernelHash()
+		info.KernelStoreHit = trace.StoreHit()
+		info.StageStats = trace.Stats()
+	}
+	if fb != nil && fb.FellBack {
+		info.FellBack = true
+		info.TraceReady = false
+		if fb.KernelErr != nil {
+			info.FallbackErr = fb.KernelErr.Error()
+		}
+	}
+	res.EngineInfo = info
+}
+
+// Run is a live (or finished) tuning session: a progress stream, a cancel
+// switch, and the eventual result. All methods are safe for concurrent
+// use from any goroutine.
+type Run struct {
+	tenant string
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	points   []metrics.Point
+	changed  chan struct{} // closed and replaced on every state change
+	finished bool
+	res      *Result
+	err      error
+}
+
+// Tenant returns the tenant the session is attributed to.
+func (r *Run) Tenant() string { return r.tenant }
+
+// Cancel aborts the session between evaluations. Wait then returns an
+// error wrapping context.Canceled. Canceling a finished run is a no-op.
+func (r *Run) Cancel() { r.cancel() }
+
+// Done returns a channel closed when the session has finished (result,
+// failure, or cancellation).
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the session finishes and returns its outcome.
+func (r *Run) Wait() (*Result, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.res, r.err
+}
+
+// Result returns the outcome without blocking; ok is false while the
+// session is still running.
+func (r *Run) Result() (res *Result, err error, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.res, r.err, r.finished
+}
+
+// Points returns a copy of the curve points recorded so far, starting at
+// index from. The full prefix is retained for the session's lifetime, so
+// a late subscriber replays from the beginning.
+func (r *Run) Points(from int) []metrics.Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(r.points) {
+		return nil
+	}
+	return append([]metrics.Point(nil), r.points[from:]...)
+}
+
+// Events streams every curve point in order: buffered points replay
+// first, live points follow as iterations complete. The channel closes
+// when the session has finished and every point was delivered, or when
+// ctx is canceled. Multiple concurrent subscribers each get the full
+// ordered sequence.
+func (r *Run) Events(ctx context.Context) <-chan metrics.Point {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := make(chan metrics.Point)
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			r.mu.Lock()
+			pts := append([]metrics.Point(nil), r.points[next:]...)
+			changed := r.changed
+			finished := r.finished
+			r.mu.Unlock()
+			for _, p := range pts {
+				select {
+				case ch <- p:
+				case <-ctx.Done():
+					return
+				}
+			}
+			next += len(pts)
+			if finished && len(pts) == 0 {
+				return
+			}
+			if len(pts) > 0 {
+				continue // re-check for points that arrived while sending
+			}
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// publish appends a curve point and wakes subscribers.
+func (r *Run) publish(p metrics.Point) {
+	r.mu.Lock()
+	r.points = append(r.points, p)
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// finish records the outcome and wakes everyone.
+func (r *Run) finish(res *Result, err error) {
+	r.mu.Lock()
+	r.res = res
+	r.err = err
+	r.finished = true
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+	close(r.done)
+}

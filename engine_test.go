@@ -1,0 +1,347 @@
+package tunio
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tunio/internal/cluster"
+	"tunio/internal/tuner"
+	"tunio/internal/workload"
+)
+
+// sharedSpec is a session shape small enough to run in tests but large
+// enough that the GA revisits parameter projections, so cache sharing has
+// something to share.
+func sharedSpec(seed int64) JobSpec {
+	return JobSpec{
+		Workload: "macsio",
+		Nodes:    2, ProcsPerNode: 8,
+		PopSize: 16, MaxIterations: 12, Reps: 1,
+		Seed:        seed,
+		Parallelism: 2,
+	}
+}
+
+// The acceptance test for cross-session sharing: two sequential sessions
+// tuning the same workload with different seeds. The second must adopt
+// the first's recorded trace from the kernel store, beat 50% stage-cache
+// hit rate (and the first session's rate), and still produce a curve
+// bit-identical to a solo Tune with the same seed — sharing must be pure
+// speedup, never a behavior change.
+func TestEngineCrossSessionSharing(t *testing.T) {
+	eng := NewEngine(EngineOptions{Workers: 4})
+
+	run1, err := eng.Tune(context.Background(), sharedSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := run1.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.EngineInfo.KernelStoreHit {
+		t.Fatal("first session cannot hit an empty kernel store")
+	}
+	if !res1.EngineInfo.TraceReady {
+		t.Fatalf("first session: trace not ready: %s", res1.EngineInfo.PrepareErr)
+	}
+
+	run2, err := eng.Tune(context.Background(), sharedSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := run2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.EngineInfo.KernelStoreHit {
+		t.Fatal("second session did not reuse the stored kernel trace")
+	}
+	if res2.EngineInfo.KernelHash != res1.EngineInfo.KernelHash {
+		t.Fatalf("kernel hash diverged: %q vs %q", res2.EngineInfo.KernelHash, res1.EngineInfo.KernelHash)
+	}
+	rate1, rate2 := res1.EngineInfo.StageStats.HitRate(), res2.EngineInfo.StageStats.HitRate()
+	if rate2 <= 0.5 {
+		t.Fatalf("second session stage-cache hit rate = %.2f, want > 0.5 (stats %+v)", rate2, res2.EngineInfo.StageStats)
+	}
+	if rate2 <= rate1 {
+		t.Fatalf("sharing did not help: session hit rates %.2f -> %.2f", rate1, rate2)
+	}
+
+	solo, err := Tune(TuneOptions{
+		Workload: "macsio",
+		Nodes:    2, ProcsPerNode: 8,
+		PopSize: 16, MaxIterations: 12, Reps: 1,
+		Seed:        9,
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res2.Curve, solo.Curve) {
+		t.Fatal("served curve differs from a solo Tune with the same seed")
+	}
+	if !reflect.DeepEqual(res2.Best.Genome(), solo.Best.Genome()) {
+		t.Fatal("served best configuration differs from a solo Tune with the same seed")
+	}
+
+	st := eng.Stats()
+	if st.SessionsDone != 2 || st.SessionsActive != 0 {
+		t.Fatalf("engine stats = %+v, want 2 done / 0 active", st)
+	}
+	if st.Kernels.Kernels != 1 || st.Kernels.Hits != 1 {
+		t.Fatalf("kernel store stats = %+v, want 1 kernel / 1 hit", st.Kernels)
+	}
+}
+
+// Ordered progress: a subscriber that arrives after the session finished
+// still replays every curve point in order.
+func TestRunEventsReplayOrdered(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	spec := sharedSpec(5)
+	spec.PopSize, spec.MaxIterations = 6, 4
+	run, err := eng.Tune(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Curve
+	for p := range run.Events(context.Background()) {
+		got = append(got, p)
+	}
+	if !reflect.DeepEqual(got, res.Curve) {
+		t.Fatalf("streamed %d points, result curve has %d; sequences differ", len(got), len(res.Curve))
+	}
+	if pts := run.Points(0); !reflect.DeepEqual(Curve(pts), res.Curve) {
+		t.Fatal("Points(0) does not reproduce the curve")
+	}
+	if pts := run.Points(len(res.Curve) + 5); pts != nil {
+		t.Fatal("Points past the end must return nil")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	spec := sharedSpec(7)
+	spec.MaxIterations = 200
+	spec.Reps = 3
+	run, err := eng.Tune(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least the baseline land so cancellation happens mid-run.
+	deadline := time.After(10 * time.Second)
+	for len(run.Points(0)) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no progress within 10s")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	run.Cancel()
+	res, err := run.Wait()
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run: res=%v err=%v, want nil + context.Canceled", res, err)
+	}
+	st := eng.Stats()
+	if st.SessionsCanceled != 1 {
+		t.Fatalf("engine stats = %+v, want 1 canceled", st)
+	}
+}
+
+func TestEngineTenantQuota(t *testing.T) {
+	eng := NewEngine(EngineOptions{TenantQuota: 1})
+	long := sharedSpec(11)
+	long.MaxIterations = 500
+	long.Reps = 3
+	long.Tenant = "acme"
+	run1, err := eng.Tune(context.Background(), long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Tune(context.Background(), long); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second session for the tenant: err = %v, want ErrQuotaExceeded", err)
+	}
+	// Another tenant is unaffected by acme's quota.
+	other := sharedSpec(12)
+	other.PopSize, other.MaxIterations = 4, 2
+	other.Tenant = "beta"
+	run2, err := eng.Tune(context.Background(), other)
+	if err != nil {
+		t.Fatalf("other tenant blocked: %v", err)
+	}
+	if _, err := run2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	run1.Cancel()
+	if _, err := run1.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The slot frees on completion.
+	retry := sharedSpec(13)
+	retry.PopSize, retry.MaxIterations = 4, 2
+	retry.Tenant = "acme"
+	run3, err := eng.Tune(context.Background(), retry)
+	if err != nil {
+		t.Fatalf("slot not released after cancellation: %v", err)
+	}
+	if _, err := run3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{"unknown workload", JobSpec{Workload: "nope"}, "unknown workload"},
+		{"no kernel", JobSpec{}, "needs a Workload name or C Source"},
+		{"both kernels", JobSpec{Workload: "vpic", Source: "int main() { return 0; }"}, "mutually exclusive"},
+		{"agent+heuristic", JobSpec{Workload: "vpic", Agent: &TunIO{}, Heuristic: true}, "mutually exclusive"},
+		{"bad source", JobSpec{Source: "int main( {"}, "parsing source"},
+		{"unknown fix", JobSpec{Workload: "vpic", Fix: map[string]int64{"warp_drive": 1}}, "unknown parameter"},
+		{"bad fix value", JobSpec{Workload: "vpic", Fix: map[string]int64{"striping_factor": -5}}, "not in the parameter's list"},
+	}
+	for _, tc := range cases {
+		_, err := eng.Tune(ctx, tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if st := eng.Stats(); st.SessionsStarted != 0 {
+		t.Fatalf("rejected jobs must not count as started: %+v", st)
+	}
+}
+
+func TestEngineFixOverrides(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	spec := sharedSpec(17)
+	spec.PopSize, spec.MaxIterations = 6, 4
+	spec.Fix = map[string]int64{"striping_factor": 96, "romio_cb_write": 0}
+	run, err := eng.Tune(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Best.Value("striping_factor"); got != 96 {
+		t.Fatalf("striping_factor = %d, want pinned 96", got)
+	}
+	if got := res.Best.Value("romio_cb_write"); got != 0 {
+		t.Fatalf("romio_cb_write = %d, want pinned 0", got)
+	}
+}
+
+// A C-source job runs end to end through the engine, and a second engine
+// session with the same source adopts its stored trace.
+func TestEngineSourceJob(t *testing.T) {
+	w := workload.NewMACSio(16)
+	w.Dumps = 1
+	w.PartBytes = 64 << 10
+	src := w.CSource()
+
+	eng := NewEngine(EngineOptions{})
+	spec := JobSpec{
+		Source: src,
+		Nodes:  2, ProcsPerNode: 8,
+		PopSize: 4, MaxIterations: 3, Reps: 1,
+		Seed:        21,
+		Parallelism: 2,
+	}
+	run, err := eng.Tune(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EngineInfo.TraceReady {
+		t.Fatalf("source job: trace not ready: %s", res.EngineInfo.PrepareErr)
+	}
+	if h := res.EngineInfo.KernelHash; !strings.HasPrefix(h, "sig:") && !strings.HasPrefix(h, "trace:") {
+		t.Fatalf("kernel hash = %q, want sig:/trace: prefix", h)
+	}
+	if res.BestPerf <= 0 {
+		t.Fatal("no perf measured")
+	}
+
+	spec.Seed = 22
+	run2, err := eng.Tune(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := run2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.EngineInfo.KernelStoreHit {
+		t.Fatal("second source session did not reuse the stored trace")
+	}
+}
+
+// The legacy serial path (Parallelism 0) still works through the engine
+// and reports a zero EngineInfo: no trace, no memo.
+func TestEngineLegacySerialPath(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	spec := sharedSpec(19)
+	spec.Parallelism = 0
+	spec.PopSize, spec.MaxIterations = 4, 2
+	run, err := eng.Tune(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EngineInfo != (EngineInfo{}) {
+		t.Fatalf("legacy path EngineInfo = %+v, want zero", res.EngineInfo)
+	}
+}
+
+// The bug Tune used to have: the error from TraceEvaluator.Prepare was
+// discarded, so a run silently reverting to direct simulation was
+// indistinguishable from a replay run. applyEngineInfo must surface it.
+func TestApplyEngineInfoSurfacesPrepareErr(t *testing.T) {
+	// Neither Workload nor Prog: Prepare must fail.
+	trace := &tuner.TraceEvaluator{Cluster: cluster.CoriHaswell(1, 2)}
+	prepErr := trace.Prepare(ParameterSpace())
+	if prepErr == nil {
+		t.Fatal("want a prepare error from an empty TraceEvaluator")
+	}
+	res := &Result{CacheHits: 4, CacheMisses: 6}
+	applyEngineInfo(res, trace, nil, prepErr)
+	if res.EngineInfo.TraceReady {
+		t.Fatal("TraceReady must be false after a prepare failure")
+	}
+	if !strings.Contains(res.EngineInfo.PrepareErr, "Workload or a Prog") {
+		t.Fatalf("PrepareErr = %q, want the recording error surfaced", res.EngineInfo.PrepareErr)
+	}
+	if res.EngineInfo.MemoHits != 4 || res.EngineInfo.MemoMisses != 6 {
+		t.Fatalf("memo stats not mirrored: %+v", res.EngineInfo)
+	}
+
+	// A mid-run fallback marks the run as not trace-scored too.
+	fb := &tuner.FallbackEvaluator{}
+	fb.FellBack = true
+	fb.KernelErr = errors.New("kernel exploded")
+	res2 := &Result{}
+	applyEngineInfo(res2, nil, fb, nil)
+	if res2.EngineInfo.TraceReady || !res2.EngineInfo.FellBack || res2.EngineInfo.FallbackErr != "kernel exploded" {
+		t.Fatalf("fallback not surfaced: %+v", res2.EngineInfo)
+	}
+}

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"fmt"
 	"sync"
 
 	"tunio/internal/hdf5"
@@ -11,16 +12,22 @@ import (
 // parameters a wire plan depends on.
 var wireFootprint = append(append([]string{}, params.PlanStage...), params.AggregateStage...)
 
-// StageCache memoizes the staged artifacts of one trace by parameter
-// projection: stack plans keyed by the plan footprint, wire plans keyed by
-// the plan+aggregate footprint. A GA population whose genomes differ only
-// in service-stage parameters (striping, mdc_conf) shares a single wire
-// plan across all of them. Safe for concurrent use.
+// StageCache memoizes the staged artifacts of one or more traces by
+// (kernel, parameter-projection) key: stack plans keyed by the plan
+// footprint, wire plans keyed by the plan+aggregate footprint. A GA
+// population whose genomes differ only in service-stage parameters
+// (striping, mdc_conf) shares a single wire plan across all of them.
+//
+// A cache holds one trace per registered kernel key, so it can be shared
+// process-wide across tuning sessions: two sessions tuning kernels with
+// the same content hash — same signature or same recorded trace — hit
+// each other's artifacts, because stage planning is a pure function of
+// (trace, projected parameters) and never reads the run seed. Safe for
+// concurrent use.
 type StageCache struct {
-	trace *Trace
-
 	mu        sync.Mutex
-	kernelKey string // signature-derived content hash prefixed onto keys
+	kernelKey string            // key the single-trace API (WireFor, Trace) is bound to
+	traces    map[string]*Trace // kernel key -> recorded trace
 	plans     map[string]*StackPlan
 	wires     map[string]*WirePlan
 	stats     StageStats
@@ -28,14 +35,26 @@ type StageCache struct {
 
 // StageStats counts cache traffic per stage.
 type StageStats struct {
-	PlanHits, PlanMisses int64
-	WireHits, WireMisses int64
+	PlanHits   int64 `json:"plan_hits"`
+	PlanMisses int64 `json:"plan_misses"`
+	WireHits   int64 `json:"wire_hits"`
+	WireMisses int64 `json:"wire_misses"`
 }
 
 // PlanHitRate returns the stage-1 hit fraction (0 when never queried).
 func (s StageStats) PlanHitRate() float64 {
 	if t := s.PlanHits + s.PlanMisses; t > 0 {
 		return float64(s.PlanHits) / float64(t)
+	}
+	return 0
+}
+
+// HitRate returns the overall hit fraction across both cached stages
+// (0 when never queried) — the headline number for how much of a
+// session's stage work the cache absorbed.
+func (s StageStats) HitRate() float64 {
+	if t := s.PlanHits + s.PlanMisses + s.WireHits + s.WireMisses; t > 0 {
+		return float64(s.PlanHits+s.WireHits) / float64(t)
 	}
 	return 0
 }
@@ -48,56 +67,171 @@ func (s StageStats) WireHitRate() float64 {
 	return 0
 }
 
-// NewStageCache returns an empty cache over the trace.
+// add accumulates o into s.
+func (s *StageStats) add(o StageStats) {
+	s.PlanHits += o.PlanHits
+	s.PlanMisses += o.PlanMisses
+	s.WireHits += o.WireHits
+	s.WireMisses += o.WireMisses
+}
+
+// NewStageCache returns a cache over the single trace, bound to the empty
+// kernel key until SetKernelKey rebinds it.
 func NewStageCache(t *Trace) *StageCache {
+	c := NewSharedStageCache()
+	c.traces[""] = t
+	return c
+}
+
+// NewSharedStageCache returns an empty multi-kernel cache, meant to be
+// shared across sessions: callers Register each kernel's trace under its
+// content hash and query through per-session Views.
+func NewSharedStageCache() *StageCache {
 	return &StageCache{
-		trace: t,
-		plans: map[string]*StackPlan{},
-		wires: map[string]*WirePlan{},
+		traces: map[string]*Trace{},
+		plans:  map[string]*StackPlan{},
+		wires:  map[string]*WirePlan{},
 	}
 }
 
-// Trace returns the underlying trace.
-func (c *StageCache) Trace() *Trace { return c.trace }
+// Trace returns the trace the single-trace API is bound to (nil for a
+// shared cache with no trace registered under the bound key).
+func (c *StageCache) Trace() *Trace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traces[c.kernelKey]
+}
 
 // SetKernelKey installs a kernel content hash (typically
-// IOSignature.Hash-derived) as a prefix on every cache key. Within one
-// StageCache the prefix never changes behavior — the cache already holds
-// a single trace — but it makes the keys self-describing, the groundwork
-// for a cross-session cache shared between kernels.
+// IOSignature.Hash-derived) as the bound key: the trace registered under
+// the previous bound key moves to the new one, and WireFor prefixes every
+// cache key with it. On a cache shared between kernels the prefix is what
+// keeps one kernel's artifacts from answering for another's.
 func (c *StageCache) SetKernelKey(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.kernelKey = key
+	if key != c.kernelKey {
+		if t, ok := c.traces[c.kernelKey]; ok {
+			delete(c.traces, c.kernelKey)
+			if _, taken := c.traces[key]; !taken {
+				c.traces[key] = t
+			}
+		}
+		c.kernelKey = key
+	}
 }
 
-// KernelKey returns the installed kernel content hash ("" when unset).
+// KernelKey returns the bound kernel content hash ("" when unset).
 func (c *StageCache) KernelKey() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.kernelKey
 }
 
-// Stats returns a snapshot of the cache counters.
+// Register installs the trace for a kernel key. The first registration
+// wins: a key already present keeps its trace, which is what lets many
+// sessions race to register the same content-addressed kernel.
+func (c *StageCache) Register(key string, t *Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.traces[key]; !ok {
+		c.traces[key] = t
+	}
+}
+
+// HasKernel reports whether a trace is registered under the key.
+func (c *StageCache) HasKernel(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.traces[key]
+	return ok
+}
+
+// Kernels returns the number of registered kernel traces.
+func (c *StageCache) Kernels() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces)
+}
+
+// Stats returns a snapshot of the cache-wide counters (all views and
+// bound-key queries combined).
 func (c *StageCache) Stats() StageStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
 }
 
-// WireFor returns the wire plan of the assignment's configuration, building
-// (and caching) the stage artifacts its projections miss. s must be
-// a.Settings() and ppn the cluster's processes per node.
+// View returns a session-local handle on the cache bound to one kernel
+// key. Views share the cache's artifacts — a plan built through one view
+// is a hit through every other — but each view keeps its own StageStats,
+// so a session can report its personal hit rate against the shared cache.
+func (c *StageCache) View(kernelKey string) *CacheView {
+	return &CacheView{c: c, kernelKey: kernelKey}
+}
+
+// CacheView is a per-session window onto a shared StageCache: fixed
+// kernel key, private hit/miss counters. Safe for concurrent use.
+type CacheView struct {
+	c         *StageCache
+	kernelKey string
+
+	mu    sync.Mutex
+	stats StageStats
+}
+
+// KernelKey returns the view's kernel key.
+func (v *CacheView) KernelKey() string { return v.kernelKey }
+
+// WireFor returns the wire plan of the assignment's configuration under
+// the view's kernel, building (and caching, shared) what its projections
+// miss. s must be a.Settings() and ppn the cluster's processes per node.
+func (v *CacheView) WireFor(a *params.Assignment, s params.StackSettings, ppn int) (*WirePlan, error) {
+	var delta StageStats
+	wp, err := v.c.wireFor(v.kernelKey, a, s, &delta, ppn)
+	v.mu.Lock()
+	v.stats.add(delta)
+	v.mu.Unlock()
+	return wp, err
+}
+
+// Stats returns the view's private counters: the traffic this view (not
+// the whole shared cache) generated.
+func (v *CacheView) Stats() StageStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.stats
+}
+
+// WireFor returns the wire plan of the assignment's configuration under
+// the bound kernel key, building (and caching) the stage artifacts its
+// projections miss. s must be a.Settings() and ppn the cluster's
+// processes per node.
 func (c *StageCache) WireFor(a *params.Assignment, s params.StackSettings, ppn int) (*WirePlan, error) {
-	wireKey := c.kernelKey + "\x00" + a.ProjectionKey(wireFootprint)
+	c.mu.Lock()
+	key := c.kernelKey
+	c.mu.Unlock()
+	return c.wireFor(key, a, s, nil, ppn)
+}
+
+// wireFor is the shared implementation: delta, when non-nil, additionally
+// receives the hit/miss traffic of this one call (for per-view stats).
+func (c *StageCache) wireFor(kernelKey string, a *params.Assignment, s params.StackSettings, delta *StageStats, ppn int) (*WirePlan, error) {
+	wireKey := kernelKey + "\x00" + a.ProjectionKey(wireFootprint)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if wp, ok := c.wires[wireKey]; ok {
 		c.stats.WireHits++
+		if delta != nil {
+			delta.WireHits++
+		}
 		return wp, nil
 	}
 	c.stats.WireMisses++
-	sp, err := c.planLocked(a, s.HDF5)
+	if delta != nil {
+		delta.WireMisses++
+	}
+	sp, err := c.planLocked(kernelKey, a, s.HDF5, delta)
 	if err != nil {
 		return nil, err
 	}
@@ -106,14 +240,24 @@ func (c *StageCache) WireFor(a *params.Assignment, s params.StackSettings, ppn i
 	return wp, nil
 }
 
-func (c *StageCache) planLocked(a *params.Assignment, cfg hdf5.Config) (*StackPlan, error) {
-	planKey := c.kernelKey + "\x00" + a.ProjectionKey(params.PlanStage)
+func (c *StageCache) planLocked(kernelKey string, a *params.Assignment, cfg hdf5.Config, delta *StageStats) (*StackPlan, error) {
+	planKey := kernelKey + "\x00" + a.ProjectionKey(params.PlanStage)
 	if sp, ok := c.plans[planKey]; ok {
 		c.stats.PlanHits++
+		if delta != nil {
+			delta.PlanHits++
+		}
 		return sp, nil
 	}
 	c.stats.PlanMisses++
-	sp, err := BuildStackPlan(c.trace, cfg)
+	if delta != nil {
+		delta.PlanMisses++
+	}
+	t, ok := c.traces[kernelKey]
+	if !ok {
+		return nil, fmt.Errorf("replay: no trace registered for kernel %q", kernelKey)
+	}
+	sp, err := BuildStackPlan(t, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -122,9 +266,13 @@ func (c *StageCache) planLocked(a *params.Assignment, cfg hdf5.Config) (*StackPl
 }
 
 // Lower is the uncached form of WireFor, used by tests comparing cache-hit
-// artifacts to fresh recomputation.
+// artifacts to fresh recomputation. It lowers against the bound trace.
 func (c *StageCache) Lower(s params.StackSettings, ppn int) (*WirePlan, error) {
-	sp, err := BuildStackPlan(c.trace, s.HDF5)
+	t := c.Trace()
+	if t == nil {
+		return nil, fmt.Errorf("replay: no trace registered for kernel %q", c.KernelKey())
+	}
+	sp, err := BuildStackPlan(t, s.HDF5)
 	if err != nil {
 		return nil, err
 	}

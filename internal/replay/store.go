@@ -1,0 +1,95 @@
+package replay
+
+import "sync"
+
+// KernelEntry is one stored kernel: its recorded trace and the content
+// hash derived from it ("sig:…" when the kernel has an exact static I/O
+// signature, "trace:…" otherwise).
+type KernelEntry struct {
+	Trace      *Trace
+	KernelHash string
+}
+
+// KernelStore is a content-addressed kernel store: identity key →
+// recorded trace. Recording a kernel is the one per-tune cost the staged
+// engine cannot cache away (the workload or interpreter has to run once);
+// the store removes it for every session after the first, which is what
+// makes trace replay pay off across tenants, not just across genomes.
+//
+// Keys are kernel identities known before recording — a workload model's
+// name and process count, or a content hash of submitted C source — so a
+// session can look up the store instead of running the kernel at all.
+// Traces are recorded under the default configuration and are
+// seed-independent (they capture what the application issues, not how the
+// simulated hardware times it), so reuse across sessions with different
+// seeds is sound; TestKernelStoreTraceSeedIndependent pins this.
+//
+// Safe for concurrent use. The first Put under a key wins, so sessions
+// racing to record the same kernel converge on one trace.
+type KernelStore struct {
+	mu      sync.Mutex
+	entries map[string]KernelEntry
+	hits    int64
+	misses  int64
+}
+
+// KernelStoreStats reports store traffic and occupancy.
+type KernelStoreStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Kernels int   `json:"kernels"`
+}
+
+// HitRate returns the lookup hit fraction (0 when never queried).
+func (s KernelStoreStats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// NewKernelStore returns an empty store.
+func NewKernelStore() *KernelStore {
+	return &KernelStore{entries: map[string]KernelEntry{}}
+}
+
+// Get looks up the kernel recorded under the identity key, counting the
+// lookup as a hit or miss.
+func (s *KernelStore) Get(key string) (KernelEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return e, ok
+}
+
+// Put stores the kernel under the identity key. A key already present
+// keeps its entry (first recording wins).
+func (s *KernelStore) Put(key string, e KernelEntry) {
+	if e.Trace == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, taken := s.entries[key]; !taken {
+		s.entries[key] = e
+	}
+}
+
+// Len returns the number of stored kernels.
+func (s *KernelStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *KernelStore) Stats() KernelStoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return KernelStoreStats{Hits: s.hits, Misses: s.misses, Kernels: len(s.entries)}
+}

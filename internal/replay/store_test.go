@@ -1,0 +1,156 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"tunio/internal/cluster"
+	"tunio/internal/params"
+	"tunio/internal/workload"
+)
+
+func recordTrace(t *testing.T, name string, seed int64) *Trace {
+	t.Helper()
+	c := cluster.CoriHaswell(2, 8)
+	defaults := params.DefaultAssignment(params.Space()).Settings()
+	st, err := workload.BuildStack(c, defaults, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.ByName(name, c.Procs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(w, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// The kernel store hands a trace recorded in one session to sessions with
+// different seeds, so traces must not depend on the recording seed: they
+// capture what the application issues, not how the hardware times it.
+func TestKernelStoreTraceSeedIndependent(t *testing.T) {
+	for _, name := range []string{"vpic", "hacc", "flash", "bdcats", "macsio"} {
+		a, err := recordTrace(t, name, 3).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := recordTrace(t, name, 99).Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: recorded trace differs across seeds", name)
+		}
+	}
+}
+
+func TestKernelStore(t *testing.T) {
+	s := NewKernelStore()
+	if _, ok := s.Get("workload:macsio/16"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	tr := recordTrace(t, "macsio", 3)
+	s.Put("workload:macsio/16", KernelEntry{Trace: tr, KernelHash: "trace:abc"})
+	s.Put("workload:macsio/16", KernelEntry{Trace: recordTrace(t, "vpic", 3), KernelHash: "trace:def"})
+	e, ok := s.Get("workload:macsio/16")
+	if !ok {
+		t.Fatal("stored kernel not found")
+	}
+	if e.Trace != tr || e.KernelHash != "trace:abc" {
+		t.Fatal("second Put overwrote the first entry (first recording must win)")
+	}
+	s.Put("nil", KernelEntry{})
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (nil-trace Put must be ignored)", s.Len())
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Kernels != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 kernel", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+// Two views on one shared cache: artifacts are shared (the second view's
+// first query is a hit), while hit/miss counters stay per-view.
+func TestSharedStageCacheViews(t *testing.T) {
+	tr := recordTrace(t, "macsio", 3)
+	shared := NewSharedStageCache()
+	shared.Register("sig:k1", tr)
+	shared.Register("sig:k1", recordTrace(t, "vpic", 3)) // first registration must win
+	if !shared.HasKernel("sig:k1") || shared.Kernels() != 1 {
+		t.Fatal("registration bookkeeping wrong")
+	}
+
+	a := params.DefaultAssignment(params.Space())
+	s := a.Settings()
+	v1 := shared.View("sig:k1")
+	wp1, err := v1.WireFor(a, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := shared.View("sig:k1")
+	wp2, err := v2.WireFor(a, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp1 != wp2 {
+		t.Fatal("views did not share the cached wire plan")
+	}
+	if st := v1.Stats(); st.WireMisses != 1 || st.WireHits != 0 || st.PlanMisses != 1 {
+		t.Fatalf("view1 stats = %+v, want 1 wire miss / 1 plan miss", st)
+	}
+	if st := v2.Stats(); st.WireHits != 1 || st.WireMisses != 0 {
+		t.Fatalf("view2 stats = %+v, want 1 wire hit", st)
+	}
+	if st := shared.Stats(); st.WireHits != 1 || st.WireMisses != 1 {
+		t.Fatalf("shared stats = %+v, want 1 hit + 1 miss", st)
+	}
+
+	// A view on a different kernel key must not see k1's artifacts.
+	shared.Register("sig:k2", tr)
+	v3 := shared.View("sig:k2")
+	wp3, err := v3.WireFor(a, s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wp3 == wp1 {
+		t.Fatal("kernel keys did not partition the shared cache")
+	}
+	if st := v3.Stats(); st.WireMisses != 1 {
+		t.Fatalf("view3 stats = %+v, want 1 wire miss", st)
+	}
+}
+
+// A view keyed to an unregistered kernel fails loudly instead of planning
+// against someone else's trace.
+func TestSharedStageCacheUnregisteredKernel(t *testing.T) {
+	shared := NewSharedStageCache()
+	a := params.DefaultAssignment(params.Space())
+	if _, err := shared.View("sig:ghost").WireFor(a, a.Settings(), 8); err == nil {
+		t.Fatal("WireFor on an unregistered kernel: want error")
+	}
+}
+
+// SetKernelKey rebinds the single-trace API without losing the trace —
+// the legacy TraceEvaluator construction order (NewStageCache, then
+// SetKernelKey once the hash is known).
+func TestStageCacheRebind(t *testing.T) {
+	tr := recordTrace(t, "macsio", 3)
+	c := NewStageCache(tr)
+	c.SetKernelKey("sig:late")
+	if c.Trace() != tr {
+		t.Fatal("rebinding lost the trace")
+	}
+	if c.KernelKey() != "sig:late" {
+		t.Fatalf("kernel key = %q", c.KernelKey())
+	}
+	a := params.DefaultAssignment(params.Space())
+	if _, err := c.WireFor(a, a.Settings(), 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,6 +74,53 @@ func (s *serialBatch) EvaluateBatch(ctx context.Context, batch []*params.Assignm
 	return out, nil
 }
 
+// Gate bounds the total number of evaluations in flight across every
+// pool that shares it — the process-wide worker budget of a multi-session
+// engine. Each pool still schedules its own batch (so per-session
+// determinism is untouched), but no more than the gate's capacity of
+// simulations run at once machine-wide. A nil *Gate means no shared
+// bound, so the zero configuration is the historical behavior.
+type Gate struct {
+	sem chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent evaluations;
+// n <= 0 returns nil (unbounded).
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		return nil
+	}
+	return &Gate{sem: make(chan struct{}, n)}
+}
+
+// Cap returns the gate's capacity (0 for a nil gate).
+func (g *Gate) Cap() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.sem)
+}
+
+// InFlight returns the number of held slots (0 for a nil gate).
+func (g *Gate) InFlight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.sem)
+}
+
+func (g *Gate) enter() {
+	if g != nil {
+		g.sem <- struct{}{}
+	}
+}
+
+func (g *Gate) leave() {
+	if g != nil {
+		<-g.sem
+	}
+}
+
 // Pool evaluates a batch on a bounded worker pool. Eval must be safe for
 // concurrent use and deterministic in (assignment, iteration) — i.e. it
 // must not derive behavior from call order (see SeedFor). Under that
@@ -85,6 +132,10 @@ type Pool struct {
 	Eval Evaluator
 	// Workers bounds concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// Gate, when non-nil, additionally bounds concurrency across every
+	// pool sharing it: each evaluation holds one gate slot for its
+	// duration. Results are unaffected — the gate only schedules.
+	Gate *Gate
 }
 
 // EvaluateBatch implements BatchEvaluator.
@@ -99,7 +150,19 @@ func (p *Pool) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 		workers = n
 	}
 	if workers <= 1 {
-		return (&serialBatch{eval: p.Eval}).EvaluateBatch(ctx, batch, iteration)
+		for i, a := range batch {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			p.Gate.enter()
+			perf, cost, err := p.Eval.Evaluate(a, iteration)
+			p.Gate.leave()
+			if err != nil {
+				return nil, &BatchError{Index: i, Err: err}
+			}
+			out[i] = EvalResult{Perf: perf, CostMinutes: cost}
+		}
+		return out, nil
 	}
 
 	errs := make([]error, n)
@@ -110,7 +173,9 @@ func (p *Pool) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				p.Gate.enter()
 				perf, cost, err := p.Eval.Evaluate(batch[i], iteration)
+				p.Gate.leave()
 				if err != nil {
 					errs[i] = err
 					continue

@@ -46,13 +46,33 @@ type TraceEvaluator struct {
 	// match whichever evaluator curves are being compared against.
 	KernelStyle bool
 
-	once    sync.Once
-	recErr  error
-	cache   *replay.StageCache
-	stacks  *workload.StackPool
-	rts     sync.Pool // *replay.Runtime
-	evals   int       // Legacy seed counter
-	kernKey string    // signature- or trace-derived kernel content hash
+	// Shared, when non-nil, is a (typically process-global) multi-kernel
+	// stage cache shared with other evaluators: stage artifacts are read
+	// and written under this kernel's content hash, so sessions tuning
+	// the same kernel hit each other's plans. Stats() then reports this
+	// evaluator's private view, not cache-wide traffic. When nil the
+	// evaluator owns a fresh cache (the historical behavior). Artifacts
+	// are pure functions of (trace, projected parameters), so sharing
+	// never changes scores.
+	Shared *replay.StageCache
+	// Store, when non-nil, is a content-addressed kernel store consulted
+	// under StoreKey before recording: on a hit the stored trace (and its
+	// kernel hash) is adopted and the kernel never runs; after a
+	// recording the trace is published for later sessions. StoreKey must
+	// identify the kernel's content — a workload name + process count, or
+	// a hash of the submitted source — never anything seed-dependent.
+	Store    *replay.KernelStore
+	StoreKey string
+
+	once     sync.Once
+	recErr   error
+	cache    *replay.StageCache
+	view     *replay.CacheView
+	stacks   *workload.StackPool
+	rts      sync.Pool // *replay.Runtime
+	evals    int       // Legacy seed counter
+	kernKey  string    // signature- or trace-derived kernel content hash
+	storeHit bool      // trace served from Store instead of recorded
 }
 
 // record runs the kernel once under the default configuration and builds
@@ -60,6 +80,14 @@ type TraceEvaluator struct {
 // is sticky: every Evaluate call reports it, so a FallbackEvaluator
 // wrapping this one reverts permanently.
 func (e *TraceEvaluator) record(space []params.Parameter) {
+	if e.Store != nil && e.StoreKey != "" {
+		if ent, ok := e.Store.Get(e.StoreKey); ok {
+			e.kernKey = ent.KernelHash
+			e.storeHit = true
+			e.installCache(ent.Trace)
+			return
+		}
+	}
 	defaults := params.DefaultAssignment(space).Settings()
 	st, err := workload.BuildStack(e.Cluster, defaults, e.Seed)
 	if err != nil {
@@ -100,8 +128,23 @@ func (e *TraceEvaluator) record(space []params.Parameter) {
 			e.kernKey = "sig:" + sig.Hash()
 		}
 	}
-	e.cache = replay.NewStageCache(t)
-	e.cache.SetKernelKey(e.kernKey)
+	if e.Store != nil && e.StoreKey != "" {
+		e.Store.Put(e.StoreKey, replay.KernelEntry{Trace: t, KernelHash: e.kernKey})
+	}
+	e.installCache(t)
+}
+
+// installCache binds the evaluator to its stage cache: a view on the
+// shared cache when one was injected, otherwise a private cache.
+func (e *TraceEvaluator) installCache(t *replay.Trace) {
+	if e.Shared != nil {
+		e.Shared.Register(e.kernKey, t)
+		e.view = e.Shared.View(e.kernKey)
+	} else {
+		c := replay.NewStageCache(t)
+		c.SetKernelKey(e.kernKey)
+		e.cache = c
+	}
 	e.stacks = workload.NewStackPool(e.Cluster)
 }
 
@@ -126,13 +169,22 @@ func (e *TraceEvaluator) Prepare(space []params.Parameter) error {
 // an exact I/O signature, "trace:…" otherwise; "" before recording).
 func (e *TraceEvaluator) KernelHash() string { return e.kernKey }
 
+// StoreHit reports whether the trace was served from the injected
+// KernelStore instead of being recorded by this evaluator.
+func (e *TraceEvaluator) StoreHit() bool { return e.storeHit }
+
 // Stats returns the stage-cache counters (zero value before the first
-// evaluation or after a recording failure).
+// evaluation or after a recording failure). With a shared cache these are
+// this evaluator's private view — its own hit rate against the shared
+// artifacts — not cache-wide traffic.
 func (e *TraceEvaluator) Stats() replay.StageStats {
-	if e.cache == nil {
-		return replay.StageStats{}
+	switch {
+	case e.view != nil:
+		return e.view.Stats()
+	case e.cache != nil:
+		return e.cache.Stats()
 	}
-	return e.cache.Stats()
+	return replay.StageStats{}
 }
 
 // Evaluate implements Evaluator.
@@ -153,7 +205,13 @@ func (e *TraceEvaluator) Evaluate(a *params.Assignment, iteration int) (float64,
 		base = SeedFor(e.Seed, iteration, a)
 	}
 	s := a.Settings()
-	wp, err := e.cache.WireFor(a, s, e.Cluster.ProcsPerNode)
+	var wp *replay.WirePlan
+	var err error
+	if e.view != nil {
+		wp, err = e.view.WireFor(a, s, e.Cluster.ProcsPerNode)
+	} else {
+		wp, err = e.cache.WireFor(a, s, e.Cluster.ProcsPerNode)
+	}
 	if err != nil {
 		return 0, 0, err
 	}

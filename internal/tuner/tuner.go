@@ -23,6 +23,7 @@ import (
 	"tunio/internal/ga"
 	"tunio/internal/metrics"
 	"tunio/internal/params"
+	"tunio/internal/replay"
 )
 
 // Evaluator measures a configuration's objective. Implementations charge
@@ -104,6 +105,47 @@ type Result struct {
 	// SubsetTrace records the active mask per iteration (nil entries when
 	// no picker is attached).
 	SubsetTrace [][]bool
+	// EngineInfo describes how the evaluation engine actually scored the
+	// run — in particular whether staged trace replay was active and, if
+	// not, why. The engine wiring (tunio.Engine) fills it in after the
+	// pipeline returns; plain tuner.Run/RunBatch callers that assemble
+	// their own evaluators leave it zero.
+	EngineInfo EngineInfo
+}
+
+// EngineInfo reports the evaluation-engine facts a caller cannot infer
+// from the curve: whether trace replay recorded successfully (a run that
+// silently reverted to direct simulation is correct but ~10x slower),
+// the kernel's content-addressed identity, and the cache traffic behind
+// the measurements.
+type EngineInfo struct {
+	// TraceReady reports that the kernel's trace recorded (or was served
+	// by a kernel store) and staged replay scored the run.
+	TraceReady bool `json:"trace_ready"`
+	// PrepareErr is the trace-recording or signature-validation error
+	// that forced direct simulation ("" when none). Historically
+	// tunio.Tune discarded this error; it is now surfaced here.
+	PrepareErr string `json:"prepare_err,omitempty"`
+	// KernelHash is the kernel's content-addressed identity ("sig:…"
+	// from an exact static I/O signature, "trace:…" otherwise; "" when
+	// no trace was recorded).
+	KernelHash string `json:"kernel_hash,omitempty"`
+	// KernelStoreHit reports that the trace came out of a shared
+	// KernelStore instead of being recorded by this run.
+	KernelStoreHit bool `json:"kernel_store_hit"`
+	// FellBack reports that the trace recorded but a mid-run replay
+	// error reverted the run to direct simulation (see
+	// FallbackEvaluator); FallbackErr records the triggering error.
+	FellBack    bool   `json:"fell_back"`
+	FallbackErr string `json:"fallback_err,omitempty"`
+	// MemoHits/MemoMisses mirror Result.CacheHits/CacheMisses: genome
+	// memoization traffic.
+	MemoHits   int `json:"memo_hits"`
+	MemoMisses int `json:"memo_misses"`
+	// StageStats is this run's stage-cache traffic — the run's own view
+	// when the cache is shared across sessions, so the hit rates measure
+	// what sharing bought this session.
+	StageStats replay.StageStats `json:"stage_stats"`
 }
 
 // Run executes the pipeline until the stopper fires or MaxIterations is

@@ -31,8 +31,15 @@ echo "== go test -race (evaluation engine) =="
 # tests always run under the race detector, even when a narrower package
 # pattern was requested: the stage cache and stack pool are shared across
 # workers, so the bit-identity proofs must hold concurrently too.
-go test -race -run 'TestPool|TestMemo|TestSeedFor|TestRunBatch|TestTune(ParallelDeterminism|Cancellation|Memoization)|TestTraceEvaluator' ./internal/tuner .
-go test -race -run 'TestStagedExec|TestStageCache|TestPooledStack' ./internal/replay
+go test -race -run 'TestPool|TestMemo|TestSeedFor|TestRunBatch|TestTune(ParallelDeterminism|Cancellation|Memoization)|TestTraceEvaluator|TestGate' ./internal/tuner .
+go test -race -run 'TestStagedExec|TestStageCache|TestSharedStageCache|TestKernelStore|TestPooledStack' ./internal/replay
+
+echo "== go test -race (tuning server) =="
+# The server multiplexes concurrent tenants onto one shared engine
+# (worker gate, kernel store, stage cache), so its whole test suite —
+# including the concurrent-session and SSE streaming tests — runs under
+# the race detector unconditionally.
+go test -race ./internal/server
 
 echo "== go test -race (signature/trace cross-validation) =="
 # The static I/O signature must exactly match the recorded trace on every
@@ -43,7 +50,7 @@ echo "== statecheck (no package-level mutable state) =="
 # The evaluation engine packages are shared across worker goroutines;
 # allowlisted names are init-once lookup tables that are never written
 # afterwards.
-go run ./cmd/statecheck -allow wireFootprint,sigEventKind internal/replay internal/tuner
+go run ./cmd/statecheck -allow wireFootprint,sigEventKind internal/replay internal/tuner internal/server
 
 echo "== fuzz smoke (interval lattice, format expansion) =="
 go test -run=NONE -fuzz=FuzzIntervalJoinWiden -fuzztime=3s ./internal/analysis

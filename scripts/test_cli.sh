@@ -151,4 +151,46 @@ if grep -q "TR003" "$tmp/switch.err"; then
     fail "TR003 raised for a constant-propagatable path"
 fi
 
+echo "== tuniod serves a tuning job over HTTP =="
+# Tuning-as-a-service smoke: boot tuniod on an ephemeral port, submit a
+# tiny macsio job, and poll until it reaches a terminal state with a
+# result payload.
+go build -o "$tmp/tuniod" ./cmd/tuniod
+"$tmp/tuniod" -addr 127.0.0.1:0 2> "$tmp/tuniod.log" &
+tuniod_pid=$!
+trap 'kill "$tuniod_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$tmp/tuniod.log" && break
+    sleep 0.1
+done
+grep -q "listening on" "$tmp/tuniod.log" ||
+    fail "tuniod did not announce its listening address"
+base="$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$tmp/tuniod.log")"
+
+code="$(curl -s -o "$tmp/job.json" -w '%{http_code}' "$base/v1/jobs" \
+    -H 'X-Tunio-Tenant: smoke' \
+    -d '{"workload":"macsio","nodes":2,"procs_per_node":8,"pop_size":8,"max_iterations":6,"reps":1,"seed":3,"parallelism":2}')"
+[ "$code" = "202" ] || fail "job submit returned HTTP $code, want 202"
+grep -q '"id": "job-1"' "$tmp/job.json" || fail "submit response missing the job id"
+
+state=running
+for _ in $(seq 1 300); do
+    curl -s "$base/v1/jobs/job-1" > "$tmp/status.json"
+    if grep -q '"state": "done"' "$tmp/status.json"; then
+        state=done
+        break
+    fi
+    if grep -Eq '"state": "(failed|canceled)"' "$tmp/status.json"; then
+        fail "job ended abnormally: $(cat "$tmp/status.json")"
+    fi
+    sleep 0.1
+done
+[ "$state" = "done" ] || fail "job did not reach a terminal state in time"
+grep -q '"best_perf_mbs"' "$tmp/status.json" ||
+    fail "terminal status missing the result payload"
+curl -s "$base/v1/stats" | grep -q '"sessions_done": 1' ||
+    fail "tuniod stats did not count the finished session"
+kill "$tuniod_pid" 2>/dev/null || true
+
 echo "test_cli: all checks passed"

@@ -29,22 +29,32 @@
 //	})
 //	fmt.Printf("tuned %s: %.0f MB/s after %d iterations (%.0f minutes)\n",
 //		"flash", res.BestPerf, res.StoppedAt, res.Curve.TotalMinutes())
+//
+// For long-lived processes serving many tuning sessions — the tuniod
+// server, or any embedder — construct an Engine instead: it runs sessions
+// concurrently over one shared bounded worker pool and shares the
+// content-addressed kernel store and stage cache across sessions, so
+// repeat kernels skip recording and hit cached stage plans. Tune is a
+// thin shim over a private single-use Engine:
+//
+//	eng := tunio.NewEngine(tunio.EngineOptions{Workers: 8})
+//	run, err := eng.Tune(ctx, tunio.JobSpec{Workload: "vpic", Seed: 1, Parallelism: 4})
+//	for p := range run.Events(ctx) { ... }  // stream the curve
+//	res, err := run.Wait()
 package tunio
 
 import (
 	"context"
-	"fmt"
 
-	"tunio/internal/cluster"
 	"tunio/internal/core"
 	"tunio/internal/discovery"
 	"tunio/internal/metrics"
 	"tunio/internal/params"
 	"tunio/internal/tuner"
-	"tunio/internal/workload"
 )
 
-// Re-exported component types (Table I of the paper).
+// Re-exported component types (Table I of the paper, plus the engine
+// surface).
 type (
 	// TunIO bundles the trained Early Stopping and Smart Configuration
 	// Generation agents.
@@ -57,17 +67,42 @@ type (
 	Kernel = discovery.Kernel
 	// Curve is a tuning trajectory with RoTI accessors.
 	Curve = metrics.Curve
+	// Point is one tuning-iteration observation on a Curve.
+	Point = metrics.Point
 	// Parameter is one tunable I/O-stack knob.
 	Parameter = params.Parameter
-	// Result is a tuning-pipeline outcome.
+	// Result is a tuning-pipeline outcome. Result.EngineInfo reports how
+	// the evaluation engine scored the run (trace replay vs direct
+	// simulation, kernel hash, cache traffic).
 	Result = tuner.Result
-	// Session refines a configuration interactively across tuning rounds.
-	Session = core.Session
+	// EngineInfo is the evaluation-engine report attached to Result.
+	EngineInfo = tuner.EngineInfo
+	// Refinement refines a configuration interactively across tuning
+	// rounds (§VI of the paper): successive Refine rounds resume from
+	// the best configuration found so far while the agents keep
+	// learning.
+	Refinement = core.Session
 )
 
-// NewSession starts an interactive refinement session (§VI of the paper):
-// successive Refine rounds resume from the best configuration found so
-// far while the agents keep learning.
+// Session is the historical name for Refinement.
+//
+// Deprecated: the name collides with the server-side tuning sessions an
+// Engine runs (one Run per submitted JobSpec); "session" in newer APIs
+// and docs always means those. Use Refinement for interactive
+// configuration refinement. The alias is kept so existing callers
+// compile unchanged.
+type Session = core.Session
+
+// NewRefinement starts an interactive refinement session (§VI of the
+// paper): successive Refine rounds resume from the best configuration
+// found so far while the agents keep learning.
+func NewRefinement(agent *TunIO, space []Parameter) (*Refinement, error) {
+	return core.NewSession(agent, space)
+}
+
+// NewSession starts an interactive refinement session.
+//
+// Deprecated: use NewRefinement (see the Session alias for why).
 func NewSession(agent *TunIO, space []Parameter) (*Session, error) {
 	return core.NewSession(agent, space)
 }
@@ -139,62 +174,29 @@ type TuneOptions struct {
 
 // Tune runs a tuning pipeline over the simulated I/O stack and returns
 // its result (curve, best configuration, stopping iteration).
+//
+// Tune is a synchronous shim over a private single-use Engine: each call
+// gets fresh caches, so two Tune calls share nothing and curves reproduce
+// the historical behavior bit for bit. Long-lived processes that tune
+// repeatedly should hold one Engine and call Engine.Tune, which shares
+// the kernel store and stage cache across sessions.
 func Tune(opts TuneOptions) (*Result, error) {
-	nodes, ppn := opts.Nodes, opts.ProcsPerNode
-	if nodes == 0 {
-		nodes = 4
-	}
-	if ppn == 0 {
-		ppn = 32
-	}
-	c := cluster.CoriHaswell(nodes, ppn)
-	w, err := workload.ByName(opts.Workload, c.Procs())
+	run, err := NewEngine(EngineOptions{}).Tune(opts.Context, JobSpec{
+		Workload:      opts.Workload,
+		Nodes:         opts.Nodes,
+		ProcsPerNode:  opts.ProcsPerNode,
+		Agent:         opts.Agent,
+		Heuristic:     opts.Heuristic,
+		PopSize:       opts.PopSize,
+		MaxIterations: opts.MaxIterations,
+		Reps:          opts.Reps,
+		Seed:          opts.Seed,
+		Parallelism:   opts.Parallelism,
+		NoTrace:       opts.NoTrace,
+		Progress:      opts.Progress,
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg := tuner.Config{
-		Space:         params.Space(),
-		PopSize:       opts.PopSize,
-		MaxIterations: opts.MaxIterations,
-		Seed:          opts.Seed,
-		Progress:      opts.Progress,
-	}
-	switch {
-	case opts.Agent != nil && opts.Heuristic:
-		return nil, fmt.Errorf("tunio: Agent and Heuristic are mutually exclusive")
-	case opts.Agent != nil:
-		opts.Agent.Reset()
-		cfg.Stopper = opts.Agent.Stopper
-		cfg.Picker = opts.Agent.Picker
-	case opts.Heuristic:
-		cfg.Stopper = tuner.NewHeuristicStopper()
-	}
-	ctx := opts.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if opts.Parallelism >= 1 {
-		// Batch engine: order-independent seeds, worker pool, memoization.
-		// Evaluations default to staged trace replay with direct
-		// simulation as the permanent fallback if recording fails.
-		seeded := &tuner.SeededWorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
-		var eval tuner.Evaluator = seeded
-		var trace *tuner.TraceEvaluator
-		if !opts.NoTrace {
-			trace = &tuner.TraceEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
-			eval = &tuner.FallbackEvaluator{Primary: trace, Fallback: seeded}
-		}
-		batch := tuner.NewMemo(&tuner.Pool{Eval: eval, Workers: opts.Parallelism})
-		if trace != nil {
-			// Record eagerly so the kernel content hash is part of every
-			// memo key from the first generation on; on a recording failure
-			// the key stays empty and FallbackEvaluator reverts as before.
-			if err := trace.Prepare(cfg.Space); err == nil {
-				batch.SetKernelKey(trace.KernelHash())
-			}
-		}
-		return tuner.RunBatch(ctx, cfg, batch)
-	}
-	eval := &tuner.WorkloadEvaluator{Workload: w, Cluster: c, Reps: opts.Reps, Seed: opts.Seed}
-	return tuner.RunBatch(ctx, cfg, tuner.AdaptEvaluator(eval))
+	return run.Wait()
 }
