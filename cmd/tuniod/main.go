@@ -10,6 +10,8 @@
 //	tuniod -addr :0 -workers 8     # ephemeral port (printed), 8-worker budget
 //	tuniod -quota 4                # at most 4 concurrent sessions per tenant
 //	tuniod -agent agent.json       # serve pipeline=tunio with this trained agent
+//	tuniod -artifacts dir          # serve the agent trained by `tuniotrain -artifacts dir`
+//	tuniod -store kernels.json     # persist the kernel store across restarts
 //
 // Submit a job, stream its curve, read engine stats:
 //
@@ -33,6 +35,7 @@ import (
 
 	"tunio"
 	"tunio/internal/core"
+	"tunio/internal/replay"
 	"tunio/internal/server"
 )
 
@@ -41,9 +44,14 @@ func main() {
 	workers := flag.Int("workers", 0, "engine-wide evaluation budget shared by all sessions (0 = unbounded)")
 	quota := flag.Int("quota", 0, "max concurrent sessions per tenant (0 = unlimited)")
 	agentIn := flag.String("agent", "", "serve pipeline=tunio jobs with this trained agent JSON (default: train lazily on first use)")
+	artifacts := flag.String("artifacts", "", "serve pipeline=tunio jobs with the agent from this tuniotrain artifacts directory")
+	storePath := flag.String("store", "", "kernel store file: loaded at startup if present, saved on shutdown")
 	trainSeed := flag.Int64("train-seed", 1, "seed for lazy agent training")
 	flag.Parse()
 
+	if *agentIn != "" && *artifacts != "" {
+		fatal(fmt.Errorf("-agent and -artifacts are mutually exclusive"))
+	}
 	var agent *tunio.TunIO
 	if *agentIn != "" {
 		blob, err := os.ReadFile(*agentIn)
@@ -55,8 +63,27 @@ func main() {
 			fatal(fmt.Errorf("loading agent: %w", err))
 		}
 	}
+	if *artifacts != "" {
+		var err error
+		if agent, err = tunio.LoadAgentArtifacts(*artifacts); err != nil {
+			fatal(fmt.Errorf("loading agent artifacts: %w", err))
+		}
+	}
 
-	engine := tunio.NewEngine(tunio.EngineOptions{Workers: *workers, TenantQuota: *quota})
+	store := replay.NewKernelStore()
+	if *storePath != "" {
+		n, err := store.Load(*storePath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// first boot: the store file appears at shutdown
+		case err != nil:
+			fatal(err)
+		default:
+			fmt.Fprintf(os.Stderr, "tuniod: kernel store: loaded %d kernels from %s\n", n, *storePath)
+		}
+	}
+
+	engine := tunio.NewEngine(tunio.EngineOptions{Workers: *workers, TenantQuota: *quota, KernelStore: store})
 	handler, err := server.New(server.Options{
 		Engine:    engine,
 		Agent:     agent,
@@ -82,6 +109,7 @@ func main() {
 	select {
 	case err := <-done:
 		if !errors.Is(err, http.ErrServerClosed) {
+			saveStore(store, *storePath)
 			fatal(err)
 		}
 	case <-ctx.Done():
@@ -90,6 +118,22 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutCtx)
 	}
+	saveStore(store, *storePath)
+}
+
+// saveStore persists the kernel store so the next boot serves recorded
+// kernels without rerunning them. A best-effort operation: a failed save
+// costs re-recording, not correctness.
+func saveStore(store *replay.KernelStore, path string) {
+	if path == "" {
+		return
+	}
+	n, err := store.Save(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tuniod: kernel store:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "tuniod: kernel store: saved %d kernels to %s\n", n, path)
 }
 
 func fatal(err error) {

@@ -1,0 +1,114 @@
+// Command tuniotrain runs TunIO's offline training as a resumable staged
+// pipeline: parameter sweep (scored by parallel trace replay) -> PCA
+// impact analysis -> surrogate fit -> subset-picker Q-training ->
+// early-stopper Q-training. Every stage writes a versioned, content-
+// hashed artifact into the artifacts directory, so a killed run resumes
+// from the last completed stage and reruns with unchanged inputs skip
+// straight to the answer.
+//
+// Usage:
+//
+//	tuniotrain -artifacts dir                # full training run
+//	tuniotrain -artifacts dir -resume        # reuse artifacts whose inputs match
+//	tuniotrain -artifacts dir -until sweep   # stop after the sweep stage
+//	tuniotrain -artifacts dir -store k.json  # share recorded kernels with tuniod
+//
+// The combined agent lands at dir/agent.json; serve it with
+// `tuniod -artifacts dir` (or `tuniod -agent dir/agent.json`).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"tunio/internal/cluster"
+	"tunio/internal/core"
+	"tunio/internal/replay"
+	"tunio/internal/train"
+)
+
+func main() {
+	artifacts := flag.String("artifacts", "", "directory for stage artifacts and the final agent.json (required)")
+	resume := flag.Bool("resume", false, "reuse existing artifacts whose input hashes still match")
+	until := flag.String("until", "", fmt.Sprintf("stop after this stage (one of %s)", strings.Join(train.Stages(), ", ")))
+	seed := flag.Int64("seed", 1, "seed for the whole training run")
+	workersN := flag.Int("workers", 0, "sweep replay workers (0 = GOMAXPROCS)")
+	nodes := flag.Int("nodes", 4, "simulated nodes for the sweep kernels")
+	ppn := flag.Int("procs-per-node", 32, "simulated processes per node")
+	extraRandom := flag.Int("extra-random", 20, "random sweep configurations beyond the one-at-a-time runs")
+	pickerEpochs := flag.Int("picker-epochs", 30, "max subset-picker training epochs")
+	stopperEpochs := flag.Int("stopper-epochs", 40, "max early-stopper training epochs")
+	horizon := flag.Int("horizon", 50, "tuning-iteration budget the stopper is trained for")
+	storePath := flag.String("store", "", "kernel store file: loaded if present, saved after the sweep kernels are recorded")
+	flag.Parse()
+
+	if *artifacts == "" {
+		fatal(fmt.Errorf("-artifacts is required"))
+	}
+
+	store := replay.NewKernelStore()
+	if *storePath != "" {
+		n, err := store.Load(*storePath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// first run: the store file appears after the sweep
+		case err != nil:
+			fatal(err)
+		default:
+			fmt.Fprintf(os.Stderr, "tuniotrain: kernel store: loaded %d kernels from %s\n", n, *storePath)
+		}
+	}
+
+	c := cluster.CoriHaswell(*nodes, *ppn)
+	cfg := train.Config{
+		Cluster:         c,
+		Kernels:         core.DefaultSweepKernels(c.Procs()),
+		ExtraRandomRuns: *extraRandom,
+		StopperEpochs:   *stopperEpochs,
+		PickerEpochs:    *pickerEpochs,
+		StopperHorizon:  *horizon,
+		Seed:            *seed,
+		Workers:         *workersN,
+		Store:           store,
+		ArtifactsDir:    *artifacts,
+		Resume:          *resume,
+		Until:           *until,
+		Progress: func(r train.StageReport) {
+			if r.Skipped {
+				fmt.Fprintf(os.Stderr, "tuniotrain: %s: reused artifact\n", r.Stage)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "tuniotrain: %s: trained in %.2fs\n", r.Stage, r.Seconds)
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := train.Run(ctx, cfg)
+	if *storePath != "" && store.Len() > 0 {
+		if n, serr := store.Save(*storePath); serr != nil {
+			fmt.Fprintln(os.Stderr, "tuniotrain: kernel store:", serr)
+		} else {
+			fmt.Fprintf(os.Stderr, "tuniotrain: kernel store: saved %d kernels to %s\n", n, *storePath)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if res.Agent == nil {
+		fmt.Fprintf(os.Stderr, "tuniotrain: stopped after stage %q (no agent written)\n", *until)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "tuniotrain: agent written to %s\n", train.AgentPath(*artifacts))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tuniotrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"tunio/internal/params"
+)
+
+// trainTestPicker trains a small SmartPicker on a synthetic sweep.
+func trainTestPicker(t *testing.T, seed int64) *SmartPicker {
+	t.Helper()
+	space := params.Space()
+	rng := rand.New(rand.NewSource(seed))
+	sweep := syntheticSweep(space, rng, 200)
+	p, err := TrainSmartPicker(PickerConfig{Seed: seed}, sweep, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// trainTestStopper trains a small EarlyStopper.
+func trainTestStopper(t *testing.T, seed int64) *EarlyStopper {
+	t.Helper()
+	s, err := TrainEarlyStopper(StopperConfig{Seed: seed, Horizon: 8}, 2, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Marshal → unmarshal → marshal must be byte-identical for both agents:
+// the training pipeline chains stage hashes on these bytes, and the
+// server serves per-job clones from them.
+func TestSmartPickerJSONRoundTripStable(t *testing.T) {
+	p := trainTestPicker(t, 17)
+	first, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &SmartPicker{}
+	if err := json.Unmarshal(first, loaded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("picker JSON not stable across a round trip")
+	}
+}
+
+func TestEarlyStopperJSONRoundTripStable(t *testing.T) {
+	s := trainTestStopper(t, 17)
+	first, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &EarlyStopper{}
+	if err := json.Unmarshal(first, loaded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("stopper JSON not stable across a round trip")
+	}
+}
+
+// A loaded picker must make the same decisions as the in-memory original.
+// With learning off and epsilon zero both are deterministic functions of
+// their (identical) learned state.
+func TestLoadedPickerMatchesOriginalDecisions(t *testing.T) {
+	p := trainTestPicker(t, 23)
+	blob, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &SmartPicker{}
+	if err := json.Unmarshal(blob, loaded); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*SmartPicker{p, loaded} {
+		a.SetLearning(false)
+		a.SetEpsilon(0)
+	}
+	n := len(params.Space())
+	maskP := make([]bool, n)
+	maskL := make([]bool, n)
+	for i := range maskP {
+		maskP[i] = true
+		maskL[i] = true
+	}
+	perfs := []float64{900, 1400, 1350, 2100, 2050, 2600, 2590, 2800}
+	for step, perf := range perfs {
+		maskP = p.NextSubset(perf, maskP)
+		maskL = loaded.NextSubset(perf, maskL)
+		for i := range maskP {
+			if maskP[i] != maskL[i] {
+				t.Fatalf("step %d: masks diverge at param %d", step, i)
+			}
+		}
+	}
+}
+
+// Same for the stopper: identical stop decisions along a synthetic
+// improvement curve.
+func TestLoadedStopperMatchesOriginalDecisions(t *testing.T) {
+	s := trainTestStopper(t, 23)
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := &EarlyStopper{}
+	if err := json.Unmarshal(blob, loaded); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []*EarlyStopper{s, loaded} {
+		a.SetLearning(false)
+		a.SetEpsilon(0)
+		a.Reset()
+	}
+	curve := []float64{100, 180, 240, 260, 262, 263, 263, 263, 263, 263, 263, 263}
+	for i, best := range curve {
+		sp, lp := s.Stop(i, best), loaded.Stop(i, best)
+		if sp != lp {
+			t.Fatalf("iteration %d: original stop=%v, loaded stop=%v", i, sp, lp)
+		}
+		if sp {
+			break
+		}
+	}
+}

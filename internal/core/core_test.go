@@ -360,7 +360,7 @@ func TestFitSurrogate(t *testing.T) {
 	space := params.Space()
 	rng := rand.New(rand.NewSource(14))
 	sweep := syntheticSweep(space, rng, 800)
-	sur := fitSurrogate(sweep)
+	sur := FitSurrogate(sweep)
 	// The surrogate must prefer the max value of the dominant param 0.
 	if bv := sur.bestValue(0); bv != len(space[0].Values)-1 {
 		t.Fatalf("surrogate best value for param 0 = %d, want max index", bv)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -36,30 +37,29 @@ func (s *SweepResult) ImpactScores() ([]float64, error) {
 	return pca.ImpactScores(m, s.Perfs)
 }
 
-// Sweep runs the offline parameter sweep: for every parameter, every value
-// is evaluated with all other parameters at defaults (one-at-a-time), plus
-// extraRandom random assignments for cross-parameter signal. Each run uses
-// a fresh simulated stack.
-func Sweep(kernels []workload.Workload, c *cluster.Cluster, space []params.Parameter, seed int64, extraRandom int) (*SweepResult, error) {
-	if len(kernels) == 0 {
-		return nil, fmt.Errorf("core: sweep needs at least one kernel")
-	}
+// SweepRun is one scheduled sweep evaluation: which kernel to run, the
+// configuration to run it under, and the deterministic per-run seed. The
+// run list is a pure function of (space, seed, extraRandom, kernel count),
+// so any executor — the serial direct loop here or the parallel replay
+// sweep in internal/train — that scores the same plan produces the same
+// observations in the same order.
+type SweepRun struct {
+	Kernel     int
+	Assignment *params.Assignment
+	Seed       int64
+}
+
+// SweepPlan enumerates the offline sweep's runs: per kernel, every value
+// of every parameter with all others at defaults (one-at-a-time), then
+// extraRandom random assignments for cross-parameter signal. Seeds count
+// up from seed+1 in plan order, and the random genomes come from one
+// rand.New(seed) stream shared across kernels — both exactly the
+// historical Sweep behavior, now stated as data.
+func SweepPlan(numKernels int, space []params.Parameter, seed int64, extraRandom int) ([]SweepRun, error) {
 	rng := rand.New(rand.NewSource(seed))
-	out := &SweepResult{Space: space}
 	runSeed := seed
-
-	record := func(a *params.Assignment, w workload.Workload) error {
-		runSeed++
-		res, err := workload.Execute(w, c, a.Settings(), runSeed)
-		if err != nil {
-			return err
-		}
-		out.Features = append(out.Features, a.Features())
-		out.Perfs = append(out.Perfs, res.Perf)
-		return nil
-	}
-
-	for _, w := range kernels {
+	var runs []SweepRun
+	for k := 0; k < numKernels; k++ {
 		// one-at-a-time sweep
 		for pi, p := range space {
 			for vi := range p.Values {
@@ -67,9 +67,8 @@ func Sweep(kernels []workload.Workload, c *cluster.Cluster, space []params.Param
 				if err := a.SetIndex(space[pi].Name, vi); err != nil {
 					return nil, err
 				}
-				if err := record(a, w); err != nil {
-					return nil, err
-				}
+				runSeed++
+				runs = append(runs, SweepRun{Kernel: k, Assignment: a, Seed: runSeed})
 			}
 		}
 		// random combinations
@@ -82,10 +81,36 @@ func Sweep(kernels []workload.Workload, c *cluster.Cluster, space []params.Param
 			if err != nil {
 				return nil, err
 			}
-			if err := record(a, w); err != nil {
-				return nil, err
-			}
+			runSeed++
+			runs = append(runs, SweepRun{Kernel: k, Assignment: a, Seed: runSeed})
 		}
+	}
+	return runs, nil
+}
+
+// Sweep runs the offline parameter sweep over SweepPlan's run list by
+// direct execution: each run gets a fresh simulated stack. Cancellation is
+// honored between runs, and the first failing run aborts the sweep — the
+// same smallest-index-error semantics tuner.Pool gives a parallel pass.
+func Sweep(ctx context.Context, kernels []workload.Workload, c *cluster.Cluster, space []params.Parameter, seed int64, extraRandom int) (*SweepResult, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("core: sweep needs at least one kernel")
+	}
+	runs, err := SweepPlan(len(kernels), space, seed, extraRandom)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Space: space}
+	for i, r := range runs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := workload.Execute(kernels[r.Kernel], c, r.Assignment.Settings(), r.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep run %d (%s): %w", i, kernels[r.Kernel].Name(), err)
+		}
+		out.Features = append(out.Features, r.Assignment.Features())
+		out.Perfs = append(out.Perfs, res.Perf)
 	}
 	return out, nil
 }
@@ -103,23 +128,25 @@ func DefaultSweepKernels(procs int) []workload.Workload {
 	return []workload.Workload{v, fl, h}
 }
 
-// surrogate is an additive performance model fit from sweep data, used to
-// generate cheap synthetic tuning episodes for offline Q training.
-type surrogate struct {
-	space   []params.Parameter
-	base    float64
-	effects [][]float64 // [param][valueIdx] additive effect
-	max     float64
+// Surrogate is an additive performance model fit from sweep data, used to
+// generate cheap synthetic tuning episodes for offline Q training. It is
+// JSON-serializable so the training pipeline can persist it as a stage
+// artifact and retrain the picker without re-running the sweep.
+type Surrogate struct {
+	Space   []params.Parameter `json:"space"`
+	Base    float64            `json:"base"`
+	Effects [][]float64        `json:"effects"` // [param][valueIdx] additive effect
+	Max     float64            `json:"max"`
 }
 
-// fitSurrogate estimates per-value effects as the mean perf of runs using
+// FitSurrogate estimates per-value effects as the mean perf of runs using
 // that value minus the grand mean.
-func fitSurrogate(s *SweepResult) *surrogate {
+func FitSurrogate(s *SweepResult) *Surrogate {
 	grand := mat.Mean(s.Perfs)
-	sur := &surrogate{space: s.Space, base: grand}
-	sur.effects = make([][]float64, len(s.Space))
+	sur := &Surrogate{Space: s.Space, Base: grand}
+	sur.Effects = make([][]float64, len(s.Space))
 	for pi, p := range s.Space {
-		sur.effects[pi] = make([]float64, len(p.Values))
+		sur.Effects[pi] = make([]float64, len(p.Values))
 		counts := make([]int, len(p.Values))
 		sums := make([]float64, len(p.Values))
 		for ri, feat := range s.Features {
@@ -129,21 +156,21 @@ func fitSurrogate(s *SweepResult) *surrogate {
 		}
 		for vi := range p.Values {
 			if counts[vi] > 0 {
-				sur.effects[pi][vi] = sums[vi]/float64(counts[vi]) - grand
+				sur.Effects[pi][vi] = sums[vi]/float64(counts[vi]) - grand
 			}
 		}
 	}
-	best := sur.base
-	for pi := range sur.effects {
+	best := sur.Base
+	for pi := range sur.Effects {
 		bestEff := 0.0
-		for _, e := range sur.effects[pi] {
+		for _, e := range sur.Effects[pi] {
 			if e > bestEff {
 				bestEff = e
 			}
 		}
 		best += bestEff
 	}
-	sur.max = best
+	sur.Max = best
 	return sur
 }
 
@@ -163,10 +190,10 @@ func valueIndexFromFeature(f float64, n int) int {
 }
 
 // perfOf evaluates the surrogate for a genome.
-func (s *surrogate) perfOf(genome []int) float64 {
-	v := s.base
+func (s *Surrogate) perfOf(genome []int) float64 {
+	v := s.Base
 	for pi, g := range genome {
-		v += s.effects[pi][g]
+		v += s.Effects[pi][g]
 	}
 	if v < 1 {
 		v = 1
@@ -175,10 +202,10 @@ func (s *surrogate) perfOf(genome []int) float64 {
 }
 
 // bestValue returns the best value index for a parameter.
-func (s *surrogate) bestValue(pi int) int {
+func (s *Surrogate) bestValue(pi int) int {
 	best := 0
-	for vi := range s.effects[pi] {
-		if s.effects[pi][vi] > s.effects[pi][best] {
+	for vi := range s.Effects[pi] {
+		if s.Effects[pi][vi] > s.Effects[pi][best] {
 			best = vi
 		}
 	}
@@ -191,12 +218,21 @@ func (s *surrogate) bestValue(pi int) int {
 // the surrogate until the average reward stagnates (§III-C). The returned
 // picker keeps learning online.
 func TrainSmartPicker(cfg PickerConfig, sweep *SweepResult, maxEpochs int, rng *rand.Rand) (*SmartPicker, error) {
-	cfg.NumParams = len(sweep.Space)
-	p, err := NewSmartPicker(cfg)
+	scores, err := sweep.ImpactScores()
 	if err != nil {
 		return nil, err
 	}
-	scores, err := sweep.ImpactScores()
+	return TrainSmartPickerFrom(cfg, scores, FitSurrogate(sweep), mat.MaxVal(sweep.Perfs), maxEpochs, rng)
+}
+
+// TrainSmartPickerFrom trains a picker from precomputed sweep products —
+// PCA impact scores, a fitted surrogate, and the perf scale (the sweep's
+// maximum observed perf) — so the training pipeline can resume from stage
+// artifacts without the sweep in memory. TrainSmartPicker is the one-shot
+// wrapper; both produce bit-identical pickers from the same inputs.
+func TrainSmartPickerFrom(cfg PickerConfig, scores []float64, sur *Surrogate, perfScale float64, maxEpochs int, rng *rand.Rand) (*SmartPicker, error) {
+	cfg.NumParams = len(sur.Space)
+	p, err := NewSmartPicker(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -204,10 +240,9 @@ func TrainSmartPicker(cfg PickerConfig, sweep *SweepResult, maxEpochs int, rng *
 		return nil, err
 	}
 	if cfg.PerfScale == 0 {
-		p.scale = mat.MaxVal(sweep.Perfs)
+		p.scale = perfScale
 	}
 
-	sur := fitSurrogate(sweep)
 	if maxEpochs <= 0 {
 		maxEpochs = 40
 	}
@@ -237,10 +272,10 @@ func TrainSmartPicker(cfg PickerConfig, sweep *SweepResult, maxEpochs int, rng *
 // iteration the picker chooses a subset; the episode greedily improves one
 // active parameter per iteration (a GA generation's net effect), and the
 // agent is rewarded with the paper's subset-size-normalized perf.
-func (p *SmartPicker) trainEpisode(sur *surrogate, rng *rand.Rand) float64 {
+func (p *SmartPicker) trainEpisode(sur *Surrogate, rng *rand.Rand) float64 {
 	p.Reset()
-	genome := make([]int, len(sur.space))
-	for pi, par := range sur.space {
+	genome := make([]int, len(sur.Space))
+	for pi, par := range sur.Space {
 		genome[pi] = par.Default
 	}
 	mask := p.maskFor(p.cfg.NumParams)
@@ -257,7 +292,7 @@ func (p *SmartPicker) trainEpisode(sur *surrogate, rng *rand.Rand) float64 {
 				continue
 			}
 			bv := sur.bestValue(pi)
-			gain := sur.effects[pi][bv] - sur.effects[pi][genome[pi]]
+			gain := sur.Effects[pi][bv] - sur.Effects[pi][genome[pi]]
 			if gain > bestGain {
 				bestGain, bestParam = gain, pi
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -120,7 +121,7 @@ func Train(cfg TrainConfig) (*TunIO, error) {
 	cfg.fillDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	sweep, err := Sweep(cfg.Kernels, cfg.Cluster, cfg.Space, cfg.Seed+1, cfg.ExtraRandomRuns)
+	sweep, err := Sweep(context.Background(), cfg.Kernels, cfg.Cluster, cfg.Space, cfg.Seed+1, cfg.ExtraRandomRuns)
 	if err != nil {
 		return nil, fmt.Errorf("core: offline sweep: %w", err)
 	}

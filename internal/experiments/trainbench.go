@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tunio/internal/cinterp"
+	"tunio/internal/cluster"
+	"tunio/internal/core"
+	"tunio/internal/csrc"
+	"tunio/internal/params"
+	"tunio/internal/train"
+	"tunio/internal/workload"
+)
+
+// TrainBenchResult benchmarks the rebuilt offline-training pipeline. The
+// sweep comparison follows the BENCH_eval convention from the evaluation-
+// engine benchmark: "direct" is scoring each configuration at application
+// fidelity — interpreting the kernel's C source SPMD on a fresh stack per
+// run, the cost the paper's offline phase pays on a real application —
+// while replay records each kernel once and replays cached stage
+// artifacts. Both are run over the identical core.SweepPlan run list with
+// identical per-run seeds, so the equivalence checks (bit-identical
+// perfs, PCA impact scores within 1e-9) are exact, not statistical. The
+// historical model-direct loop (core.Sweep, the pre-pipeline Go-model
+// shortcut) is timed alongside for reference; its perfs are bit-identical
+// to the interpreted sweep's, pinned by workload's conformance tests and
+// re-checked here.
+type TrainBenchResult struct {
+	Kernels   []string `json:"kernels"`
+	SweepRuns int      `json:"sweep_runs"`
+	Workers   int      `json:"workers"`
+
+	DirectSweepSeconds         float64 `json:"direct_sweep_seconds"`        // interpret C source per config (serial)
+	ModelSweepSeconds          float64 `json:"model_sweep_seconds"`         // historical core.Sweep Go-model loop (serial)
+	ReplaySweepSerialSeconds   float64 `json:"replay_sweep_serial_seconds"` // recording included
+	ReplaySweepParallelSeconds float64 `json:"replay_sweep_parallel_seconds"`
+	// PerConfigSpeedup is the per-configuration win of serial replay over
+	// serial direct (application-fidelity) execution, recording included.
+	PerConfigSpeedup float64 `json:"per_config_speedup"`
+
+	// Equivalence of the sweeps over the identical run list.
+	PerfsIdentical   bool    `json:"perfs_identical"`
+	ImpactMaxAbsDiff float64 `json:"impact_max_abs_diff"`
+
+	FullRetrainSeconds float64 `json:"full_retrain_seconds"`
+	ResumeSeconds      float64 `json:"resume_seconds"`
+}
+
+// TrainBench runs the training-pipeline benchmark at the paper's
+// component-test scale (4x32 Cori Haswell, the three default sweep
+// kernels, 20 extra random runs).
+func TrainBench(cfg Config) (*TrainBenchResult, error) {
+	c := cfg.componentCluster()
+	kernels := core.DefaultSweepKernels(c.Procs())
+	const extraRandom = 20
+	base := train.Config{
+		Cluster:         c,
+		Kernels:         kernels,
+		ExtraRandomRuns: extraRandom,
+		Seed:            cfg.Seed,
+	}
+	out := &TrainBenchResult{Workers: runtime.GOMAXPROCS(0)}
+	for _, w := range kernels {
+		out.Kernels = append(out.Kernels, w.Name())
+	}
+	ctx := context.Background()
+	space := params.Space()
+
+	// Direct sweep at application fidelity: interpret each kernel's C
+	// source once per planned configuration.
+	start := time.Now()
+	direct, err := interpSweep(kernels, c, space, cfg.Seed+1, extraRandom)
+	if err != nil {
+		return nil, fmt.Errorf("trainbench: direct sweep: %w", err)
+	}
+	out.DirectSweepSeconds = time.Since(start).Seconds()
+	out.SweepRuns = len(direct.Perfs)
+
+	// Historical model-direct loop for reference.
+	start = time.Now()
+	model, err := core.Sweep(ctx, kernels, c, space, cfg.Seed+1, extraRandom)
+	if err != nil {
+		return nil, fmt.Errorf("trainbench: model sweep: %w", err)
+	}
+	out.ModelSweepSeconds = time.Since(start).Seconds()
+
+	// Replay-backed sweep, serial: same plan, one worker, recording cost
+	// included — the per-configuration comparison at equal parallelism.
+	serial := base
+	serial.Workers = 1
+	serial.Until = train.StageSweep
+	start = time.Now()
+	serialRes, err := train.Run(ctx, serial)
+	if err != nil {
+		return nil, fmt.Errorf("trainbench: replay sweep (serial): %w", err)
+	}
+	out.ReplaySweepSerialSeconds = time.Since(start).Seconds()
+	if out.ReplaySweepSerialSeconds > 0 {
+		out.PerConfigSpeedup = out.DirectSweepSeconds / out.ReplaySweepSerialSeconds
+	}
+
+	// Equivalence: all three sweeps bit-identical per run, PCA impact
+	// scores within 1e-9.
+	out.PerfsIdentical = len(serialRes.Sweep.Perfs) == len(direct.Perfs)
+	if out.PerfsIdentical {
+		for i := range direct.Perfs {
+			if serialRes.Sweep.Perfs[i] != direct.Perfs[i] || model.Perfs[i] != direct.Perfs[i] {
+				out.PerfsIdentical = false
+				break
+			}
+		}
+	}
+	ds, err := direct.ImpactScores()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := serialRes.Sweep.ImpactScores()
+	if err != nil {
+		return nil, err
+	}
+	for i := range ds {
+		if d := math.Abs(ds[i] - rs[i]); d > out.ImpactMaxAbsDiff {
+			out.ImpactMaxAbsDiff = d
+		}
+	}
+
+	// Replay-backed sweep at full parallelism (what tuniotrain runs).
+	parallel := base
+	parallel.Until = train.StageSweep
+	start = time.Now()
+	if _, err := train.Run(ctx, parallel); err != nil {
+		return nil, fmt.Errorf("trainbench: replay sweep (parallel): %w", err)
+	}
+	out.ReplaySweepParallelSeconds = time.Since(start).Seconds()
+
+	// Full from-scratch pipeline with artifacts, then an artifact resume.
+	dir, err := os.MkdirTemp("", "tunio-trainbench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	full := base
+	full.ArtifactsDir = dir
+	start = time.Now()
+	if _, err := train.Run(ctx, full); err != nil {
+		return nil, fmt.Errorf("trainbench: full retrain: %w", err)
+	}
+	out.FullRetrainSeconds = time.Since(start).Seconds()
+
+	full.Resume = true
+	start = time.Now()
+	if _, err := train.Run(ctx, full); err != nil {
+		return nil, fmt.Errorf("trainbench: resume: %w", err)
+	}
+	out.ResumeSeconds = time.Since(start).Seconds()
+	return out, nil
+}
+
+// interpSweep scores core.SweepPlan's run list by interpreting each
+// kernel's C source per configuration — the application-fidelity direct
+// path. Per-run perfs are bit-identical to core.Sweep's Go-model loop
+// (the workloads' C forms are conformance-tested) and to the replay
+// sweep.
+func interpSweep(kernels []workload.Workload, c *cluster.Cluster, space []params.Parameter, seed int64, extraRandom int) (*core.SweepResult, error) {
+	runs, err := core.SweepPlan(len(kernels), space, seed, extraRandom)
+	if err != nil {
+		return nil, err
+	}
+	progs := make([]*csrc.File, len(kernels))
+	for i, w := range kernels {
+		cw, ok := w.(workload.HasCSource)
+		if !ok {
+			return nil, fmt.Errorf("%s has no C source", w.Name())
+		}
+		if progs[i], err = csrc.Parse(cw.CSource()); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name(), err)
+		}
+	}
+	out := &core.SweepResult{
+		Space:    space,
+		Features: make([][]float64, len(runs)),
+		Perfs:    make([]float64, len(runs)),
+	}
+	for i, r := range runs {
+		out.Features[i] = r.Assignment.Features()
+		st, err := workload.BuildStack(c, r.Assignment.Settings(), r.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cinterp.Run(progs[r.Kernel], st.Lib); err != nil {
+			return nil, fmt.Errorf("run %d (%s): %w", i, kernels[r.Kernel].Name(), err)
+		}
+		out.Perfs[i], _ = workload.Perf(st.Sim.Report)
+	}
+	return out, nil
+}
+
+// String renders the benchmark.
+func (r *TrainBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Offline training pipeline: direct execution vs staged replay (%s; %d sweep runs)\n",
+		strings.Join(r.Kernels, "+"), r.SweepRuns)
+	fmt.Fprintf(&b, "  direct sweep (interpret kernel/config): %8.2fs\n", r.DirectSweepSeconds)
+	fmt.Fprintf(&b, "  model sweep (historical Go-model loop): %8.2fs\n", r.ModelSweepSeconds)
+	fmt.Fprintf(&b, "  replay sweep (serial, recording incl.): %8.2fs   %.1fx per config\n",
+		r.ReplaySweepSerialSeconds, r.PerConfigSpeedup)
+	fmt.Fprintf(&b, "  replay sweep (%2d workers):              %8.2fs\n", r.Workers, r.ReplaySweepParallelSeconds)
+	fmt.Fprintf(&b, "  full retrain:                           %8.2fs   resume from artifacts: %.3fs\n",
+		r.FullRetrainSeconds, r.ResumeSeconds)
+	fmt.Fprintf(&b, "  perfs identical across all three sweeps: %v, impact max |diff| = %.2g\n",
+		r.PerfsIdentical, r.ImpactMaxAbsDiff)
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"tunio/internal/cluster"
+	"tunio/internal/core"
+	"tunio/internal/params"
+)
+
+// The full TrainBench is benchmark-sized; what needs pinning here is the
+// machinery it leans on: the interpreted (application-fidelity) sweep
+// must score the identical SweepPlan run list bit-identically to the
+// Go-model loop, or the headline speedup compares different work.
+func TestInterpSweepMatchesModelSweep(t *testing.T) {
+	c := cluster.CoriHaswell(1, 8)
+	kernels := core.DefaultSweepKernels(c.Procs())
+	space := params.Space()
+	const seed, extraRandom = 8, 2
+
+	direct, err := core.Sweep(context.Background(), kernels, c, space, seed, extraRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp, err := interpSweep(kernels, c, space, seed, extraRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interp.Perfs) != len(direct.Perfs) || len(direct.Perfs) == 0 {
+		t.Fatalf("run counts differ: interp %d, model %d", len(interp.Perfs), len(direct.Perfs))
+	}
+	for i := range direct.Perfs {
+		if interp.Perfs[i] != direct.Perfs[i] {
+			t.Fatalf("run %d: interpreted perf %v != model perf %v", i, interp.Perfs[i], direct.Perfs[i])
+		}
+	}
+}

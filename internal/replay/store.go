@@ -1,6 +1,30 @@
 package replay
 
-import "sync"
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// TraceKey returns the content-derived kernel identity of a trace: an
+// FNV-1a hash of its serialized form under the "trace:" prefix. It is the
+// fallback kernel key when no exact static I/O signature exists ("sig:"
+// keys rank first), and the key under which stage-cache and memo entries
+// for trace-only kernels are filed.
+func TraceKey(t *Trace) string {
+	h := fnv.New64a()
+	if b, err := t.Marshal(); err == nil {
+		h.Write(b)
+	}
+	return fmt.Sprintf("trace:%016x", h.Sum64())
+}
 
 // KernelEntry is one stored kernel: its recorded trace and the content
 // hash derived from it ("sig:…" when the kernel has an exact static I/O
@@ -92,4 +116,127 @@ func (s *KernelStore) Stats() KernelStoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return KernelStoreStats{Hits: s.hits, Misses: s.misses, Kernels: len(s.entries)}
+}
+
+// storeFileVersion versions the on-disk store format; Load rejects other
+// versions rather than guessing.
+const storeFileVersion = 1
+
+// storeFile is the serialized form of a KernelStore.
+type storeFile struct {
+	Version int          `json:"version"`
+	Kernels []storeEntry `json:"kernels"`
+}
+
+// storeEntry is one persisted kernel. TraceSHA256 is the hash of the
+// Trace field's exact bytes, so Load can prove the trace survived the
+// round trip before trusting it.
+type storeEntry struct {
+	Key        string          `json:"key"`
+	KernelHash string          `json:"kernel_hash"`
+	TraceSHA   string          `json:"trace_sha256"`
+	Trace      json.RawMessage `json:"trace"`
+}
+
+// Save writes the store to path atomically (temp file + rename), sorted
+// by key for a deterministic file, and returns the number of kernels
+// written. Each trace is stored with a content hash so a later Load can
+// detect corruption. Hit/miss counters are not persisted — they describe
+// one process's traffic, not the kernels.
+func (s *KernelStore) Save(path string) (int, error) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := storeFile{Version: storeFileVersion}
+	for _, k := range keys {
+		e := s.entries[k]
+		tb, err := e.Trace.Marshal()
+		if err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("replay: serializing kernel %q: %w", k, err)
+		}
+		sum := sha256.Sum256(tb)
+		out.Kernels = append(out.Kernels, storeEntry{
+			Key:        k,
+			KernelHash: e.KernelHash,
+			TraceSHA:   hex.EncodeToString(sum[:]),
+			Trace:      tb,
+		})
+	}
+	s.mu.Unlock()
+
+	b, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return len(out.Kernels), nil
+}
+
+// Load merges the kernels persisted at path into the store and returns
+// how many entries the file held. Every trace's bytes are validated
+// against the stored content hash first; a mismatch fails the whole load
+// (a store that cannot be trusted should not half-apply). Existing keys
+// keep their entries — the usual first-Put-wins rule — so loading a warm
+// store under a live one never replaces traces sessions already use.
+func (s *KernelStore) Load(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var in storeFile
+	if err := json.Unmarshal(b, &in); err != nil {
+		return 0, fmt.Errorf("replay: kernel store %s: %w", path, err)
+	}
+	if in.Version != storeFileVersion {
+		return 0, fmt.Errorf("replay: kernel store %s: version %d, want %d", path, in.Version, storeFileVersion)
+	}
+	loaded := make(map[string]KernelEntry, len(in.Kernels))
+	for _, e := range in.Kernels {
+		// The store file is written indented, which reflows the embedded
+		// trace; TraceSHA covers the canonical compact bytes.
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, e.Trace); err != nil {
+			return 0, fmt.Errorf("replay: kernel store %s: kernel %q: %w", path, e.Key, err)
+		}
+		e.Trace = compact.Bytes()
+		sum := sha256.Sum256(e.Trace)
+		if got := hex.EncodeToString(sum[:]); got != e.TraceSHA {
+			return 0, fmt.Errorf("replay: kernel store %s: kernel %q trace hash mismatch (stored %.12s…, computed %.12s…)", path, e.Key, e.TraceSHA, got)
+		}
+		t, err := Unmarshal(e.Trace)
+		if err != nil {
+			return 0, fmt.Errorf("replay: kernel store %s: kernel %q: %w", path, e.Key, err)
+		}
+		loaded[e.Key] = KernelEntry{Trace: t, KernelHash: e.KernelHash}
+	}
+	s.mu.Lock()
+	for k, e := range loaded {
+		if _, taken := s.entries[k]; !taken {
+			s.entries[k] = e
+		}
+	}
+	s.mu.Unlock()
+	return len(loaded), nil
 }

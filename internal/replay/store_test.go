@@ -2,6 +2,8 @@ package replay
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"tunio/internal/cluster"
@@ -152,5 +154,135 @@ func TestStageCacheRebind(t *testing.T) {
 	a := params.DefaultAssignment(params.Space())
 	if _, err := c.WireFor(a, a.Settings(), 8); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The persisted store must survive a full round trip: every trace byte-
+// identical, kernel hashes preserved, counts reported.
+func TestKernelStoreSaveLoadRoundTrip(t *testing.T) {
+	s := NewKernelStore()
+	traces := map[string]*Trace{
+		"workload:macsio/16": recordTrace(t, "macsio", 3),
+		"workload:vpic/16":   recordTrace(t, "vpic", 3),
+	}
+	for k, tr := range traces {
+		s.Put(k, KernelEntry{Trace: tr, KernelHash: TraceKey(tr)})
+	}
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	n, err := s.Save(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("saved %d kernels, want 2", n)
+	}
+
+	fresh := NewKernelStore()
+	if n, err = fresh.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d kernels, want 2", n)
+	}
+	for k, tr := range traces {
+		e, ok := fresh.Get(k)
+		if !ok {
+			t.Fatalf("kernel %q missing after load", k)
+		}
+		if e.KernelHash != TraceKey(tr) {
+			t.Fatalf("kernel %q hash changed: %q", k, e.KernelHash)
+		}
+		want, err := tr.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Trace.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("kernel %q trace changed across save/load", k)
+		}
+	}
+
+	// Deterministic file: saving the same kernels again is byte-identical.
+	path2 := filepath.Join(t.TempDir(), "kernels.json")
+	if _, err := fresh.Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-saved store file differs")
+	}
+}
+
+// A store file with a tampered trace must fail the whole load — no
+// partial application — and leave the target store untouched.
+func TestKernelStoreLoadRejectsCorruption(t *testing.T) {
+	s := NewKernelStore()
+	tr := recordTrace(t, "macsio", 3)
+	s.Put("workload:macsio/16", KernelEntry{Trace: tr, KernelHash: TraceKey(tr)})
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	if _, err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := bytes.Replace(b, []byte(`"nprocs"`), []byte(`"nprXcs"`), 1)
+	if bytes.Equal(mut, b) {
+		t.Fatal("corruption probe found nothing to flip")
+	}
+	if err := os.WriteFile(path, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewKernelStore()
+	if _, err := fresh.Load(path); err == nil {
+		t.Fatal("tampered store file loaded")
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("failed load applied %d kernels", fresh.Len())
+	}
+}
+
+// Loading under a live store follows the first-Put-wins rule: keys the
+// store already holds keep their in-memory entries.
+func TestKernelStoreLoadFirstWins(t *testing.T) {
+	disk := NewKernelStore()
+	diskTrace := recordTrace(t, "macsio", 3)
+	disk.Put("workload:macsio/16", KernelEntry{Trace: diskTrace, KernelHash: "trace:disk"})
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	if _, err := disk.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	live := NewKernelStore()
+	liveTrace := recordTrace(t, "vpic", 3)
+	live.Put("workload:macsio/16", KernelEntry{Trace: liveTrace, KernelHash: "trace:live"})
+	if _, err := live.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := live.Get("workload:macsio/16")
+	if e.KernelHash != "trace:live" {
+		t.Fatalf("load replaced a live entry: %q", e.KernelHash)
+	}
+}
+
+// An unknown store file version is rejected outright.
+func TestKernelStoreLoadRejectsVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kernels.json")
+	if err := os.WriteFile(path, []byte(`{"version":99,"kernels":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewKernelStore().Load(path); err == nil {
+		t.Fatal("future-versioned store file loaded")
 	}
 }

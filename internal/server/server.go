@@ -42,11 +42,15 @@ type Options struct {
 	// Engine runs the sessions; required.
 	Engine *tunio.Engine
 	// Agent, when non-nil, serves pipeline "tunio" jobs: each job gets a
-	// private copy (agents are stateful). When nil, the first such job
-	// triggers one offline training pass with TrainSeed, cached for the
-	// server's lifetime.
+	// private copy (agents are stateful). Typically loaded from a
+	// tuniotrain artifacts directory via tunio.LoadAgentArtifacts. When
+	// nil, the first such job triggers one offline training pass, cached
+	// for the server's lifetime.
 	Agent *tunio.TunIO
-	// TrainSeed seeds lazy agent training (default 1).
+	// Train configures lazy agent training when Agent is nil. Nil trains
+	// at the default scale with TrainSeed.
+	Train *tunio.TrainConfig
+	// TrainSeed seeds lazy agent training when Train is nil (default 1).
 	TrainSeed int64
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
@@ -236,12 +240,16 @@ func (s *Server) agent() (*tunio.TunIO, error) {
 	s.agentOnce.Do(func() {
 		a := s.opts.Agent
 		if a == nil {
-			seed := s.opts.TrainSeed
-			if seed == 0 {
-				seed = 1
+			tc := s.opts.Train
+			if tc == nil {
+				seed := s.opts.TrainSeed
+				if seed == 0 {
+					seed = 1
+				}
+				tc = &tunio.TrainConfig{Seed: seed}
 			}
 			var err error
-			a, err = tunio.Train(tunio.TrainConfig{Seed: seed})
+			a, err = tunio.Train(*tc)
 			if err != nil {
 				s.agentErr = fmt.Errorf("training agent: %w", err)
 				return

@@ -1,0 +1,155 @@
+package train
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tunio/internal/core"
+	"tunio/internal/params"
+	"tunio/internal/replay"
+	"tunio/internal/workload"
+)
+
+// kernelStoreKey identifies a sweep kernel in the KernelStore before it
+// has been recorded. Sweep kernels are custom-sized (DefaultSweepKernels
+// shrinks the apps), so the key fingerprints the workload's full
+// configuration rather than just its name — a sweep VPIC must never adopt
+// the trace of a same-named, differently-sized serving VPIC.
+func kernelStoreKey(w workload.Workload, procs int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%T %#v", w, w)))
+	return fmt.Sprintf("sweep:%s/%d/%s", w.Name(), procs, hex.EncodeToString(sum[:8]))
+}
+
+// replaySweep scores core.SweepPlan's run list through the staged replay
+// engine: each kernel runs once under defaults to record its trace (or is
+// served whole from the kernel store), and every planned configuration is
+// scored by replaying cached stage artifacts against pooled stacks.
+//
+// Per-run results are bit-identical to core.Sweep's direct execution —
+// pooled stacks reset to fresh-build state and Runtime.Exec charges the
+// same layer code paths in the same order as a live run — and per-run
+// seeds come from the plan, so the outcome is independent of Workers.
+// The first failing run's error wins, matching tuner.Pool.
+func replaySweep(ctx context.Context, cfg *Config) (*core.SweepResult, []string, error) {
+	if len(cfg.Kernels) == 0 {
+		return nil, nil, fmt.Errorf("train: sweep needs at least one kernel")
+	}
+	runs, err := core.SweepPlan(len(cfg.Kernels), cfg.Space, cfg.Seed+1, cfg.ExtraRandomRuns)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Record (or fetch) each kernel's trace and bind a cache view per
+	// kernel. The cache may be shared process-wide; kernel content hashes
+	// keep one kernel's artifacts from answering for another's.
+	cache := cfg.StageCache
+	if cache == nil {
+		cache = replay.NewSharedStageCache()
+	}
+	defaults := params.DefaultAssignment(cfg.Space).Settings()
+	views := make([]*replay.CacheView, len(cfg.Kernels))
+	kernKeys := make([]string, len(cfg.Kernels))
+	for i, w := range cfg.Kernels {
+		storeKey := kernelStoreKey(w, cfg.Cluster.Procs())
+		var t *replay.Trace
+		var hash string
+		if cfg.Store != nil {
+			if ent, ok := cfg.Store.Get(storeKey); ok {
+				t, hash = ent.Trace, ent.KernelHash
+			}
+		}
+		if t == nil {
+			st, err := workload.BuildStack(cfg.Cluster, defaults, cfg.Seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			if t, err = replay.Record(w, st); err != nil {
+				return nil, nil, fmt.Errorf("train: recording %s: %w", w.Name(), err)
+			}
+			hash = replay.TraceKey(t)
+			if cfg.Store != nil {
+				cfg.Store.Put(storeKey, replay.KernelEntry{Trace: t, KernelHash: hash})
+			}
+		}
+		cache.Register(hash, t)
+		views[i] = cache.View(hash)
+		kernKeys[i] = hash
+	}
+
+	out := &core.SweepResult{
+		Space:    cfg.Space,
+		Features: make([][]float64, len(runs)),
+		Perfs:    make([]float64, len(runs)),
+	}
+	for i, r := range runs {
+		out.Features[i] = r.Assignment.Features()
+	}
+
+	stacks := workload.NewStackPool(cfg.Cluster)
+	errs := make([]error, len(runs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := &replay.Runtime{}
+			for i := range idx {
+				cfg.Gate.Enter()
+				errs[i] = scoreRun(rt, stacks, views, cfg, runs[i], out.Perfs, i)
+				cfg.Gate.Leave()
+			}
+		}()
+	}
+feed:
+	for i := range runs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("train: sweep run %d (%s): %w", i, cfg.Kernels[runs[i].Kernel].Name(), err)
+		}
+	}
+	return out, kernKeys, nil
+}
+
+// scoreRun replays one planned configuration: wire plan from the kernel's
+// cache view, pooled stack seeded with the run's plan seed, one Exec.
+func scoreRun(rt *replay.Runtime, stacks *workload.StackPool, views []*replay.CacheView, cfg *Config, r core.SweepRun, perfs []float64, i int) error {
+	s := r.Assignment.Settings()
+	wp, err := views[r.Kernel].WireFor(r.Assignment, s, cfg.Cluster.ProcsPerNode)
+	if err != nil {
+		return err
+	}
+	st, err := stacks.Get(s, r.Seed)
+	if err != nil {
+		return err
+	}
+	defer stacks.Put(st)
+	if err := rt.Exec(wp, st); err != nil {
+		return err
+	}
+	perf, _ := workload.Perf(st.Sim.Report)
+	perfs[i] = perf
+	return nil
+}

@@ -109,13 +109,17 @@ func (g *Gate) InFlight() int {
 	return len(g.sem)
 }
 
-func (g *Gate) enter() {
+// Enter blocks until a slot is free (no-op for a nil gate). Exported so
+// other evaluation loops — the offline training sweep — can share one
+// process-wide budget with the tuning pools.
+func (g *Gate) Enter() {
 	if g != nil {
 		g.sem <- struct{}{}
 	}
 }
 
-func (g *Gate) leave() {
+// Leave releases a slot taken by Enter (no-op for a nil gate).
+func (g *Gate) Leave() {
 	if g != nil {
 		<-g.sem
 	}
@@ -154,9 +158,9 @@ func (p *Pool) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			p.Gate.enter()
+			p.Gate.Enter()
 			perf, cost, err := p.Eval.Evaluate(a, iteration)
-			p.Gate.leave()
+			p.Gate.Leave()
 			if err != nil {
 				return nil, &BatchError{Index: i, Err: err}
 			}
@@ -173,9 +177,9 @@ func (p *Pool) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				p.Gate.enter()
+				p.Gate.Enter()
 				perf, cost, err := p.Eval.Evaluate(batch[i], iteration)
-				p.Gate.leave()
+				p.Gate.Leave()
 				if err != nil {
 					errs[i] = err
 					continue

@@ -2,7 +2,6 @@ package tuner
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 
 	"tunio/internal/analysis"
@@ -110,7 +109,7 @@ func (e *TraceEvaluator) record(space []params.Parameter) {
 		e.recErr = fmt.Errorf("tuner: trace recording: %w", err)
 		return
 	}
-	e.kernKey = "trace:" + traceHash(t)
+	e.kernKey = replay.TraceKey(t)
 	if e.Prog != nil {
 		// Cross-validate the recorded trace against the kernel's static I/O
 		// signature. An exact signature that disagrees with the trace means
@@ -146,16 +145,6 @@ func (e *TraceEvaluator) installCache(t *replay.Trace) {
 		e.cache = c
 	}
 	e.stacks = workload.NewStackPool(e.Cluster)
-}
-
-// traceHash is the fallback kernel identity when no exact signature
-// exists: an FNV-1a hash of the serialized trace.
-func traceHash(t *replay.Trace) string {
-	h := fnv.New64a()
-	if b, err := t.Marshal(); err == nil {
-		h.Write(b)
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Prepare records the trace eagerly (Evaluate does it lazily on first

@@ -8,11 +8,17 @@
 # ns/genome, B/genome, stage-cache hit rates, speedup, and score
 # identity per workload — as JSON.
 #
-# Usage: scripts/bench.sh [output.json]   (default BENCH_eval.json)
+# Also runs the offline-training benchmark — application-fidelity direct
+# sweep vs the replay-backed sweep over the identical run plan, plus
+# full-retrain and artifact-resume wall times — and writes it as JSON.
+#
+# Usage: scripts/bench.sh [eval.json] [train.json]
+#        (defaults BENCH_eval.json and BENCH_train.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_eval.json}"
+trainout="${2:-BENCH_train.json}"
 
 echo "== micro-benchmarks (ns/op, B/op) =="
 go test -run '^$' -bench 'BenchmarkStagedExec|BenchmarkEval(DirectInterp|TraceReplay)' \
@@ -21,4 +27,7 @@ go test -run '^$' -bench 'BenchmarkStagedExec|BenchmarkEval(DirectInterp|TraceRe
 echo "== population benchmark (32 genomes x 5 workloads) -> $out =="
 go run ./cmd/tunebench -fig eval -json "$out"
 
-echo "bench: wrote $out"
+echo "== training pipeline benchmark (sweep + retrain + resume) -> $trainout =="
+go run ./cmd/tunebench -fig train -json "$trainout"
+
+echo "bench: wrote $out and $trainout"

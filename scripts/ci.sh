@@ -50,7 +50,7 @@ echo "== statecheck (no package-level mutable state) =="
 # The evaluation engine packages are shared across worker goroutines;
 # allowlisted names are init-once lookup tables that are never written
 # afterwards.
-go run ./cmd/statecheck -allow wireFootprint,sigEventKind internal/replay internal/tuner internal/server
+go run ./cmd/statecheck -allow wireFootprint,sigEventKind internal/replay internal/tuner internal/server internal/train
 
 echo "== fuzz smoke (interval lattice, format expansion) =="
 go test -run=NONE -fuzz=FuzzIntervalJoinWiden -fuzztime=3s ./internal/analysis

@@ -193,4 +193,65 @@ curl -s "$base/v1/stats" | grep -q '"sessions_done": 1' ||
     fail "tuniod stats did not count the finished session"
 kill "$tuniod_pid" 2>/dev/null || true
 
+echo "== tuniotrain trains, resumes, and feeds tuniod =="
+# Staged-pipeline smoke at tiny scale: train up to the sweep stage, then
+# resume a full run — the sweep artifact must be reused, the remaining
+# stages trained — and finally serve the resulting agent with tuniod.
+go build -o "$tmp/tuniotrain" ./cmd/tuniotrain
+train_flags="-nodes 1 -procs-per-node 8 -extra-random 2 -picker-epochs 2 -stopper-epochs 2 -horizon 8"
+"$tmp/tuniotrain" -artifacts "$tmp/art" -store "$tmp/kernels.json" \
+    -until sweep $train_flags 2> "$tmp/train1.log" ||
+    fail "tuniotrain -until sweep exited nonzero: $(cat "$tmp/train1.log")"
+grep -q "sweep: trained" "$tmp/train1.log" ||
+    fail "first tuniotrain run did not train the sweep stage"
+[ -f "$tmp/kernels.json" ] ||
+    fail "tuniotrain did not save the kernel store"
+
+"$tmp/tuniotrain" -artifacts "$tmp/art" -store "$tmp/kernels.json" \
+    -resume $train_flags 2> "$tmp/train2.log" ||
+    fail "resumed tuniotrain run exited nonzero: $(cat "$tmp/train2.log")"
+grep -q "sweep: reused artifact" "$tmp/train2.log" ||
+    fail "resumed run re-ran the sweep instead of reusing its artifact"
+grep -q "stopper: trained" "$tmp/train2.log" ||
+    fail "resumed run did not train the remaining stages"
+[ -f "$tmp/art/agent.json" ] ||
+    fail "resumed run did not write agent.json"
+
+"$tmp/tuniod" -addr 127.0.0.1:0 -artifacts "$tmp/art" -store "$tmp/kernels.json" \
+    2> "$tmp/tuniod2.log" &
+tuniod2_pid=$!
+trap 'kill "$tuniod_pid" "$tuniod2_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$tmp/tuniod2.log" && break
+    sleep 0.1
+done
+grep -q "listening on" "$tmp/tuniod2.log" ||
+    fail "artifact-serving tuniod did not announce its listening address"
+grep -q "kernel store: loaded" "$tmp/tuniod2.log" ||
+    fail "tuniod did not load the kernel store saved by tuniotrain"
+base2="$(sed -n 's#.*listening on \(http://[^ ]*\).*#\1#p' "$tmp/tuniod2.log")"
+
+code="$(curl -s -o "$tmp/job2.json" -w '%{http_code}' "$base2/v1/jobs" \
+    -H 'X-Tunio-Tenant: smoke' \
+    -d '{"workload":"macsio","nodes":2,"procs_per_node":8,"pop_size":8,"max_iterations":6,"reps":1,"seed":3,"parallelism":2,"pipeline":"tunio"}')"
+[ "$code" = "202" ] || fail "pipeline=tunio submit returned HTTP $code, want 202"
+
+state2=running
+for _ in $(seq 1 300); do
+    curl -s "$base2/v1/jobs/job-1" > "$tmp/status2.json"
+    if grep -q '"state": "done"' "$tmp/status2.json"; then
+        state2=done
+        break
+    fi
+    if grep -Eq '"state": "(failed|canceled)"' "$tmp/status2.json"; then
+        fail "pipeline=tunio job ended abnormally: $(cat "$tmp/status2.json")"
+    fi
+    sleep 0.1
+done
+[ "$state2" = "done" ] || fail "pipeline=tunio job did not finish in time"
+grep -q '"best_perf_mbs"' "$tmp/status2.json" ||
+    fail "pipeline=tunio terminal status missing the result payload"
+kill "$tuniod2_pid" 2>/dev/null || true
+
 echo "test_cli: all checks passed"

@@ -50,6 +50,7 @@ import (
 	"tunio/internal/discovery"
 	"tunio/internal/metrics"
 	"tunio/internal/params"
+	"tunio/internal/train"
 	"tunio/internal/tuner"
 )
 
@@ -110,8 +111,33 @@ func NewSession(agent *TunIO, space []Parameter) (*Session, error) {
 // Train performs TunIO's offline training: a parameter sweep on the
 // representative kernels plus PCA for the subset picker, and synthetic
 // log-curve episodes for the early stopper.
+//
+// Training runs through the staged pipeline (package internal/train): the
+// sweep is scored by parallel trace replay rather than serial direct
+// execution, and each stage trains from an independent seed stream. The
+// result is therefore not bit-identical to the historical core.Train
+// output, but it is deterministic for a given TrainConfig and independent
+// of worker count. To persist and resume training across processes, use
+// the tuniotrain command and LoadAgentArtifacts.
 func Train(cfg TrainConfig) (*TunIO, error) {
-	return core.Train(cfg)
+	return train.Train(train.Config{
+		Space:           cfg.Space,
+		Cluster:         cfg.Cluster,
+		Kernels:         cfg.Kernels,
+		ExtraRandomRuns: cfg.ExtraRandomRuns,
+		StopperEpochs:   cfg.StopperEpochs,
+		PickerEpochs:    cfg.PickerEpochs,
+		StopperHorizon:  cfg.StopperHorizon,
+		Seed:            cfg.Seed,
+	})
+}
+
+// LoadAgentArtifacts assembles a trained TunIO from a tuniotrain
+// artifacts directory (the picker and stopper stage artifacts written by
+// `tuniotrain -artifacts dir`). The loaded agent is byte-identical, as
+// JSON, to the agent the training run returned in memory.
+func LoadAgentArtifacts(dir string) (*TunIO, error) {
+	return train.LoadAgent(dir)
 }
 
 // DiscoverIO reduces application source code to its I/O kernel.
