@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 
+	"tunio/internal/cinterp"
 	"tunio/internal/cluster"
 	"tunio/internal/core"
 	"tunio/internal/csrc"
@@ -18,6 +19,24 @@ import (
 	"tunio/internal/replay"
 	"tunio/internal/tuner"
 	"tunio/internal/workload"
+)
+
+// Re-exported drift/online types (the dynamic-cluster surface).
+type (
+	// Drift is a deterministic schedule of machine regimes — background
+	// load, degraded OSTs, contention phases — switching at simulated
+	// timestamps. Attach one to JobSpec.Drift to tune against a
+	// time-varying machine.
+	Drift = cluster.Drift
+	// Regime is one phase of a Drift schedule.
+	Regime = cluster.Regime
+	// WindowPoint is one completed service window of an online session.
+	WindowPoint = tuner.WindowPoint
+	// RetuneEvent announces one online re-tune (trigger reason, cost,
+	// chosen configuration).
+	RetuneEvent = tuner.RetuneEvent
+	// DriftResult is the full outcome of an online session.
+	DriftResult = tuner.DriftResult
 )
 
 // ErrQuotaExceeded is returned by Engine.Tune when the spec's tenant
@@ -200,6 +219,54 @@ type JobSpec struct {
 	// Progress, when non-nil, receives each curve point synchronously on
 	// the session goroutine (the Run's Events stream is fed either way).
 	Progress func(metrics.Point)
+
+	// Drift attaches a time-varying machine schedule to the simulated
+	// cluster. One-shot sessions then tune against the machine as it
+	// stands at epoch 0; online sessions (Online != nil) follow the
+	// schedule across service windows.
+	Drift *Drift
+	// Online switches the session to the drift-aware online controller:
+	// instead of one tuning run, the session alternates service windows
+	// with drift detection and incremental re-tuning. Progress arrives as
+	// WindowPoints and RetuneEvents on Run.OnlineEvents (curve points are
+	// synthesized from windows so existing clients still see progress);
+	// the full DriftResult is available from Run.Drift after Wait.
+	Online *OnlineSpec
+}
+
+// OnlineSpec configures an online (drift-aware) session. Zero values
+// take the controller defaults (tuner.DriftConfig).
+type OnlineSpec struct {
+	// Windows is the number of service windows to run; WindowGap idle
+	// seconds between them.
+	Windows   int
+	WindowGap float64
+	// Threshold/Patience gate drift detection: relative bandwidth
+	// deviation and consecutive deviant windows before re-tuning.
+	Threshold float64
+	Patience  int
+	// Neighbors/Rounds/InitRounds size the local-search re-tunes.
+	Neighbors  int
+	Rounds     int
+	InitRounds int
+	// Prune aborts a candidate's replay once its partial staged time
+	// exceeds the incumbent's total (SHAMan-style; results are
+	// bit-identical with it on or off).
+	Prune bool
+	// GA re-tunes with the genetic pipeline warm-started from the
+	// incumbent (sized by the spec's PopSize/MaxIterations) instead of
+	// local search.
+	GA bool
+	// Oracle additionally tracks the zero-delay oracle controller as the
+	// regret baseline.
+	Oracle bool
+}
+
+// OnlineEvent is one online-session progress event: exactly one field
+// is set.
+type OnlineEvent struct {
+	Window *WindowPoint `json:"window,omitempty"`
+	Retune *RetuneEvent `json:"retune,omitempty"`
 }
 
 // applySpaceOverrides returns the space with every Fix'd parameter pinned
@@ -303,6 +370,15 @@ func (e *Engine) Tune(ctx context.Context, spec JobSpec) (*Run, error) {
 		ppn = 32
 	}
 	c := cluster.CoriHaswell(nodes, ppn)
+	if spec.Drift != nil {
+		c.Drift = spec.Drift
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if spec.Online != nil && spec.NoTrace {
+		return nil, fmt.Errorf("tunio: online sessions replay the recorded trace; NoTrace is incompatible")
+	}
 	kern, err := resolveKernel(spec, c)
 	if err != nil {
 		return nil, err
@@ -322,7 +398,11 @@ func (e *Engine) Tune(ctx context.Context, spec JobSpec) (*Run, error) {
 		done:    make(chan struct{}),
 		changed: make(chan struct{}),
 	}
-	go e.runSession(runCtx, r, spec, space, c, kern)
+	if spec.Online != nil {
+		go e.runOnlineSession(runCtx, r, spec, space, c, kern)
+	} else {
+		go e.runSession(runCtx, r, spec, space, c, kern)
+	}
 	return r, nil
 }
 
@@ -445,6 +525,113 @@ func (e *Engine) runSession(ctx context.Context, r *Run, spec JobSpec, space []p
 	r.finish(res, err)
 }
 
+// traceForOnline resolves the kernel's trace for an online session:
+// served from the shared kernel store when the kernel was seen before,
+// recorded once otherwise, and registered in the shared stage cache so
+// the controller's replays hit cross-session stage plans.
+func (e *Engine) traceForOnline(kern sessionKernel, c *cluster.Cluster, space []params.Parameter, seed int64) (*replay.Trace, *replay.CacheView, error) {
+	if ent, ok := e.store.Get(kern.storeKey); ok {
+		e.stages.Register(ent.KernelHash, ent.Trace)
+		return ent.Trace, e.stages.View(ent.KernelHash), nil
+	}
+	st, err := workload.BuildStack(c, params.DefaultAssignment(space).Settings(), seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	var t *replay.Trace
+	if kern.prog != nil {
+		t, err = replay.RecordFunc(st, func(st *workload.Stack) error {
+			_, err := cinterp.Run(kern.prog, st.Lib)
+			return err
+		})
+	} else {
+		t, err = replay.Record(kern.w, st)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("tunio: online trace recording: %w", err)
+	}
+	key := replay.TraceKey(t)
+	e.store.Put(kern.storeKey, replay.KernelEntry{Trace: t, KernelHash: key})
+	e.stages.Register(key, t)
+	return t, e.stages.View(key), nil
+}
+
+// runOnlineSession is the session goroutine for online (drift-aware)
+// jobs: record (or adopt) the trace, then hand the session to the
+// drift controller. Window points double as synthesized curve points so
+// point-based clients keep seeing progress.
+func (e *Engine) runOnlineSession(ctx context.Context, r *Run, spec JobSpec, space []params.Parameter, c *cluster.Cluster, kern sessionKernel) {
+	trace, view, err := e.traceForOnline(kern, c, space, spec.Seed)
+	if err != nil {
+		e.release(spec.Tenant, nil, err)
+		r.finish(nil, err)
+		return
+	}
+	o := spec.Online
+	dcfg := tuner.DriftConfig{
+		Space:       space,
+		Cluster:     c,
+		Trace:       trace,
+		Cache:       view,
+		Seed:        spec.Seed,
+		Windows:     o.Windows,
+		WindowGap:   o.WindowGap,
+		Threshold:   o.Threshold,
+		Patience:    o.Patience,
+		Neighbors:   o.Neighbors,
+		Rounds:      o.Rounds,
+		InitRounds:  o.InitRounds,
+		Reps:        spec.Reps,
+		Prune:       o.Prune,
+		Oracle:      o.Oracle,
+		Parallelism: spec.Parallelism,
+	}
+	if o.GA {
+		dcfg.GA = &tuner.GARetune{PopSize: spec.PopSize, Iterations: spec.MaxIterations}
+	}
+	if spec.Agent != nil {
+		spec.Agent.Reset()
+		dcfg.Picker = spec.Agent.Picker
+	}
+	var best float64
+	dcfg.Progress = func(wp tuner.WindowPoint) {
+		w := wp
+		r.publishOnline(OnlineEvent{Window: &w})
+		if wp.PerfMBs > best {
+			best = wp.PerfMBs
+		}
+		p := metrics.Point{
+			Iteration:   wp.Window,
+			TimeMinutes: (wp.Start + wp.Runtime) / 60,
+			IterPerf:    wp.PerfMBs,
+			BestPerf:    best,
+		}
+		r.publish(p)
+		if spec.Progress != nil {
+			spec.Progress(p)
+		}
+	}
+	dcfg.OnRetune = func(ev tuner.RetuneEvent) {
+		v := ev
+		r.publishOnline(OnlineEvent{Retune: &v})
+	}
+
+	dres, err := tuner.RunDrift(ctx, dcfg)
+	var res *Result
+	if dres != nil {
+		r.setDrift(dres)
+		res = &tuner.Result{
+			Best:        dres.Final,
+			BestPerf:    dres.MeanPerf,
+			Evaluations: dres.Evaluations,
+			StoppedAt:   len(dres.Windows),
+			Curve:       metrics.Curve(r.Points(0)),
+		}
+	}
+	e.release(spec.Tenant, res, err)
+	r.finish(res, err)
+}
+
 // applyEngineInfo fills Result.EngineInfo from the session's evaluator
 // wiring once evaluations have quiesced. trace and fb may be nil (NoTrace
 // or legacy-serial sessions).
@@ -482,6 +669,8 @@ type Run struct {
 
 	mu       sync.Mutex
 	points   []metrics.Point
+	online   []OnlineEvent
+	dres     *DriftResult
 	changed  chan struct{} // closed and replaced on every state change
 	finished bool
 	res      *Result
@@ -571,6 +760,73 @@ func (r *Run) Events(ctx context.Context) <-chan metrics.Point {
 		}
 	}()
 	return ch
+}
+
+// Drift returns the online session's full result; ok is false while
+// the session is running, for one-shot sessions, and for online
+// sessions that failed before producing a result.
+func (r *Run) Drift() (*DriftResult, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dres, r.dres != nil
+}
+
+// OnlineEvents streams an online session's progress in order: buffered
+// window and re-tune events replay first, live ones follow. The channel
+// closes when the session has finished and every event was delivered,
+// or when ctx is canceled. One-shot sessions close it with no events.
+func (r *Run) OnlineEvents(ctx context.Context) <-chan OnlineEvent {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := make(chan OnlineEvent)
+	go func() {
+		defer close(ch)
+		next := 0
+		for {
+			r.mu.Lock()
+			evs := append([]OnlineEvent(nil), r.online[next:]...)
+			changed := r.changed
+			finished := r.finished
+			r.mu.Unlock()
+			for _, ev := range evs {
+				select {
+				case ch <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+			next += len(evs)
+			if finished && len(evs) == 0 {
+				return
+			}
+			if len(evs) > 0 {
+				continue // re-check for events that arrived while sending
+			}
+			select {
+			case <-changed:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// publishOnline appends an online event and wakes subscribers.
+func (r *Run) publishOnline(ev OnlineEvent) {
+	r.mu.Lock()
+	r.online = append(r.online, ev)
+	close(r.changed)
+	r.changed = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// setDrift records the online result before finish.
+func (r *Run) setDrift(d *DriftResult) {
+	r.mu.Lock()
+	r.dres = d
+	r.mu.Unlock()
 }
 
 // publish appends a curve point and wakes subscribers.

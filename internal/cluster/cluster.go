@@ -40,6 +40,12 @@ type Cluster struct {
 	// applied multiplicatively to phase durations (Cori is a volatile
 	// shared platform; the paper averages 3 runs to mitigate it).
 	Noise float64
+
+	// Drift, when non-nil, makes the machine time-varying: a seeded,
+	// deterministic schedule of background-traffic regimes that scale the
+	// effective NIC/OST/MDS rates as a function of absolute simulated time
+	// (Sim.Time). Nil keeps the historical stationary machine, bit for bit.
+	Drift *Drift
 }
 
 // Procs returns the total number of processes.
@@ -55,6 +61,11 @@ func (c *Cluster) Validate() error {
 	}
 	if c.NICLatency < 0 || c.Noise < 0 || c.Noise > 0.5 {
 		return fmt.Errorf("cluster: NICLatency must be >= 0 and Noise in [0, 0.5]")
+	}
+	if c.Drift != nil {
+		if err := c.Drift.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -89,8 +100,9 @@ type Sim struct {
 	// library barriers bypass it).
 	BarrierHook func(n int)
 
-	now float64
-	rng *rand.Rand
+	now   float64
+	epoch float64
+	rng   *rand.Rand
 }
 
 // NewSim returns a fresh simulation over the cluster.
@@ -105,13 +117,31 @@ func NewSim(c *Cluster, seed int64) (*Sim, error) {
 	}, nil
 }
 
-// Now returns the simulated time in seconds.
+// Now returns the simulated time in seconds since the start of this run.
 func (s *Sim) Now() float64 { return s.now }
 
-// Advance moves the clock forward by d seconds (panics on negative d,
-// which would indicate a broken cost model).
+// SetEpoch positions the run on the machine's absolute timeline: Time
+// returns epoch + Now, and the drift schedule (if any) is evaluated at
+// that absolute time. Replaying a trace at the epoch of a live window
+// therefore sees exactly the drift regime the live window would.
+func (s *Sim) SetEpoch(t float64) {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("cluster: SetEpoch(%v)", t))
+	}
+	s.epoch = t
+}
+
+// Epoch returns the absolute simulated time this run started at.
+func (s *Sim) Epoch() float64 { return s.epoch }
+
+// Time returns the absolute simulated time (epoch + Now), the timeline
+// drift schedules are keyed on.
+func (s *Sim) Time() float64 { return s.epoch + s.now }
+
+// Advance moves the clock forward by d seconds (panics on negative,
+// NaN, or infinite d, any of which would indicate a broken cost model).
 func (s *Sim) Advance(d float64) {
-	if d < 0 || math.IsNaN(d) {
+	if d < 0 || math.IsNaN(d) || math.IsInf(d, 1) {
 		panic(fmt.Sprintf("cluster: Advance(%v)", d))
 	}
 	s.now += d
@@ -119,14 +149,24 @@ func (s *Sim) Advance(d float64) {
 
 // Perturb applies the cluster's run-to-run noise to a duration: a
 // multiplicative factor drawn from a normal distribution with the
-// configured relative stddev, clamped to stay positive.
+// configured relative stddev. The factor is clamped symmetrically to
+// [1-k, 1+k] with k = min(3*Noise, 0.99): three standard deviations
+// keep the tails from producing negative durations while leaving the
+// expected factor at exactly 1 (a one-sided clamp would inflate the
+// mean, biasing every phase duration upward in proportion to Noise).
 func (s *Sim) Perturb(d float64) float64 {
 	if s.Cluster.Noise == 0 || d == 0 {
 		return d
 	}
+	k := 3 * s.Cluster.Noise
+	if k > 0.99 {
+		k = 0.99
+	}
 	f := 1 + s.rng.NormFloat64()*s.Cluster.Noise
-	if f < 0.5 {
-		f = 0.5
+	if f < 1-k {
+		f = 1 - k
+	} else if f > 1+k {
+		f = 1 + k
 	}
 	return d * f
 }
@@ -150,8 +190,8 @@ func (s *Sim) Compute(flopsPerProc float64) float64 {
 // collective buffering). The bottleneck is the smaller side's aggregate
 // NIC bandwidth, plus one latency per message.
 func (s *Sim) NetworkShuffle(totalBytes int64, srcNodes, dstNodes, messages int) float64 {
-	if totalBytes < 0 || srcNodes <= 0 || dstNodes <= 0 {
-		panic(fmt.Sprintf("cluster: NetworkShuffle(%d, %d, %d)", totalBytes, srcNodes, dstNodes))
+	if totalBytes < 0 || srcNodes <= 0 || dstNodes <= 0 || messages < 0 {
+		panic(fmt.Sprintf("cluster: NetworkShuffle(%d, %d, %d, %d)", totalBytes, srcNodes, dstNodes, messages))
 	}
 	side := srcNodes
 	if dstNodes < side {
@@ -161,6 +201,9 @@ func (s *Sim) NetworkShuffle(totalBytes int64, srcNodes, dstNodes, messages int)
 		side = s.Cluster.Nodes
 	}
 	bw := float64(side) * s.Cluster.NICBandwidth
+	if dr := s.Cluster.Drift; dr != nil {
+		bw *= dr.NICFactor(s.Time())
+	}
 	d := float64(totalBytes)/bw + float64(messages)*s.Cluster.NICLatency
 	d = s.Perturb(d)
 	s.Advance(d)
@@ -168,10 +211,11 @@ func (s *Sim) NetworkShuffle(totalBytes int64, srcNodes, dstNodes, messages int)
 }
 
 // Barrier charges a log-depth synchronization across n processes and
-// returns the elapsed seconds.
+// returns the elapsed seconds (panics on a non-positive process count,
+// which would indicate a broken cost model).
 func (s *Sim) Barrier(n int) float64 {
 	if n <= 0 {
-		n = 1
+		panic(fmt.Sprintf("cluster: Barrier(%d)", n))
 	}
 	depth := math.Ceil(math.Log2(float64(n) + 1))
 	d := depth * s.Cluster.NICLatency * 4
@@ -182,7 +226,12 @@ func (s *Sim) Barrier(n int) float64 {
 // AppBarrier charges an application-level barrier (MPI_Init/Finalize or an
 // explicit MPI_Barrier in the application). It costs the same as Barrier but
 // is observable through BarrierHook so trace recording captures it.
+// Like Barrier it panics on a non-positive process count, before the
+// hook fires, so recorders never capture an invalid barrier event.
 func (s *Sim) AppBarrier(n int) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("cluster: AppBarrier(%d)", n))
+	}
 	if s.BarrierHook != nil {
 		s.BarrierHook(n)
 	}
@@ -194,10 +243,12 @@ func (s *Sim) AppBarrier(n int) float64 {
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Reset rewinds the simulation to a fresh run under the given seed: clock
-// to zero, RNG reseeded, report counters zeroed, hooks cleared. Used by
-// stack pooling to reuse one Sim across evaluations without reallocating.
+// and epoch to zero, RNG reseeded, report counters zeroed, hooks cleared.
+// Used by stack pooling to reuse one Sim across evaluations without
+// reallocating.
 func (s *Sim) Reset(seed int64) {
 	s.now = 0
+	s.epoch = 0
 	s.rng.Seed(seed)
 	s.Report.Reset()
 	s.ComputeHook = nil

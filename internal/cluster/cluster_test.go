@@ -142,9 +142,99 @@ func TestBarrierScalesWithProcs(t *testing.T) {
 	if large <= small {
 		t.Fatalf("barrier(256)=%v should exceed barrier(2)=%v", large, small)
 	}
-	if s.Barrier(0) < 0 {
-		t.Fatal("barrier must handle n<=0")
+}
+
+func TestBarrierRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		for _, app := range []bool{false, true} {
+			s, _ := NewSim(noiseless(1, 1), 1)
+			hookFired := false
+			s.BarrierHook = func(int) { hookFired = true }
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("Barrier(%d) app=%v: want panic", n, app)
+					}
+				}()
+				if app {
+					s.AppBarrier(n)
+				} else {
+					s.Barrier(n)
+				}
+			}()
+			if hookFired {
+				t.Errorf("AppBarrier(%d) fired the hook before validating", n)
+			}
+		}
 	}
+}
+
+func TestAdvanceRejectsInf(t *testing.T) {
+	s, _ := NewSim(noiseless(1, 1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on Advance(+Inf)")
+		}
+	}()
+	s.Advance(math.Inf(1))
+}
+
+func TestNetworkShuffleRejectsNegativeMessages(t *testing.T) {
+	s, _ := NewSim(noiseless(2, 1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on negative messages")
+		}
+	}()
+	s.NetworkShuffle(1<<20, 1, 1, -5)
+}
+
+// TestPerturbMeanUnbiased pins the satellite fix: the symmetric clamp
+// keeps the empirical mean factor at 1 even at the maximum permitted
+// noise, where the old one-sided clamp inflated it by several percent.
+func TestPerturbMeanUnbiased(t *testing.T) {
+	for _, noise := range []float64{0.04, 0.2, 0.5} {
+		c := noiseless(1, 1)
+		c.Noise = noise
+		s, _ := NewSim(c, 12345)
+		const n = 200000
+		sum := 0.0
+		k := 3 * noise
+		if k > 0.99 {
+			k = 0.99
+		}
+		for i := 0; i < n; i++ {
+			f := s.Perturb(1)
+			if f < 1-k-1e-12 || f > 1+k+1e-12 {
+				t.Fatalf("noise %v: factor %v outside [1-k, 1+k]", noise, f)
+			}
+			sum += f
+		}
+		mean := sum / n
+		// stderr of the clamped mean is < noise/sqrt(n); 5 sigma margin.
+		if tol := 5 * noise / math.Sqrt(n); math.Abs(mean-1) > tol {
+			t.Errorf("noise %v: mean factor %v, want 1 +/- %v", noise, mean, tol)
+		}
+	}
+}
+
+func TestEpochAndTime(t *testing.T) {
+	s, _ := NewSim(noiseless(1, 1), 1)
+	s.SetEpoch(100)
+	s.Advance(2)
+	if s.Epoch() != 100 || s.Now() != 2 || s.Time() != 102 {
+		t.Fatalf("epoch/now/time = %v/%v/%v", s.Epoch(), s.Now(), s.Time())
+	}
+	s.Reset(1)
+	if s.Epoch() != 0 || s.Time() != 0 {
+		t.Fatal("Reset must clear the epoch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on negative epoch")
+		}
+	}()
+	s.SetEpoch(-1)
 }
 
 func TestComputeRejectsNegative(t *testing.T) {

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Drift is a deterministic schedule of machine-condition regimes: the
+// shared platform's background traffic, OST slowdowns, and contention
+// phases as a function of absolute simulated time (Sim.Time). Every
+// factor is a pure function of (schedule, time, OST index) — the model
+// never consumes a Sim's RNG stream — so runs under drift stay
+// bit-identical for a given seed at any evaluation parallelism, and a
+// trace replayed at the epoch of a live window charges exactly the
+// rates the live window would have seen.
+//
+// Regimes switch between phases, not mid-phase: each cost-charging call
+// samples the schedule once at its start time. A long phase straddling
+// a regime boundary is charged entirely at the regime it started in,
+// which matches how the layers already treat the noise model.
+type Drift struct {
+	// Seed derives the identity of degraded OSTs per regime. It is
+	// independent of any Sim seed: two runs with different Sim seeds see
+	// the same machine.
+	Seed int64 `json:"seed"`
+	// Regimes is the schedule, sorted by ascending Start. Before the
+	// first regime's Start the machine is nominal (all factors 1).
+	Regimes []Regime `json:"regimes"`
+}
+
+// Regime is one contiguous phase of machine conditions, in effect from
+// Start until the next regime's Start (or forever, for the last one).
+// The zero value is a nominal machine.
+type Regime struct {
+	// Start is the absolute simulated timestamp (seconds) the regime
+	// takes effect at.
+	Start float64 `json:"start"`
+
+	// NICLoad, OSTLoad, and MDSLoad are background-traffic fractions in
+	// [0, maxLoad]: the share of per-node injection bandwidth, of every
+	// OST's bandwidth, and of MDS service capacity consumed by other
+	// tenants. Effective rate = nominal * (1 - load).
+	NICLoad float64 `json:"nic_load,omitempty"`
+	OSTLoad float64 `json:"ost_load,omitempty"`
+	MDSLoad float64 `json:"mds_load,omitempty"`
+
+	// SlowOSTs marks that many OSTs as degraded (failover to a partner,
+	// rebuild traffic); they retain SlowFactor of their nominal
+	// bandwidth (default 0.25 when SlowOSTs > 0). Which OSTs are slow is
+	// derived from (Drift.Seed, regime index): deterministic, and
+	// different regimes degrade different OSTs.
+	SlowOSTs   int     `json:"slow_osts,omitempty"`
+	SlowFactor float64 `json:"slow_factor,omitempty"`
+
+	// Contention scales the file system's per-extra-client contention
+	// factor (0 means nominal 1.0): co-tenant interleaving makes shared
+	// OSTs degrade faster per additional client.
+	Contention float64 `json:"contention,omitempty"`
+}
+
+// maxLoad caps background-traffic fractions so effective rates stay
+// strictly positive.
+const maxLoad = 0.95
+
+// defaultSlowFactor is the bandwidth fraction degraded OSTs retain when
+// a regime sets SlowOSTs without SlowFactor.
+const defaultSlowFactor = 0.25
+
+// Validate reports schedule errors.
+func (d *Drift) Validate() error {
+	prev := math.Inf(-1)
+	for i, r := range d.Regimes {
+		if r.Start < 0 || math.IsNaN(r.Start) || math.IsInf(r.Start, 0) {
+			return fmt.Errorf("cluster: drift regime %d: Start must be finite and >= 0, got %v", i, r.Start)
+		}
+		if r.Start < prev {
+			return fmt.Errorf("cluster: drift regime %d: Start %v before regime %d's %v (schedule must be sorted)", i, r.Start, i-1, prev)
+		}
+		prev = r.Start
+		for _, l := range [3]float64{r.NICLoad, r.OSTLoad, r.MDSLoad} {
+			if l < 0 || l > maxLoad || math.IsNaN(l) {
+				return fmt.Errorf("cluster: drift regime %d: loads must be in [0, %v]", i, maxLoad)
+			}
+		}
+		if r.SlowOSTs < 0 {
+			return fmt.Errorf("cluster: drift regime %d: SlowOSTs must be >= 0, got %d", i, r.SlowOSTs)
+		}
+		if r.SlowFactor < 0 || r.SlowFactor > 1 || math.IsNaN(r.SlowFactor) {
+			return fmt.Errorf("cluster: drift regime %d: SlowFactor must be in [0, 1], got %v", i, r.SlowFactor)
+		}
+		if r.Contention < 0 || math.IsNaN(r.Contention) || math.IsInf(r.Contention, 0) {
+			return fmt.Errorf("cluster: drift regime %d: Contention must be finite and >= 0, got %v", i, r.Contention)
+		}
+	}
+	return nil
+}
+
+// nominalRegime is returned for times before the first regime.
+func nominalRegime() Regime { return Regime{} }
+
+// RegimeIndex returns the index of the regime in effect at absolute
+// time t, or -1 when t precedes the whole schedule (nominal machine).
+func (d *Drift) RegimeIndex(t float64) int {
+	// Schedules are short (a handful of phases); binary search keeps the
+	// hot path O(log n) anyway.
+	i := sort.Search(len(d.Regimes), func(i int) bool { return d.Regimes[i].Start > t })
+	return i - 1
+}
+
+// RegimeAt returns the regime in effect at absolute time t (the nominal
+// zero-value regime before the schedule starts).
+func (d *Drift) RegimeAt(t float64) Regime {
+	if i := d.RegimeIndex(t); i >= 0 {
+		return d.Regimes[i]
+	}
+	return nominalRegime()
+}
+
+// NICFactor returns the effective fraction of per-node injection
+// bandwidth available at absolute time t (1 = nominal).
+func (d *Drift) NICFactor(t float64) float64 {
+	return 1 - d.RegimeAt(t).NICLoad
+}
+
+// MDSFactor returns the effective fraction of MDS service capacity
+// available at absolute time t.
+func (d *Drift) MDSFactor(t float64) float64 {
+	return 1 - d.RegimeAt(t).MDSLoad
+}
+
+// ContentionScale returns the multiplier on the file system's
+// per-extra-client contention factor at absolute time t.
+func (d *Drift) ContentionScale(t float64) float64 {
+	if c := d.RegimeAt(t).Contention; c > 0 {
+		return c
+	}
+	return 1
+}
+
+// OSTFactor returns the effective bandwidth fraction of OST ost (out of
+// osts in the pool) at absolute time t: the background load applies to
+// every OST, and the regime's degraded set additionally retains only
+// SlowFactor. The degraded set is a contiguous block (mod pool size)
+// whose start is hashed from (Seed, regime index), so membership is a
+// pure O(1) predicate.
+func (d *Drift) OSTFactor(t float64, ost, osts int) float64 {
+	i := d.RegimeIndex(t)
+	if i < 0 {
+		return 1
+	}
+	r := d.Regimes[i]
+	f := 1 - r.OSTLoad
+	if r.SlowOSTs > 0 && osts > 0 {
+		slow := r.SlowOSTs
+		if slow > osts {
+			slow = osts
+		}
+		start := int(mix64(uint64(d.Seed)^uint64(i)*0x9e3779b97f4a7c15) % uint64(osts))
+		if off := ((ost-start)%osts + osts) % osts; off < slow {
+			sf := r.SlowFactor
+			if sf == 0 {
+				sf = defaultSlowFactor
+			}
+			f *= sf
+		}
+	}
+	return f
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-mixed hash for
+// deriving per-regime degraded-OST sets without touching any RNG.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

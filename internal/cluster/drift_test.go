@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func schedule() *Drift {
+	return &Drift{
+		Seed: 7,
+		Regimes: []Regime{
+			{Start: 0},
+			{Start: 100, NICLoad: 0.5, OSTLoad: 0.4, MDSLoad: 0.3, Contention: 2},
+			{Start: 200, SlowOSTs: 4, SlowFactor: 0.2},
+		},
+	}
+}
+
+func TestDriftValidate(t *testing.T) {
+	if err := schedule().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Drift{
+		{Regimes: []Regime{{Start: -1}}},
+		{Regimes: []Regime{{Start: 10}, {Start: 5}}},
+		{Regimes: []Regime{{NICLoad: 0.99}}},
+		{Regimes: []Regime{{OSTLoad: -0.1}}},
+		{Regimes: []Regime{{SlowOSTs: -1}}},
+		{Regimes: []Regime{{SlowFactor: 2}}},
+		{Regimes: []Regime{{Contention: math.Inf(1)}}},
+		{Regimes: []Regime{{Start: math.NaN()}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestDriftRegimeLookup(t *testing.T) {
+	d := schedule()
+	if d.RegimeIndex(-5) != -1 {
+		t.Fatal("before schedule must be nominal")
+	}
+	if d.RegimeIndex(0) != 0 || d.RegimeIndex(99.9) != 0 {
+		t.Fatal("first regime lookup wrong")
+	}
+	if d.RegimeIndex(100) != 1 || d.RegimeIndex(150) != 1 {
+		t.Fatal("second regime lookup wrong")
+	}
+	if d.RegimeIndex(1e9) != 2 {
+		t.Fatal("last regime must extend forever")
+	}
+}
+
+func TestDriftFactors(t *testing.T) {
+	d := schedule()
+	if d.NICFactor(50) != 1 || d.OSTFactor(50, 3, 16) != 1 || d.MDSFactor(50) != 1 || d.ContentionScale(50) != 1 {
+		t.Fatal("regime 0 must be nominal")
+	}
+	if f := d.NICFactor(150); f != 0.5 {
+		t.Fatalf("NICFactor = %v, want 0.5", f)
+	}
+	if f := d.OSTFactor(150, 3, 16); math.Abs(f-0.6) > 1e-15 {
+		t.Fatalf("OSTFactor = %v, want 0.6", f)
+	}
+	if f := d.MDSFactor(150); f != 0.7 {
+		t.Fatalf("MDSFactor = %v, want 0.7", f)
+	}
+	if c := d.ContentionScale(150); c != 2 {
+		t.Fatalf("ContentionScale = %v, want 2", c)
+	}
+}
+
+func TestDriftSlowOSTSet(t *testing.T) {
+	d := schedule()
+	const osts = 16
+	slow := 0
+	for o := 0; o < osts; o++ {
+		f := d.OSTFactor(250, o, osts)
+		switch {
+		case f == 1:
+		case math.Abs(f-0.2) < 1e-15:
+			slow++
+		default:
+			t.Fatalf("OST %d: unexpected factor %v", o, f)
+		}
+	}
+	if slow != 4 {
+		t.Fatalf("slow set size %d, want 4", slow)
+	}
+	// Determinism: the same schedule always degrades the same OSTs.
+	for o := 0; o < osts; o++ {
+		if d.OSTFactor(250, o, osts) != d.OSTFactor(300, o, osts) {
+			t.Fatal("slow set must be stable within a regime")
+		}
+	}
+	// A different seed picks a different block (with these constants).
+	d2 := schedule()
+	d2.Seed = 8
+	same := true
+	for o := 0; o < osts; o++ {
+		if (d.OSTFactor(250, o, osts) < 1) != (d2.OSTFactor(250, o, osts) < 1) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed must influence the degraded set")
+	}
+	// Default SlowFactor applies when unset.
+	d3 := &Drift{Regimes: []Regime{{SlowOSTs: osts}}}
+	if f := d3.OSTFactor(0, 0, osts); f != defaultSlowFactor {
+		t.Fatalf("default slow factor = %v, want %v", f, defaultSlowFactor)
+	}
+}
+
+// TestDriftedShuffleChargesMore pins drift threading through the Sim:
+// halving effective NIC bandwidth doubles the byte term of a shuffle.
+func TestDriftedShuffleChargesMore(t *testing.T) {
+	c := noiseless(2, 1)
+	c.Drift = &Drift{Regimes: []Regime{{Start: 100, NICLoad: 0.5}}}
+	s, _ := NewSim(c, 1)
+	bytes := int64(2 * c.NICBandwidth)
+	base := s.NetworkShuffle(bytes, 2, 2, 0)
+	s.SetEpoch(100)
+	loaded := s.NetworkShuffle(bytes, 2, 2, 0)
+	if math.Abs(loaded-2*base) > 1e-9 {
+		t.Fatalf("loaded shuffle %v, want 2x base %v", loaded, base)
+	}
+}
+
+// TestNilDriftIsBitIdentical guards the stationary fast path: attaching
+// no drift leaves every charge exactly as before.
+func TestNilDriftIsBitIdentical(t *testing.T) {
+	a, _ := NewSim(CoriHaswell(4, 32), 99)
+	b, _ := NewSim(CoriHaswell(4, 32), 99)
+	b.Cluster.Drift = nil
+	for i := 0; i < 100; i++ {
+		da := a.NetworkShuffle(1<<24, 4, 2, 32)
+		db := b.NetworkShuffle(1<<24, 4, 2, 32)
+		if da != db {
+			t.Fatal("nil drift changed the charge")
+		}
+	}
+}

@@ -466,17 +466,34 @@ func (f *File) phase(extents []ioreq.Extent, isWrite bool) (float64, error) {
 		}
 	}
 
-	// Slowest OST bounds the storage side.
+	// Slowest OST bounds the storage side. Under a drift schedule the
+	// phase samples the machine once at its start time: background OST
+	// load and per-regime degraded OSTs divide effective bandwidth, and
+	// contention phases scale the per-extra-client factor. The nil-drift
+	// path charges the exact historical expressions.
 	cfg := f.fs.cfg
+	dr := f.fs.sim.Cluster.Drift
+	var at, cScale float64
+	if dr != nil {
+		at = f.fs.sim.Time()
+		cScale = dr.ContentionScale(at)
+	}
 	ostTime := 0.0
 	var totalRequests, totalRMW int64
 	for _, o := range sp.loadOrder {
 		contention := 1 + cfg.ContentionFactor*float64(sp.loadClis[o]-1)
+		if dr != nil {
+			contention = 1 + cfg.ContentionFactor*cScale*float64(sp.loadClis[o]-1)
+		}
 		if contention > cfg.MaxContention {
 			contention = cfg.MaxContention
 		}
+		bw := cfg.OSTBandwidth
+		if dr != nil {
+			bw *= dr.OSTFactor(at, int(o), nOSTs)
+		}
 		t := float64(sp.loadReqs[o])*cfg.OSTLatency +
-			float64(sp.loadBytes[o]+sp.loadRMW[o])/cfg.OSTBandwidth*contention
+			float64(sp.loadBytes[o]+sp.loadRMW[o])/bw*contention
 		if t > ostTime {
 			ostTime = t
 		}
@@ -485,9 +502,13 @@ func (f *File) phase(extents []ioreq.Extent, isWrite bool) (float64, error) {
 	}
 
 	// Client NIC side: slowest node's injection time.
+	nicBW := f.fs.sim.Cluster.NICBandwidth
+	if dr != nil {
+		nicBW *= dr.NICFactor(at)
+	}
 	nicTime := 0.0
 	for _, n := range sp.nodeOrder {
-		t := float64(sp.nodeBytes[n]) / f.fs.sim.Cluster.NICBandwidth
+		t := float64(sp.nodeBytes[n]) / nicBW
 		if t > nicTime {
 			nicTime = t
 		}
@@ -538,6 +559,10 @@ func (fs *FS) MetaOps(n, nclients int) float64 {
 		nclients = 1
 	}
 	d := float64(n)*fs.cfg.MDSLatency/float64(fs.cfg.MDSParallel) + fs.sim.Cluster.NICLatency
+	if dr := fs.sim.Cluster.Drift; dr != nil {
+		// Background metadata traffic divides MDS service capacity.
+		d = float64(n)*fs.cfg.MDSLatency/(float64(fs.cfg.MDSParallel)*dr.MDSFactor(fs.sim.Time())) + fs.sim.Cluster.NICLatency
+	}
 	d = fs.sim.Perturb(d)
 	fs.sim.Advance(d)
 	fs.sim.Report.AddMeta("lustre", int64(n), d)

@@ -1,7 +1,9 @@
 package replay
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"tunio/internal/hdf5"
 	"tunio/internal/ioreq"
@@ -385,6 +387,48 @@ type Runtime struct {
 // consuming the same RNG stream — as a live run of the recorded workload
 // under the stack's configuration.
 func (rt *Runtime) Exec(wp *WirePlan, st *workload.Stack) error {
+	return rt.exec(wp, st, nil)
+}
+
+// ExecBudget is Exec with a SHAMan-style time budget: the replay aborts
+// with ErrBudgetExceeded as soon as the stack's clock (st.Sim.Now,
+// seconds since the start of this run) passes budget. Because every
+// layer only ever advances the clock (Advance panics on negative
+// durations), a partial time above the budget proves the full run would
+// finish above it too — so a tuner may soundly discard the candidate
+// without finishing the replay. The stack is left mid-run (clock at the
+// point of abort, partial darshan counters); reset or re-pool it before
+// reuse. A budget of +Inf never fires and makes ExecBudget identical to
+// Exec, op for op.
+func (rt *Runtime) ExecBudget(wp *WirePlan, st *workload.Stack, budget float64) error {
+	if math.IsInf(budget, 1) {
+		return rt.exec(wp, st, nil)
+	}
+	sim := st.Sim
+	return rt.exec(wp, st, func() bool { return sim.Now() > budget })
+}
+
+// ExecWhile is Exec with a caller-supplied continuation test: keep is
+// consulted before every op (and once after the last), and the replay
+// aborts with ErrBudgetExceeded the first time it returns false. It
+// generalizes ExecBudget to any abort criterion that is monotone in the
+// replay's progress — e.g. a bandwidth upper bound computed from the
+// stack's partial darshan counters, which only falls as layer times
+// accumulate. keep must be a pure function of the stack's state, or
+// determinism guarantees built on pruning break. As with ExecBudget,
+// the stack is left mid-run on abort; reset or re-pool it before reuse.
+// A nil keep never aborts and makes ExecWhile identical to Exec, op for
+// op.
+func (rt *Runtime) ExecWhile(wp *WirePlan, st *workload.Stack, keep func() bool) error {
+	if keep == nil {
+		return rt.exec(wp, st, nil)
+	}
+	return rt.exec(wp, st, func() bool { return !keep() })
+}
+
+// exec replays the wire plan, aborting with ErrBudgetExceeded whenever
+// the abort predicate (nil = never) reports true.
+func (rt *Runtime) exec(wp *WirePlan, st *workload.Stack, abort func() bool) error {
 	sim := st.Sim
 	lib := st.Lib
 	if lib.Nprocs() != wp.Nprocs {
@@ -399,6 +443,9 @@ func (rt *Runtime) Exec(wp *WirePlan, st *workload.Stack) error {
 
 	var acc float64 // current transfer's data-phase elapsed time
 	for i := range wp.ops {
+		if abort != nil && abort() {
+			return ErrBudgetExceeded
+		}
 		op := &wp.ops[i]
 		switch op.kind {
 		case wOpen:
@@ -455,5 +502,12 @@ func (rt *Runtime) Exec(wp *WirePlan, st *workload.Stack) error {
 			acc = 0
 		}
 	}
+	if abort != nil && abort() {
+		return ErrBudgetExceeded
+	}
 	return nil
 }
+
+// ErrBudgetExceeded is returned by ExecBudget and ExecWhile when the
+// abort criterion provably fires before the plan completes.
+var ErrBudgetExceeded = errors.New("replay: budget exceeded")

@@ -80,6 +80,7 @@ type job struct {
 	id      string
 	tenant  string
 	kernel  string // workload name or "source"
+	online  bool   // drift-aware online session
 	run     *tunio.Run
 	created time.Time
 }
@@ -138,6 +139,31 @@ type JobRequest struct {
 	Parallelism   int              `json:"parallelism,omitempty"`
 	NoTrace       bool             `json:"no_trace,omitempty"`
 	Fix           map[string]int64 `json:"fix,omitempty"`
+
+	// Drift attaches a time-varying machine schedule (regimes of
+	// background load, degraded OSTs, and contention switching at
+	// simulated timestamps).
+	Drift *tunio.Drift `json:"drift,omitempty"`
+	// Online runs the job as an online (drift-aware) session: service
+	// windows with drift detection and incremental re-tuning. The events
+	// stream then carries "window" and "retune" events instead of
+	// "point".
+	Online *OnlineRequest `json:"online,omitempty"`
+}
+
+// OnlineRequest configures an online session on the wire; zero values
+// take the controller defaults.
+type OnlineRequest struct {
+	Windows    int     `json:"windows,omitempty"`
+	WindowGap  float64 `json:"window_gap_s,omitempty"`
+	Threshold  float64 `json:"threshold,omitempty"`
+	Patience   int     `json:"patience,omitempty"`
+	Neighbors  int     `json:"neighbors,omitempty"`
+	Rounds     int     `json:"rounds,omitempty"`
+	InitRounds int     `json:"init_rounds,omitempty"`
+	Prune      bool    `json:"prune,omitempty"`
+	GA         bool    `json:"ga,omitempty"`
+	Oracle     bool    `json:"oracle,omitempty"`
 }
 
 // PointJSON is one tuning-curve observation on the wire.
@@ -170,6 +196,9 @@ type JobResult struct {
 	BestChanged  []string         `json:"best_changed_from_default,omitempty"`
 	Curve        []PointJSON      `json:"curve"`
 	Engine       tunio.EngineInfo `json:"engine"`
+	// Drift is the online session's full result (window series, re-tune
+	// log, adaptation costs); absent for one-shot jobs.
+	Drift *tunio.DriftResult `json:"drift,omitempty"`
 }
 
 // JobStatus is the status payload.
@@ -202,6 +231,9 @@ func (j *job) status() JobStatus {
 	case err == nil:
 		st.State = "done"
 		st.Result = resultJSON(res)
+		if d, ok := j.run.Drift(); ok {
+			st.Result.Drift = d
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		st.State = "canceled"
 		st.Error = err.Error()
@@ -290,6 +322,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Parallelism:   req.Parallelism,
 		NoTrace:       req.NoTrace,
 		Fix:           req.Fix,
+		Drift:         req.Drift,
+	}
+	if o := req.Online; o != nil {
+		spec.Online = &tunio.OnlineSpec{
+			Windows:    o.Windows,
+			WindowGap:  o.WindowGap,
+			Threshold:  o.Threshold,
+			Patience:   o.Patience,
+			Neighbors:  o.Neighbors,
+			Rounds:     o.Rounds,
+			InitRounds: o.InitRounds,
+			Prune:      o.Prune,
+			GA:         o.GA,
+			Oracle:     o.Oracle,
+		}
 	}
 	if spec.Parallelism == 0 {
 		spec.Parallelism = s.opts.DefaultParallelism
@@ -333,6 +380,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		id:      "job-" + strconv.Itoa(s.nextID),
 		tenant:  spec.Tenant,
 		kernel:  kernel,
+		online:  spec.Online != nil,
 		run:     run,
 		created: time.Now().UTC(),
 	}
@@ -389,16 +437,24 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
-// handleEvents streams the job's tuning curve as server-sent events:
-// every recorded point replays first (so late subscribers see the full
-// history), live points follow in order, and a terminal "done" event
-// carries the final status. Event stream:
+// handleEvents streams the job's progress as server-sent events: every
+// recorded event replays first (so late subscribers see the full
+// history), live events follow in order, and a terminal "done" event
+// carries the final status. One-shot jobs stream tuning-curve points:
 //
 //	event: point
 //	data: {"iteration":0,"time_minutes":…}
 //
 //	event: done
 //	data: {"id":"job-1","state":"done",…}
+//
+// Online jobs stream service windows and re-tune announcements instead:
+//
+//	event: window
+//	data: {"window":0,"perf_mbs":…}
+//
+//	event: retune
+//	data: {"window":7,"reason":"bandwidth below expected profile…",…}
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.job(w, r)
 	if j == nil {
@@ -416,11 +472,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	for p := range j.run.Events(r.Context()) {
-		if err := writeSSE(w, "point", toPointJSON(p)); err != nil {
-			return
+	if j.online {
+		for ev := range j.run.OnlineEvents(r.Context()) {
+			name, payload := "window", any(ev.Window)
+			if ev.Retune != nil {
+				name, payload = "retune", any(ev.Retune)
+			}
+			if err := writeSSE(w, name, payload); err != nil {
+				return
+			}
+			flusher.Flush()
 		}
-		flusher.Flush()
+	} else {
+		for p := range j.run.Events(r.Context()) {
+			if err := writeSSE(w, "point", toPointJSON(p)); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
 	}
 	if r.Context().Err() != nil {
 		return // client went away mid-stream

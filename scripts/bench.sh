@@ -12,13 +12,19 @@
 # sweep vs the replay-backed sweep over the identical run plan, plus
 # full-retrain and artifact-resume wall times — and writes it as JSON.
 #
-# Usage: scripts/bench.sh [eval.json] [train.json]
-#        (defaults BENCH_eval.json and BENCH_train.json)
+# Finally runs the online re-tuning benchmark — every paper workload
+# served across a mid-run machine degradation, reporting time-to-readapt,
+# recovery vs a zero-delay oracle, and the stage time saved by
+# SHAMan-style pruning (with bit-identical window curves) — as JSON.
+#
+# Usage: scripts/bench.sh [eval.json] [train.json] [drift.json]
+#        (defaults BENCH_eval.json, BENCH_train.json, BENCH_drift.json)
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_eval.json}"
 trainout="${2:-BENCH_train.json}"
+driftout="${3:-BENCH_drift.json}"
 
 echo "== micro-benchmarks (ns/op, B/op) =="
 go test -run '^$' -bench 'BenchmarkStagedExec|BenchmarkEval(DirectInterp|TraceReplay)' \
@@ -30,4 +36,7 @@ go run ./cmd/tunebench -fig eval -json "$out"
 echo "== training pipeline benchmark (sweep + retrain + resume) -> $trainout =="
 go run ./cmd/tunebench -fig train -json "$trainout"
 
-echo "bench: wrote $out and $trainout"
+echo "== online re-tuning benchmark (drift + pruning) -> $driftout =="
+go run ./cmd/tunebench -fig drift -json "$driftout"
+
+echo "bench: wrote $out, $trainout, and $driftout"

@@ -49,8 +49,9 @@ go test -race -run 'TestCrossValidate' ./internal/replay
 echo "== statecheck (no package-level mutable state) =="
 # The evaluation engine packages are shared across worker goroutines;
 # allowlisted names are init-once lookup tables that are never written
-# afterwards.
-go run ./cmd/statecheck -allow wireFootprint,sigEventKind internal/replay internal/tuner internal/server internal/train
+# afterwards, plus ErrBudgetExceeded — a conventional sentinel error
+# (assigned once, compared with errors.Is).
+go run ./cmd/statecheck -allow wireFootprint,sigEventKind,ErrBudgetExceeded internal/replay internal/tuner internal/server internal/train
 
 echo "== fuzz smoke (interval lattice, format expansion) =="
 go test -run=NONE -fuzz=FuzzIntervalJoinWiden -fuzztime=3s ./internal/analysis

@@ -158,7 +158,10 @@ echo "== tuniod serves a tuning job over HTTP =="
 go build -o "$tmp/tuniod" ./cmd/tuniod
 "$tmp/tuniod" -addr 127.0.0.1:0 2> "$tmp/tuniod.log" &
 tuniod_pid=$!
-trap 'kill "$tuniod_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+# dash keeps `set -e` live inside EXIT traps: a kill of an already-dead
+# daemon must not abort the trap (skipping cleanup) or turn a clean run
+# into exit 1.
+trap 'kill "$tuniod_pid" 2>/dev/null || :; rm -rf "$tmp"' EXIT
 
 for _ in $(seq 1 100); do
     grep -q "listening on" "$tmp/tuniod.log" && break
@@ -191,6 +194,31 @@ grep -q '"best_perf_mbs"' "$tmp/status.json" ||
     fail "terminal status missing the result payload"
 curl -s "$base/v1/stats" | grep -q '"sessions_done": 1' ||
     fail "tuniod stats did not count the finished session"
+
+echo "== tuniod streams an online drift session over SSE =="
+# Online smoke: the machine degrades at t=25, so the session must stream
+# window events, announce at least one retune, and land a drift payload.
+code="$(curl -s -o "$tmp/job_online.json" -w '%{http_code}' "$base/v1/jobs" \
+    -H 'X-Tunio-Tenant: smoke' \
+    -d '{"workload":"flash","nodes":2,"procs_per_node":8,"reps":1,"seed":5,"parallelism":2,
+         "drift":{"seed":9,"regimes":[{"start":25,"ost_load":0.5,"nic_load":0.3,"contention":3}]},
+         "online":{"windows":8,"window_gap_s":10,"neighbors":4,"rounds":2,"init_rounds":3,"prune":true}}')"
+[ "$code" = "202" ] || fail "online job submit returned HTTP $code, want 202"
+grep -q '"id": "job-2"' "$tmp/job_online.json" || fail "online submit response missing the job id"
+
+# The SSE stream stays open until the session finishes, so a plain curl
+# terminates on its own once the done event is written.
+curl -s -N "$base/v1/jobs/job-2/events" > "$tmp/online.sse" ||
+    fail "online SSE stream did not terminate cleanly"
+[ "$(grep -c '^event: window' "$tmp/online.sse")" = "8" ] ||
+    fail "online stream did not carry one window event per window"
+grep -q '^event: retune' "$tmp/online.sse" ||
+    fail "online stream carried no retune event through the regime change"
+grep -q '^event: done' "$tmp/online.sse" ||
+    fail "online stream did not end with a done event"
+curl -s "$base/v1/jobs/job-2" > "$tmp/online_status.json"
+grep -q '"retunes"' "$tmp/online_status.json" ||
+    fail "online terminal status missing the drift payload"
 kill "$tuniod_pid" 2>/dev/null || true
 
 echo "== tuniotrain trains, resumes, and feeds tuniod =="
@@ -220,7 +248,7 @@ grep -q "stopper: trained" "$tmp/train2.log" ||
 "$tmp/tuniod" -addr 127.0.0.1:0 -artifacts "$tmp/art" -store "$tmp/kernels.json" \
     2> "$tmp/tuniod2.log" &
 tuniod2_pid=$!
-trap 'kill "$tuniod_pid" "$tuniod2_pid" 2>/dev/null; rm -rf "$tmp"' EXIT
+trap 'kill "$tuniod_pid" "$tuniod2_pid" 2>/dev/null || :; rm -rf "$tmp"' EXIT
 
 for _ in $(seq 1 100); do
     grep -q "listening on" "$tmp/tuniod2.log" && break
