@@ -12,6 +12,7 @@
 //	tuniod -agent agent.json       # serve pipeline=tunio with this trained agent
 //	tuniod -artifacts dir          # serve the agent trained by `tuniotrain -artifacts dir`
 //	tuniod -store kernels.json     # persist the kernel store across restarts
+//	tuniod -pprof                  # expose /debug/pprof (contention profiling)
 //
 // Submit a job, stream its curve, read engine stats:
 //
@@ -28,8 +29,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -47,6 +50,9 @@ func main() {
 	artifacts := flag.String("artifacts", "", "serve pipeline=tunio jobs with the agent from this tuniotrain artifacts directory")
 	storePath := flag.String("store", "", "kernel store file: loaded at startup if present, saved on shutdown")
 	trainSeed := flag.Int64("train-seed", 1, "seed for lazy agent training")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/* on the listen address (mutex + block profiling per the fraction/rate flags)")
+	mutexFrac := flag.Int("mutex-profile-fraction", 1, "with -pprof: runtime.SetMutexProfileFraction value (0 disables mutex profiling)")
+	blockRate := flag.Int("block-profile-rate", 0, "with -pprof: runtime.SetBlockProfileRate value in ns (0 disables block profiling)")
 	flag.Parse()
 
 	if *agentIn != "" && *artifacts != "" {
@@ -93,6 +99,25 @@ func main() {
 		fatal(err)
 	}
 
+	// The API handler owns the whole path space, so pprof needs its own
+	// mux in front: /debug/pprof/* is answered locally, everything else
+	// falls through to the API. Mutex/block profiling is sampled only
+	// when asked — both have a (small) steady-state cost.
+	var root http.Handler = handler
+	if *pprofOn {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		runtime.SetBlockProfileRate(*blockRate)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		root = mux
+		fmt.Fprintf(os.Stderr, "tuniod: pprof enabled (mutex fraction %d, block rate %d)\n", *mutexFrac, *blockRate)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -101,7 +126,7 @@ func main() {
 	// asked for :0 can discover the port.
 	fmt.Fprintf(os.Stderr, "tuniod: listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: handler}
+	srv := &http.Server{Handler: root}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)

@@ -67,6 +67,22 @@ func NewLibrary(sim *cluster.Sim, backend func(path string) ioreq.Backend, hints
 	}, nil
 }
 
+// Rebind reconfigures the library in place for a fresh run: new hints
+// and config, an emptied file namespace, no tracer. Equivalent to
+// NewLibrary over the same simulation, backend resolver, and nprocs, but
+// reuses the library allocation and its map — the steady-state path of a
+// pooled evaluation stack.
+func (l *Library) Rebind(hints mpiio.Hints, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	l.hints = hints
+	l.cfg = cfg
+	l.tracer = nil
+	clear(l.files)
+	return nil
+}
+
 // Config returns the library configuration.
 func (l *Library) Config() Config { return l.cfg }
 

@@ -60,15 +60,28 @@ type File struct {
 // processes. MPI_File_open is collective: it costs one metadata round trip
 // plus a barrier.
 func Open(sim *cluster.Sim, backend ioreq.Backend, name string, nprocs int, hints Hints) (*File, error) {
+	f := &File{}
+	if err := f.Reopen(sim, backend, name, nprocs, hints); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reopen reinitializes the handle in place, running the same collective
+// open protocol (metadata round trip + barrier) as Open. It exists so
+// replay runtimes can reuse one handle allocation across executions; a
+// reopened handle is indistinguishable from a freshly opened one.
+func (f *File) Reopen(sim *cluster.Sim, backend ioreq.Backend, name string, nprocs int, hints Hints) error {
 	if name == "" {
-		return nil, fmt.Errorf("mpiio: empty file name")
+		return fmt.Errorf("mpiio: empty file name")
 	}
 	if nprocs <= 0 {
-		return nil, fmt.Errorf("mpiio: nprocs must be positive, got %d", nprocs)
+		return fmt.Errorf("mpiio: nprocs must be positive, got %d", nprocs)
 	}
 	backend.MetaOps(1, 1)
 	sim.Barrier(nprocs)
-	return &File{sim: sim, backend: backend, name: name, hints: hints.fill(nprocs), nprocs: nprocs}, nil
+	*f = File{sim: sim, backend: backend, name: name, hints: hints.fill(nprocs), nprocs: nprocs}
+	return nil
 }
 
 // Hints returns the normalized hints in effect.

@@ -36,13 +36,21 @@ var (
 // list in Space() has fewer than 256 entries. Names must exist in the
 // assignment's space.
 func (a *Assignment) ProjectionKey(names []string) string {
-	buf := make([]byte, len(names))
-	for i, name := range names {
+	return string(a.AppendProjection(make([]byte, 0, len(names)), names))
+}
+
+// AppendProjection appends the projection-key bytes of the named
+// parameters to dst and returns the extended slice. It is the allocation
+// free form of ProjectionKey for hot paths that build cache keys into a
+// caller-owned scratch buffer (map lookups via string(dst) then compile
+// to no allocation at all).
+func (a *Assignment) AppendProjection(dst []byte, names []string) []byte {
+	for _, name := range names {
 		j := Index(a.space, name)
 		if j < 0 {
 			panic("params: unknown parameter " + name)
 		}
-		buf[i] = byte(a.idx[j])
+		dst = append(dst, byte(a.idx[j]))
 	}
-	return string(buf)
+	return dst
 }

@@ -3,6 +3,7 @@ package replay
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tunio/internal/hdf5"
 	"tunio/internal/params"
@@ -11,6 +12,64 @@ import (
 // wireFootprint is the union of the plan and aggregate footprints: the
 // parameters a wire plan depends on.
 var wireFootprint = append(append([]string{}, params.PlanStage...), params.AggregateStage...)
+
+// stageShardCount is the number of lock stripes per artifact kind. A
+// power of two so shardOf can mask instead of mod; 32 stripes keep the
+// probability of two concurrent cold builds colliding on a stripe low
+// even at high session counts, while costing only a few hundred bytes.
+const stageShardCount = 32
+
+// shardOf hashes a cache key onto a stripe (FNV-1a, masked).
+func shardOf(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h & (stageShardCount - 1)
+}
+
+// cacheShard is one lock stripe of a sharded artifact map. Readers load
+// the published map pointer and look up without any lock; writers take
+// the stripe mutex, clone, insert, and republish (copy-on-write). Hit
+// and miss traffic is counted with atomics so the read path never
+// serializes on accounting either.
+type cacheShard[V any] struct {
+	m      atomic.Pointer[map[string]V]
+	mu     sync.Mutex
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func (s *cacheShard[V]) init() {
+	m := map[string]V{}
+	s.m.Store(&m)
+}
+
+// get is the lock-free read path. key aliases caller scratch; the
+// string conversion inside the map index does not allocate.
+func (s *cacheShard[V]) get(key []byte) (V, bool) {
+	v, ok := (*s.m.Load())[string(key)]
+	return v, ok
+}
+
+// insertLocked publishes key→v (first writer wins) and returns the
+// entry now under the key. Callers must hold s.mu.
+func (s *cacheShard[V]) insertLocked(key []byte, v V) V {
+	old := *s.m.Load()
+	if cur, ok := old[string(key)]; ok {
+		return cur
+	}
+	next := make(map[string]V, len(old)+1)
+	for k, ov := range old {
+		next[k] = ov
+	}
+	next[string(key)] = v
+	s.m.Store(&next)
+	return v
+}
+
+func (s *cacheShard[V]) len() int { return len(*s.m.Load()) }
 
 // StageCache memoizes the staged artifacts of one or more traces by
 // (kernel, parameter-projection) key: stack plans keyed by the plan
@@ -24,13 +83,26 @@ var wireFootprint = append(append([]string{}, params.PlanStage...), params.Aggre
 // each other's artifacts, because stage planning is a pure function of
 // (trace, projected parameters) and never reads the run seed. Safe for
 // concurrent use.
+//
+// Internally the plan and wire maps are sharded by key hash into
+// lock-striped copy-on-write buckets: a warm lookup loads the shard's
+// published map pointer and bumps an atomic counter — no mutex — while a
+// cold build serializes only with other builds on the same stripe. A
+// wire-stripe build may take a plan-stripe lock (wire→plan order only),
+// so the two lock families cannot deadlock.
 type StageCache struct {
-	mu        sync.Mutex
-	kernelKey string            // key the single-trace API (WireFor, Trace) is bound to
-	traces    map[string]*Trace // kernel key -> recorded trace
-	plans     map[string]*StackPlan
-	wires     map[string]*WirePlan
-	stats     StageStats
+	mu        sync.Mutex // guards kernelKey and traces
+	kernelKey string     // key the single-trace API (WireFor, Trace) is bound to
+	traces    map[string]*Trace
+
+	plans [stageShardCount]cacheShard[*StackPlan]
+	wires [stageShardCount]cacheShard[*WirePlan]
+
+	// serial, when non-nil, routes every operation — including warm
+	// hits and plan/lower builds — through one global mutex. It exists
+	// solely so benchmarks can measure the pre-sharding single-mutex
+	// behavior against the same workload; see Serialize.
+	serial *sync.Mutex
 }
 
 // StageStats counts cache traffic per stage.
@@ -87,11 +159,21 @@ func NewStageCache(t *Trace) *StageCache {
 // shared across sessions: callers Register each kernel's trace under its
 // content hash and query through per-session Views.
 func NewSharedStageCache() *StageCache {
-	return &StageCache{
-		traces: map[string]*Trace{},
-		plans:  map[string]*StackPlan{},
-		wires:  map[string]*WirePlan{},
+	c := &StageCache{traces: map[string]*Trace{}}
+	for i := range c.plans {
+		c.plans[i].init()
+		c.wires[i].init()
 	}
+	return c
+}
+
+// Serialize switches the cache into single-mutex mode: every lookup and
+// build — warm hits included — serializes on one global lock, exactly
+// the pre-sharding behavior. It is a benchmark baseline, not a feature;
+// call it once, before the cache is shared.
+func (c *StageCache) Serialize() *StageCache {
+	c.serial = &sync.Mutex{}
+	return c
 }
 
 // Trace returns the trace the single-trace API is bound to (nil for a
@@ -155,11 +237,20 @@ func (c *StageCache) Kernels() int {
 }
 
 // Stats returns a snapshot of the cache-wide counters (all views and
-// bound-key queries combined).
+// bound-key queries combined), merged across shards. Each counter is a
+// sum of per-shard atomics, so a snapshot taken while traffic is in
+// flight is approximate in the usual monotonic-counter sense; quiescent
+// reads — every test and report in this repo — are exact, because a
+// completed WireFor has fully retired its counter updates.
 func (c *StageCache) Stats() StageStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var s StageStats
+	for i := range c.plans {
+		s.PlanHits += c.plans[i].hits.Load()
+		s.PlanMisses += c.plans[i].misses.Load()
+		s.WireHits += c.wires[i].hits.Load()
+		s.WireMisses += c.wires[i].misses.Load()
+	}
+	return s
 }
 
 // View returns a session-local handle on the cache bound to one kernel
@@ -171,13 +262,17 @@ func (c *StageCache) View(kernelKey string) *CacheView {
 }
 
 // CacheView is a per-session window onto a shared StageCache: fixed
-// kernel key, private hit/miss counters. Safe for concurrent use.
+// kernel key, private hit/miss counters. The counters are atomics, so a
+// warm-path hit through a view touches no mutex at all. Safe for
+// concurrent use.
 type CacheView struct {
 	c         *StageCache
 	kernelKey string
 
-	mu    sync.Mutex
-	stats StageStats
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+	wireHits   atomic.Int64
+	wireMisses atomic.Int64
 }
 
 // KernelKey returns the view's kernel key.
@@ -189,18 +284,26 @@ func (v *CacheView) KernelKey() string { return v.kernelKey }
 func (v *CacheView) WireFor(a *params.Assignment, s params.StackSettings, ppn int) (*WirePlan, error) {
 	var delta StageStats
 	wp, err := v.c.wireFor(v.kernelKey, a, s, &delta, ppn)
-	v.mu.Lock()
-	v.stats.add(delta)
-	v.mu.Unlock()
+	if delta.WireHits != 0 {
+		v.wireHits.Add(delta.WireHits)
+	}
+	if delta.WireMisses != 0 {
+		v.wireMisses.Add(delta.WireMisses)
+		v.planHits.Add(delta.PlanHits)
+		v.planMisses.Add(delta.PlanMisses)
+	}
 	return wp, err
 }
 
 // Stats returns the view's private counters: the traffic this view (not
 // the whole shared cache) generated.
 func (v *CacheView) Stats() StageStats {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.stats
+	return StageStats{
+		PlanHits:   v.planHits.Load(),
+		PlanMisses: v.planMisses.Load(),
+		WireHits:   v.wireHits.Load(),
+		WireMisses: v.wireMisses.Load(),
+	}
 }
 
 // WireFor returns the wire plan of the assignment's configuration under
@@ -208,52 +311,97 @@ func (v *CacheView) Stats() StageStats {
 // projections miss. s must be a.Settings() and ppn the cluster's
 // processes per node.
 func (c *StageCache) WireFor(a *params.Assignment, s params.StackSettings, ppn int) (*WirePlan, error) {
-	c.mu.Lock()
-	key := c.kernelKey
-	c.mu.Unlock()
-	return c.wireFor(key, a, s, nil, ppn)
+	return c.wireFor(c.KernelKey(), a, s, nil, ppn)
 }
 
 // wireFor is the shared implementation: delta, when non-nil, additionally
 // receives the hit/miss traffic of this one call (for per-view stats).
+//
+// The fast path builds the wire key into stack scratch, loads the
+// stripe's published map, and returns on a hit — zero locks, zero
+// allocations. A miss takes only that stripe's mutex, re-checks (another
+// session may have published while we waited), builds the plan (itself a
+// striped lookup), lowers, and republishes.
 func (c *StageCache) wireFor(kernelKey string, a *params.Assignment, s params.StackSettings, delta *StageStats, ppn int) (*WirePlan, error) {
-	wireKey := kernelKey + "\x00" + a.ProjectionKey(wireFootprint)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if wp, ok := c.wires[wireKey]; ok {
-		c.stats.WireHits++
+	if c.serial != nil {
+		c.serial.Lock()
+		defer c.serial.Unlock()
+	}
+
+	var scratch [64]byte
+	key := append(scratch[:0], kernelKey...)
+	key = append(key, 0)
+	key = a.AppendProjection(key, wireFootprint)
+	shard := &c.wires[shardOf(key)]
+
+	if wp, ok := shard.get(key); ok {
+		shard.hits.Add(1)
 		if delta != nil {
 			delta.WireHits++
 		}
 		return wp, nil
 	}
-	c.stats.WireMisses++
+
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if wp, ok := shard.get(key); ok {
+		// Lost the build race: another session published while we
+		// waited for the stripe. Still a miss from this caller's view —
+		// it queued behind the build — matching pre-sharding accounting
+		// where the second requester blocked on the cache lock.
+		shard.hits.Add(1)
+		if delta != nil {
+			delta.WireHits++
+		}
+		return wp, nil
+	}
+	shard.misses.Add(1)
 	if delta != nil {
 		delta.WireMisses++
 	}
-	sp, err := c.planLocked(kernelKey, a, s.HDF5, delta)
+	sp, err := c.planFor(kernelKey, a, s.HDF5, delta)
 	if err != nil {
 		return nil, err
 	}
 	wp := LowerPlan(sp, s.Hints, s.HDF5, ppn)
-	c.wires[wireKey] = wp
-	return wp, nil
+	return shard.insertLocked(key, wp), nil
 }
 
-func (c *StageCache) planLocked(kernelKey string, a *params.Assignment, cfg hdf5.Config, delta *StageStats) (*StackPlan, error) {
-	planKey := kernelKey + "\x00" + a.ProjectionKey(params.PlanStage)
-	if sp, ok := c.plans[planKey]; ok {
-		c.stats.PlanHits++
+// planFor returns the stage-1 stack plan for the assignment's plan
+// projection, building and publishing it on a miss. Callers may hold a
+// wire-stripe mutex; plan stripes are a distinct lock family ordered
+// after wire stripes, so this cannot deadlock.
+func (c *StageCache) planFor(kernelKey string, a *params.Assignment, cfg hdf5.Config, delta *StageStats) (*StackPlan, error) {
+	var scratch [64]byte
+	key := append(scratch[:0], kernelKey...)
+	key = append(key, 0)
+	key = a.AppendProjection(key, params.PlanStage)
+	shard := &c.plans[shardOf(key)]
+
+	if sp, ok := shard.get(key); ok {
+		shard.hits.Add(1)
 		if delta != nil {
 			delta.PlanHits++
 		}
 		return sp, nil
 	}
-	c.stats.PlanMisses++
+
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if sp, ok := shard.get(key); ok {
+		shard.hits.Add(1)
+		if delta != nil {
+			delta.PlanHits++
+		}
+		return sp, nil
+	}
+	shard.misses.Add(1)
 	if delta != nil {
 		delta.PlanMisses++
 	}
+	c.mu.Lock()
 	t, ok := c.traces[kernelKey]
+	c.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("replay: no trace registered for kernel %q", kernelKey)
 	}
@@ -261,8 +409,7 @@ func (c *StageCache) planLocked(kernelKey string, a *params.Assignment, cfg hdf5
 	if err != nil {
 		return nil, err
 	}
-	c.plans[planKey] = sp
-	return sp, nil
+	return shard.insertLocked(key, sp), nil
 }
 
 // Lower is the uncached form of WireFor, used by tests comparing cache-hit

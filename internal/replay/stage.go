@@ -379,6 +379,7 @@ func LowerPlan(sp *StackPlan, hints mpiio.Hints, cfg hdf5.Config, ppn int) *Wire
 // serves one goroutine.
 type Runtime struct {
 	mpfs    []*mpiio.File
+	fileBuf []mpiio.File // backing storage for mpfs, reopened in place per exec
 	metaBuf []ioreq.Extent
 }
 
@@ -437,6 +438,7 @@ func (rt *Runtime) exec(wp *WirePlan, st *workload.Stack, abort func() bool) err
 	hitRate := lib.Config().MDC.HitRate()
 	if cap(rt.mpfs) < len(wp.Files) {
 		rt.mpfs = make([]*mpiio.File, len(wp.Files))
+		rt.fileBuf = make([]mpiio.File, len(wp.Files))
 	}
 	mpfs := rt.mpfs[:len(wp.Files)]
 	clear(mpfs)
@@ -450,8 +452,8 @@ func (rt *Runtime) exec(wp *WirePlan, st *workload.Stack, abort func() bool) err
 		switch op.kind {
 		case wOpen:
 			name := wp.Files[op.file]
-			mpf, err := mpiio.Open(sim, lib.Backend(name), name, wp.Nprocs, lib.Hints())
-			if err != nil {
+			mpf := &rt.fileBuf[op.file]
+			if err := mpf.Reopen(sim, lib.Backend(name), name, wp.Nprocs, lib.Hints()); err != nil {
 				return err
 			}
 			mpfs[op.file] = mpf

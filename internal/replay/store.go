@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // TraceKey returns the content-derived kernel identity of a trace: an
@@ -48,13 +49,23 @@ type KernelEntry struct {
 // simulated hardware times it), so reuse across sessions with different
 // seeds is sound; TestKernelStoreTraceSeedIndependent pins this.
 //
-// Safe for concurrent use. The first Put under a key wins, so sessions
-// racing to record the same kernel converge on one trace.
+// Safe for concurrent use. Reads are lock-free: the entry map is
+// published through an atomic pointer and never mutated in place, so a
+// warm Get loads the pointer, indexes the immutable map, and bumps an
+// atomic counter. Writers (Put, Load) clone-insert-republish under a
+// mutex. The first Put under a key wins, so sessions racing to record
+// the same kernel converge on one trace — and Save always serializes a
+// single immutable snapshot, so a save concurrent with puts can never
+// write a torn file.
 type KernelStore struct {
-	mu      sync.Mutex
-	entries map[string]KernelEntry
-	hits    int64
-	misses  int64
+	mu      sync.Mutex // serializes writers; readers never take it
+	entries atomic.Pointer[map[string]KernelEntry]
+	hits    atomic.Int64
+	misses  atomic.Int64
+
+	// serial, when non-nil, routes Get/Put through one global mutex —
+	// the pre-COW behavior, kept as a benchmark baseline. See Serialize.
+	serial *sync.Mutex
 }
 
 // KernelStoreStats reports store traffic and occupancy.
@@ -74,19 +85,32 @@ func (s KernelStoreStats) HitRate() float64 {
 
 // NewKernelStore returns an empty store.
 func NewKernelStore() *KernelStore {
-	return &KernelStore{entries: map[string]KernelEntry{}}
+	s := &KernelStore{}
+	m := map[string]KernelEntry{}
+	s.entries.Store(&m)
+	return s
+}
+
+// Serialize switches the store into single-mutex mode (every Get and Put
+// serializes on one global lock). Benchmark baseline only; call once,
+// before the store is shared.
+func (s *KernelStore) Serialize() *KernelStore {
+	s.serial = &sync.Mutex{}
+	return s
 }
 
 // Get looks up the kernel recorded under the identity key, counting the
-// lookup as a hit or miss.
+// lookup as a hit or miss. Lock-free on every path.
 func (s *KernelStore) Get(key string) (KernelEntry, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
+	if s.serial != nil {
+		s.serial.Lock()
+		defer s.serial.Unlock()
+	}
+	e, ok := (*s.entries.Load())[key]
 	if ok {
-		s.hits++
+		s.hits.Add(1)
 	} else {
-		s.misses++
+		s.misses.Add(1)
 	}
 	return e, ok
 }
@@ -97,25 +121,36 @@ func (s *KernelStore) Put(key string, e KernelEntry) {
 	if e.Trace == nil {
 		return
 	}
+	if s.serial != nil {
+		s.serial.Lock()
+		defer s.serial.Unlock()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, taken := s.entries[key]; !taken {
-		s.entries[key] = e
+	old := *s.entries.Load()
+	if _, taken := old[key]; taken {
+		return
 	}
+	next := make(map[string]KernelEntry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[key] = e
+	s.entries.Store(&next)
 }
 
 // Len returns the number of stored kernels.
 func (s *KernelStore) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	return len(*s.entries.Load())
 }
 
 // Stats returns a snapshot of the store counters.
 func (s *KernelStore) Stats() KernelStoreStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return KernelStoreStats{Hits: s.hits, Misses: s.misses, Kernels: len(s.entries)}
+	return KernelStoreStats{
+		Hits:    s.hits.Load(),
+		Misses:  s.misses.Load(),
+		Kernels: len(*s.entries.Load()),
+	}
 }
 
 // storeFileVersion versions the on-disk store format; Load rejects other
@@ -143,19 +178,22 @@ type storeEntry struct {
 // written. Each trace is stored with a content hash so a later Load can
 // detect corruption. Hit/miss counters are not persisted — they describe
 // one process's traffic, not the kernels.
+//
+// Save serializes one published snapshot: the entry map is immutable
+// once published, so no lock is held while marshaling, and puts that
+// land mid-save simply miss this file and make the next one.
 func (s *KernelStore) Save(path string) (int, error) {
-	s.mu.Lock()
-	keys := make([]string, 0, len(s.entries))
-	for k := range s.entries {
+	snapshot := *s.entries.Load()
+	keys := make([]string, 0, len(snapshot))
+	for k := range snapshot {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	out := storeFile{Version: storeFileVersion}
 	for _, k := range keys {
-		e := s.entries[k]
+		e := snapshot[k]
 		tb, err := e.Trace.Marshal()
 		if err != nil {
-			s.mu.Unlock()
 			return 0, fmt.Errorf("replay: serializing kernel %q: %w", k, err)
 		}
 		sum := sha256.Sum256(tb)
@@ -166,7 +204,6 @@ func (s *KernelStore) Save(path string) (int, error) {
 			Trace:      tb,
 		})
 	}
-	s.mu.Unlock()
 
 	b, err := json.MarshalIndent(out, "", " ")
 	if err != nil {
@@ -232,11 +269,17 @@ func (s *KernelStore) Load(path string) (int, error) {
 		loaded[e.Key] = KernelEntry{Trace: t, KernelHash: e.KernelHash}
 	}
 	s.mu.Lock()
+	old := *s.entries.Load()
+	next := make(map[string]KernelEntry, len(old)+len(loaded))
+	for k, e := range old {
+		next[k] = e
+	}
 	for k, e := range loaded {
-		if _, taken := s.entries[k]; !taken {
-			s.entries[k] = e
+		if _, taken := next[k]; !taken {
+			next[k] = e
 		}
 	}
+	s.entries.Store(&next)
 	s.mu.Unlock()
 	return len(loaded), nil
 }

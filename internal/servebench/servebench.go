@@ -1,0 +1,441 @@
+// Package servebench measures the engine's concurrent serving path: N
+// simultaneous tuning sessions (mixed tenants, warm and cold kernels)
+// against one shared tunio.Engine — in process and through a live tuniod
+// HTTP server — under the sharded/copy-on-write caches this tree ships
+// and under a Serialize()d baseline that routes every cache operation
+// through one global mutex (the pre-sharding architecture).
+//
+// Reported per workload: aggregate jobs/sec, p50/p99 job latency, the
+// shared stage cache's aggregate hit rate, warm-path cache throughput at
+// 8 goroutines for both architectures, and whether every served curve is
+// bit-identical to a direct solo Tune of the same spec. scripts/bench.sh
+// writes the result as BENCH_serve.json.
+package servebench
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"tunio"
+	"tunio/internal/cluster"
+	"tunio/internal/experiments"
+	"tunio/internal/params"
+	"tunio/internal/replay"
+	"tunio/internal/server"
+	"tunio/internal/workload"
+)
+
+// serveSessions is the concurrency level of the headline measurement.
+const serveSessions = 8
+
+// serveWorkloads is the paper's workload set (§IV, Table III).
+var serveWorkloads = []string{"vpic", "hacc", "flash", "macsio", "bdcats"}
+
+// Variant is one architecture's cost serving one workload's session mix.
+type Variant struct {
+	JobsPerSec   float64 `json:"jobs_per_sec"`
+	P50JobMs     float64 `json:"p50_job_ms"`
+	P99JobMs     float64 `json:"p99_job_ms"`
+	StageHitRate float64 `json:"stage_hit_rate"` // shared cache, wire stage
+	Identical    bool    `json:"identical"`      // every curve == solo Tune
+}
+
+// Row compares the serving architectures on one workload.
+type Row struct {
+	Workload string `json:"workload"`
+
+	Sharded    Variant `json:"sharded"`
+	Serialized Variant `json:"serialized"`
+	// SpeedupJobs is sharded jobs/sec over serialized jobs/sec at
+	// serveSessions concurrent sessions.
+	SpeedupJobs float64 `json:"speedup_jobs"`
+
+	// SoloJobsPerSec is sequential solo Tune throughput (fresh engine per
+	// job, cold caches) — the reference for session-scaling efficiency.
+	SoloJobsPerSec float64 `json:"solo_jobs_per_sec"`
+
+	// HTTP is the same concurrent mix submitted to a live tuniod server
+	// (sharded engine) over HTTP with an SSE subscriber per job.
+	HTTPJobsPerSec float64 `json:"http_jobs_per_sec"`
+	HTTPP99JobMs   float64 `json:"http_p99_job_ms"`
+
+	// Warm-path cache throughput: 8 goroutines doing warm StageCache
+	// lookups and KernelStore gets, in million ops/sec.
+	WarmShardedMops    float64 `json:"warm_sharded_mops"`
+	WarmSerializedMops float64 `json:"warm_serialized_mops"`
+	SpeedupWarm        float64 `json:"speedup_warm"`
+}
+
+// Result is the full concurrent-load benchmark.
+type Result struct {
+	Sessions   int    `json:"sessions"`
+	Goroutines int    `json:"warm_path_goroutines"`
+	Cores      int    `json:"cores"` // runtime.NumCPU() when measured
+	Rows       []Row  `json:"workloads"`
+	Note       string `json:"note,omitempty"`
+}
+
+// Run measures every paper workload.
+func Run(cfg experiments.Config) (*Result, error) {
+	return run(cfg, serveWorkloads, serveSessions)
+}
+
+// run measures the named workloads at the given concurrency (split out so
+// the CI smoke test can cover a single workload at reduced concurrency).
+func run(cfg experiments.Config, names []string, sessions int) (*Result, error) {
+	out := &Result{Sessions: sessions, Goroutines: serveSessions, Cores: runtime.NumCPU()}
+	if out.Cores < 2 {
+		out.Note = fmt.Sprintf("measured on %d CPU core(s): concurrent sessions cannot exceed serial throughput end to end; the contention contrast shows in the warm-path columns and grows with cores", out.Cores)
+	}
+	for _, name := range names {
+		row := Row{Workload: name}
+
+		specs := make([]tunio.JobSpec, sessions)
+		for j := range specs {
+			specs[j] = specFor(cfg, name, j)
+		}
+
+		// Solo reference: each spec through a fresh single-use engine,
+		// sequentially — also the identity baseline for the served curves.
+		solo := make([]*tunio.Result, sessions)
+		soloStart := time.Now()
+		for j, spec := range specs {
+			res, err := tuneSolo(spec)
+			if err != nil {
+				return nil, fmt.Errorf("servebench: %s solo %d: %w", name, j, err)
+			}
+			solo[j] = res
+		}
+		row.SoloJobsPerSec = float64(sessions) / time.Since(soloStart).Seconds()
+
+		var err error
+		if row.Sharded, err = measureEngine(tunio.NewEngine(tunio.EngineOptions{}), specs, solo); err != nil {
+			return nil, fmt.Errorf("servebench: %s sharded: %w", name, err)
+		}
+		serialized := tunio.NewEngine(tunio.EngineOptions{
+			KernelStore: replay.NewKernelStore().Serialize(),
+			StageCache:  replay.NewSharedStageCache().Serialize(),
+		})
+		if row.Serialized, err = measureEngine(serialized, specs, solo); err != nil {
+			return nil, fmt.Errorf("servebench: %s serialized: %w", name, err)
+		}
+		if row.Serialized.JobsPerSec > 0 {
+			row.SpeedupJobs = row.Sharded.JobsPerSec / row.Serialized.JobsPerSec
+		}
+
+		if row.HTTPJobsPerSec, row.HTTPP99JobMs, err = measureHTTP(specs); err != nil {
+			return nil, fmt.Errorf("servebench: %s http: %w", name, err)
+		}
+
+		tr, err := recordKernel(name)
+		if err != nil {
+			return nil, fmt.Errorf("servebench: %s record: %w", name, err)
+		}
+		if row.WarmShardedMops, err = warmPathMops(tr, false); err != nil {
+			return nil, err
+		}
+		if row.WarmSerializedMops, err = warmPathMops(tr, true); err != nil {
+			return nil, err
+		}
+		if row.WarmSerializedMops > 0 {
+			row.SpeedupWarm = row.WarmShardedMops / row.WarmSerializedMops
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// specFor sizes one session: small enough that a full mix finishes in
+// seconds, seeded per session so curves are individually checkable.
+func specFor(cfg experiments.Config, name string, j int) tunio.JobSpec {
+	pop, iters := 8, 6
+	if cfg.Scale == experiments.Paper {
+		pop, iters = 16, 12
+	}
+	return tunio.JobSpec{
+		Workload:      name,
+		Tenant:        fmt.Sprintf("tenant-%d", j%3),
+		Nodes:         2,
+		ProcsPerNode:  8,
+		PopSize:       pop,
+		MaxIterations: iters,
+		Reps:          1,
+		Seed:          cfg.Seed + int64(j),
+		Parallelism:   2,
+	}
+}
+
+// tuneSolo runs one spec on a private single-use engine.
+func tuneSolo(spec tunio.JobSpec) (*tunio.Result, error) {
+	run, err := tunio.NewEngine(tunio.EngineOptions{}).Tune(context.Background(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return run.Wait()
+}
+
+// measureEngine serves the whole spec mix concurrently on one shared
+// engine and checks every curve against its solo baseline.
+func measureEngine(eng *tunio.Engine, specs []tunio.JobSpec, solo []*tunio.Result) (Variant, error) {
+	results := make([]*tunio.Result, len(specs))
+	latencies := make([]float64, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for j := range specs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			jobStart := time.Now()
+			run, err := eng.Tune(context.Background(), specs[j])
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			results[j], errs[j] = run.Wait()
+			latencies[j] = float64(time.Since(jobStart).Milliseconds())
+		}(j)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return Variant{}, err
+		}
+	}
+	v := Variant{
+		JobsPerSec: float64(len(specs)) / wall,
+		Identical:  true,
+	}
+	v.P50JobMs, v.P99JobMs = percentiles(latencies)
+	for j := range results {
+		if !curvesEqual(results[j], solo[j]) {
+			v.Identical = false
+		}
+	}
+	v.StageHitRate = eng.Stats().Stage.WireHitRate()
+	return v, nil
+}
+
+// curvesEqual reports bit-identity of two tuning results.
+func curvesEqual(a, b *tunio.Result) bool {
+	if len(a.Curve) != len(b.Curve) || a.BestPerf != b.BestPerf || a.Best.String() != b.Best.String() {
+		return false
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// measureHTTP serves the mix through a live tuniod-style HTTP server: one
+// POST plus one SSE events subscription per job, concurrently.
+func measureHTTP(specs []tunio.JobSpec) (jobsPerSec, p99Ms float64, err error) {
+	srv, err := server.New(server.Options{Engine: tunio.NewEngine(tunio.EngineOptions{})})
+	if err != nil {
+		return 0, 0, err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	latencies := make([]float64, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for j := range specs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			jobStart := time.Now()
+			errs[j] = serveOneHTTP(ts, specs[j])
+			latencies[j] = float64(time.Since(jobStart).Milliseconds())
+		}(j)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	_, p99 := percentiles(latencies)
+	return float64(len(specs)) / wall, p99, nil
+}
+
+// serveOneHTTP submits one job and follows its SSE stream to the terminal
+// "done" event.
+func serveOneHTTP(ts *httptest.Server, spec tunio.JobSpec) error {
+	body, err := json.Marshal(server.JobRequest{
+		Workload:      spec.Workload,
+		Nodes:         spec.Nodes,
+		ProcsPerNode:  spec.ProcsPerNode,
+		PopSize:       spec.PopSize,
+		MaxIterations: spec.MaxIterations,
+		Reps:          spec.Reps,
+		Seed:          spec.Seed,
+		Parallelism:   spec.Parallelism,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Tunio-Tenant", spec.Tenant)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return err
+	}
+	var st server.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+
+	ev, err := ts.Client().Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer ev.Body.Close()
+	sc := bufio.NewScanner(ev.Body)
+	done := false
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "event: done" {
+			done = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("events stream for %s ended without a done event", st.ID)
+	}
+	return nil
+}
+
+// recordKernel records one workload's trace on the serving allocation.
+func recordKernel(name string) (*replay.Trace, error) {
+	c := cluster.CoriHaswell(2, 8)
+	w, err := workload.ByName(name, c.Procs())
+	if err != nil {
+		return nil, err
+	}
+	st, err := workload.BuildStack(c, params.DefaultAssignment(params.Space()).Settings(), 1)
+	if err != nil {
+		return nil, err
+	}
+	return replay.Record(w, st)
+}
+
+// warmPathMops hammers the warm path — a cached StageCache lookup plus a
+// KernelStore get — from serveSessions goroutines and reports million
+// ops/sec. The serialized variant is the single-global-mutex baseline.
+func warmPathMops(tr *replay.Trace, serialized bool) (float64, error) {
+	cache := replay.NewSharedStageCache()
+	store := replay.NewKernelStore()
+	if serialized {
+		cache.Serialize()
+		store.Serialize()
+	}
+	cache.Register("sig:k", tr)
+	store.Put("kern", replay.KernelEntry{Trace: tr, KernelHash: replay.TraceKey(tr)})
+	a := params.DefaultAssignment(params.Space())
+	s := a.Settings()
+	const ppn = 8
+	if _, err := cache.View("sig:k").WireFor(a, s, ppn); err != nil {
+		return 0, err
+	}
+
+	const perGoroutine = 100_000
+	var wg sync.WaitGroup
+	errs := make([]error, serveSessions)
+	start := time.Now()
+	for g := 0; g < serveSessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			view := cache.View("sig:k")
+			for i := 0; i < perGoroutine; i++ {
+				if _, err := view.WireFor(a, s, ppn); err != nil {
+					errs[g] = err
+					return
+				}
+				if _, ok := store.Get("kern"); !ok {
+					errs[g] = fmt.Errorf("warm kernel get missed")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(2*serveSessions*perGoroutine) / elapsed / 1e6, nil
+}
+
+// percentiles returns (p50, p99) of the values in milliseconds.
+func percentiles(ms []float64) (p50, p99 float64) {
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n == 0 {
+		return 0, 0
+	}
+	p50 = sorted[n/2]
+	idx := (99*n + 99) / 100 // ceil(0.99n)
+	if idx > n {
+		idx = n
+	}
+	p99 = sorted[idx-1]
+	return p50, p99
+}
+
+// String renders the benchmark table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Concurrent serving: %d sessions per workload, sharded vs single-mutex caches (%d cores)\n",
+		r.Sessions, r.Cores)
+	fmt.Fprintf(&b, "%-8s %10s %10s %7s %9s %8s %9s %10s %10s %7s %6s\n",
+		"workload", "shard j/s", "mutex j/s", "jobs x", "http j/s", "solo j/s",
+		"hit rate", "warm shard", "warm mutex", "warm x", "ident")
+	identical, fasterWarm := 0, 0
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s %10.2f %10.2f %6.2fx %9.2f %8.2f %8.0f%% %9.1fM %9.1fM %6.1fx %6v\n",
+			row.Workload, row.Sharded.JobsPerSec, row.Serialized.JobsPerSec, row.SpeedupJobs,
+			row.HTTPJobsPerSec, row.SoloJobsPerSec, row.Sharded.StageHitRate*100,
+			row.WarmShardedMops, row.WarmSerializedMops, row.SpeedupWarm,
+			row.Sharded.Identical && row.Serialized.Identical)
+		if row.Sharded.Identical && row.Serialized.Identical {
+			identical++
+		}
+		if row.SpeedupWarm >= 2 {
+			fasterWarm++
+		}
+	}
+	fmt.Fprintf(&b, "served curves bit-identical to solo Tune on %d/%d workloads; warm path at least 2x on %d/%d\n",
+		identical, len(r.Rows), fasterWarm, len(r.Rows))
+	if r.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package servebench
+
+import (
+	"strings"
+	"testing"
+
+	"tunio/internal/experiments"
+)
+
+// TestServeBenchSmoke runs the concurrent-load benchmark on one workload
+// at reduced concurrency — the CI gate for the serving path: sessions
+// complete, curves stay bit-identical to solo Tune under both cache
+// architectures, and the shared cache actually gets warm traffic.
+func TestServeBenchSmoke(t *testing.T) {
+	r, err := run(experiments.Config{Scale: experiments.Smoke, Seed: 7}, []string{"macsio"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(r.Rows))
+	}
+	row := r.Rows[0]
+	if row.Sharded.JobsPerSec <= 0 || row.Serialized.JobsPerSec <= 0 || row.HTTPJobsPerSec <= 0 {
+		t.Fatalf("throughput missing: %+v", row)
+	}
+	if !row.Sharded.Identical || !row.Serialized.Identical {
+		t.Fatalf("served curves diverged from solo Tune: %+v", row)
+	}
+	if row.Sharded.StageHitRate <= 0 {
+		t.Fatalf("shared stage cache saw no warm traffic: hit rate %v", row.Sharded.StageHitRate)
+	}
+	if row.WarmShardedMops <= 0 || row.WarmSerializedMops <= 0 {
+		t.Fatalf("warm-path measurement missing: %+v", row)
+	}
+	if !strings.Contains(r.String(), "macsio") {
+		t.Fatal("render missing workload row")
+	}
+}

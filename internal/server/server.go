@@ -22,6 +22,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -61,14 +62,25 @@ type Options struct {
 }
 
 // Server is the HTTP handler. Create with New.
+//
+// The job-table lock is a read/write mutex held only around map access —
+// never across a status snapshot, an SSE encode, or a network write — so
+// an arbitrarily slow streaming client cannot stall submissions, listings,
+// or other streams. SSE frames are assembled in pooled buffers and written
+// with a single Write.
 type Server struct {
 	engine *tunio.Engine
 	opts   Options
 	mux    *http.ServeMux
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	jobs   map[string]*job
 	nextID int
+
+	// ssePool recycles frame-assembly buffers across SSE events; lives on
+	// the Server (not at package level) so side-by-side test servers stay
+	// independent and cmd/statecheck stays happy.
+	ssePool sync.Pool
 
 	agentOnce sync.Once
 	agentBlob []byte
@@ -390,9 +402,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {
-	s.mu.Lock()
+	s.mu.RLock()
 	j := s.jobs[r.PathValue("id")]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if j == nil {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
 	}
@@ -407,14 +419,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	tenant, filter := r.URL.Query().Get("tenant"), r.URL.Query().Has("tenant")
-	s.mu.Lock()
+	s.mu.RLock()
 	all := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		if !filter || j.tenant == tenant {
 			all = append(all, j)
 		}
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	sort.Slice(all, func(i, k int) bool { return numericID(all[i].id) < numericID(all[k].id) })
 	out := make([]JobStatus, len(all))
 	for i, j := range all {
@@ -478,14 +490,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if ev.Retune != nil {
 				name, payload = "retune", any(ev.Retune)
 			}
-			if err := writeSSE(w, name, payload); err != nil {
+			if err := s.writeSSE(w, name, payload); err != nil {
 				return
 			}
 			flusher.Flush()
 		}
 	} else {
 		for p := range j.run.Events(r.Context()) {
-			if err := writeSSE(w, "point", toPointJSON(p)); err != nil {
+			if err := s.writeSSE(w, "point", toPointJSON(p)); err != nil {
 				return
 			}
 			flusher.Flush()
@@ -495,16 +507,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return // client went away mid-stream
 	}
 	// Events closed because the run finished and every point was sent.
-	writeSSE(w, "done", j.status())
+	s.writeSSE(w, "done", j.status())
 	flusher.Flush()
 }
 
-func writeSSE(w http.ResponseWriter, event string, payload any) error {
-	data, err := json.Marshal(payload)
-	if err != nil {
+// writeSSE assembles one SSE frame in a pooled buffer and writes it with
+// a single Write. No server lock is held here: a slow reader blocks only
+// its own stream. The frame layout ("event: …\ndata: …\n\n") is
+// byte-identical to the former fmt.Fprintf form — json.Encoder terminates
+// the data line's JSON with the first of the two newlines.
+func (s *Server) writeSSE(w http.ResponseWriter, event string, payload any) error {
+	buf, _ := s.ssePool.Get().(*bytes.Buffer)
+	if buf == nil {
+		buf = new(bytes.Buffer)
+	}
+	buf.Reset()
+	buf.WriteString("event: ")
+	buf.WriteString(event)
+	buf.WriteString("\ndata: ")
+	if err := json.NewEncoder(buf).Encode(payload); err != nil {
+		s.ssePool.Put(buf)
 		return err
 	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	buf.WriteByte('\n')
+	_, err := w.Write(buf.Bytes())
+	s.ssePool.Put(buf)
 	return err
 }
 
@@ -536,12 +563,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if t := es.MemoHits + es.MemoMisses; t > 0 {
 		out.MemoHitRate = float64(es.MemoHits) / float64(t)
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	for _, j := range jobs {
 		out.Jobs[j.status().State]++
 	}

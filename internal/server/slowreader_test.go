@@ -1,0 +1,128 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"tunio"
+	"tunio/internal/server"
+)
+
+// stalledWriter is a ResponseWriter whose first body write blocks until
+// released — a deterministic stand-in for an SSE subscriber that stops
+// reading with the server's frame write in flight.
+type stalledWriter struct {
+	hdr     http.Header
+	once    sync.Once
+	first   chan struct{} // closed when a body write is attempted
+	release chan struct{} // writes proceed once closed
+}
+
+func newStalledWriter() *stalledWriter {
+	return &stalledWriter{hdr: make(http.Header), first: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (w *stalledWriter) Header() http.Header { return w.hdr }
+func (w *stalledWriter) WriteHeader(int)     {}
+func (w *stalledWriter) Flush()              {}
+func (w *stalledWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.first) })
+	<-w.release
+	return len(p), nil
+}
+
+// TestServerSSESlowReaderDoesNotBlockAPI pins the no-lock-across-write
+// rule: with one events stream frozen mid-frame (its writer blocked, as a
+// stalled client causes once the socket buffer fills), submissions, status
+// reads, listings, and stats must all still complete. If any handler held
+// the job-table mutex across SSE encoding or writing, this test would hang
+// rather than fail fast — so every probe carries its own deadline.
+func TestServerSSESlowReaderDoesNotBlockAPI(t *testing.T) {
+	srv, err := server.New(server.Options{Engine: tunio.NewEngine(tunio.EngineOptions{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Finish one job so its events stream has history to replay.
+	st, resp := submit(t, ts, tinyJob(3), "acme")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	if final := waitTerminal(t, ts, st.ID); final.State != "done" {
+		t.Fatalf("state = %q (%s)", final.State, final.Error)
+	}
+
+	// Freeze an events stream on its first frame.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw := newStalledWriter()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		req := httptest.NewRequest("GET", "/v1/jobs/"+st.ID+"/events", nil).WithContext(ctx)
+		srv.ServeHTTP(sw, req)
+	}()
+	select {
+	case <-sw.first:
+	case <-time.After(10 * time.Second):
+		t.Fatal("events stream never attempted a write")
+	}
+
+	// With the stream frozen, the rest of the API must stay live.
+	probes := map[string]func() int{
+		"status": func() int {
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/jobs/"+st.ID, nil))
+			return w.Code
+		},
+		"list": func() int {
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/jobs", nil))
+			return w.Code
+		},
+		"stats": func() int {
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/stats", nil))
+			return w.Code
+		},
+		"submit": func() int {
+			body, err := json.Marshal(tinyJob(9))
+			if err != nil {
+				t.Error(err)
+				return 0
+			}
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body)))
+			return w.Code
+		},
+	}
+	for name, probe := range probes {
+		codeCh := make(chan int, 1)
+		go func() { codeCh <- probe() }()
+		select {
+		case code := <-codeCh:
+			if code != http.StatusOK && code != http.StatusAccepted {
+				t.Errorf("%s while a reader stalls = %d", name, code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s blocked behind a stalled SSE reader", name)
+		}
+	}
+
+	// Release the stalled stream and let it drain to completion.
+	close(sw.release)
+	select {
+	case <-streamDone:
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("released events stream never finished")
+	}
+}

@@ -3,9 +3,11 @@ package tuner
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"tunio/internal/params"
 )
@@ -215,21 +217,60 @@ feed:
 // The first occurrence in batch order defines the cached value, so curves
 // stay bit-identical between serial and parallel execution.
 //
-// Safe for concurrent use, though the tuning pipeline calls it from one
-// goroutine; concurrency lives below it, in the wrapped evaluator.
+// Safe for concurrent use. The cache is published copy-on-write through
+// an atomic pointer: a batch whose genomes are all cached partitions,
+// counts, and fills entirely from one immutable snapshot — zero locks.
+// Only batches that actually simulate take the writer mutex, to clone
+// and republish. Two goroutines racing on the same uncached genome may
+// both simulate it, but SeedFor makes the measurements bit-identical, so
+// whichever publish lands last changes nothing.
 type Memo struct {
 	Inner BatchEvaluator
 
-	mu      sync.Mutex
-	kernKey string
-	cache   map[string]EvalResult
-	hits    int
-	misses  int
+	mu     sync.Mutex // serializes writers (publish, key changes)
+	state  atomic.Pointer[memoState]
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	// serial, when non-nil, restores the pre-COW behavior of taking one
+	// global mutex around the whole batch. Benchmark baseline only.
+	serial *sync.Mutex
+}
+
+// memoState is one immutable published snapshot: the key configuration
+// and the cache built under it. Replaced wholesale on every mutation.
+type memoState struct {
+	kernKey  string
+	epoch    float64
+	hasEpoch bool
+	prefix   string // kernKey [+ epoch] rendered once, prepended to every key
+	cache    map[string]EvalResult
+}
+
+// prefixFor renders the cache-key prefix: the kernel hash and, when set,
+// the drift epoch. Keying (rather than flushing) on epoch keeps the
+// invalidation monotonic and race-free — an in-flight batch keeps using
+// the snapshot it partitioned against.
+func prefixFor(kernKey string, epoch float64, hasEpoch bool) string {
+	if !hasEpoch {
+		return kernKey + "\x00"
+	}
+	return kernKey + "\x00e" + strconv.FormatUint(math.Float64bits(epoch), 16) + "\x00"
 }
 
 // NewMemo wraps inner with an empty cache.
 func NewMemo(inner BatchEvaluator) *Memo {
-	return &Memo{Inner: inner, cache: map[string]EvalResult{}}
+	m := &Memo{Inner: inner}
+	m.state.Store(&memoState{prefix: prefixFor("", 0, false), cache: map[string]EvalResult{}})
+	return m
+}
+
+// Serialize switches the memo into single-mutex mode (the pre-COW
+// behavior: one global lock around partition, publish, and fill).
+// Benchmark baseline only; call once, before the memo is shared.
+func (m *Memo) Serialize() *Memo {
+	m.serial = &sync.Mutex{}
+	return m
 }
 
 // SetKernelKey installs a kernel content hash (see
@@ -239,42 +280,84 @@ func NewMemo(inner BatchEvaluator) *Memo {
 func (m *Memo) SetKernelKey(key string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.kernKey = key
+	old := m.state.Load()
+	m.state.Store(&memoState{
+		kernKey:  key,
+		epoch:    old.epoch,
+		hasEpoch: old.hasEpoch,
+		prefix:   prefixFor(key, old.epoch, old.hasEpoch),
+		cache:    old.cache,
+	})
+}
+
+// SetEpoch installs a drift epoch (a simulated re-tune timestamp) as a
+// component of every cache key. Entries written under a different epoch
+// — a different cluster regime — can never answer for this one: RunDrift
+// re-tunes across an epoch boundary always re-simulate. Epochs under a
+// drift schedule are strictly increasing, so a stale regime's entries
+// are unreachable forever, not merely unlikely.
+func (m *Memo) SetEpoch(epoch float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.state.Load()
+	if old.hasEpoch && old.epoch == epoch {
+		return
+	}
+	m.state.Store(&memoState{
+		kernKey:  old.kernKey,
+		epoch:    epoch,
+		hasEpoch: true,
+		prefix:   prefixFor(old.kernKey, epoch, true),
+		cache:    old.cache,
+	})
 }
 
 // genomeKey renders an assignment's genome as a compact cache key.
 func genomeKey(a *params.Assignment) string {
-	g := a.Genome()
-	b := make([]byte, 0, 3*len(g))
-	for i, v := range g {
+	return string(appendGenomeKey(nil, a))
+}
+
+// appendGenomeKey appends the genome's dot-separated value indices.
+func appendGenomeKey(b []byte, a *params.Assignment) []byte {
+	for i, v := range a.Genome() {
 		if i > 0 {
 			b = append(b, '.')
 		}
 		b = strconv.AppendInt(b, int64(v), 10)
 	}
-	return string(b)
+	return b
 }
 
 // EvaluateBatch implements BatchEvaluator: cached positions are served
 // from the cache; the remaining distinct genomes are forwarded to the
 // inner evaluator as one (possibly concurrent) sub-batch.
 func (m *Memo) EvaluateBatch(ctx context.Context, batch []*params.Assignment, iteration int) ([]EvalResult, error) {
+	if m.serial != nil {
+		m.serial.Lock()
+		defer m.serial.Unlock()
+	}
 	out := make([]EvalResult, len(batch))
 	keys := make([]string, len(batch))
+	st := m.state.Load()
 
-	// Partition against the cache state at batch start: position i is a
-	// miss only if its genome is neither cached nor requested earlier in
-	// this batch. This partition is a pure function of (cache, batch), so
-	// it is identical however the inner evaluator schedules the work.
+	// Partition against the cache snapshot at batch start: position i is
+	// a miss only if its genome is neither cached nor requested earlier
+	// in this batch. This partition is a pure function of (cache, batch),
+	// so it is identical however the inner evaluator schedules the work.
 	var sub []*params.Assignment
 	var subIdx []int // sub position -> first batch position with that genome
-	firstAt := map[string]int{}
-	m.mu.Lock()
+	var firstAt map[string]int
+	var scratch [96]byte
 	for i, a := range batch {
-		k := m.kernKey + "\x00" + genomeKey(a)
+		kb := append(scratch[:0], st.prefix...)
+		kb = appendGenomeKey(kb, a)
+		k := string(kb)
 		keys[i] = k
-		if _, cached := m.cache[k]; cached {
+		if _, cached := st.cache[k]; cached {
 			continue
+		}
+		if firstAt == nil {
+			firstAt = map[string]int{}
 		}
 		if _, queued := firstAt[k]; queued {
 			continue
@@ -283,10 +366,10 @@ func (m *Memo) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 		sub = append(sub, a)
 		subIdx = append(subIdx, i)
 	}
-	m.hits += len(batch) - len(sub)
-	m.misses += len(sub)
-	m.mu.Unlock()
+	m.hits.Add(int64(len(batch) - len(sub)))
+	m.misses.Add(int64(len(sub)))
 
+	served := st.cache
 	if len(sub) > 0 {
 		res, err := m.Inner.EvaluateBatch(ctx, sub, iteration)
 		if err != nil {
@@ -297,16 +380,27 @@ func (m *Memo) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 			return nil, err
 		}
 		m.mu.Lock()
-		for j, r := range res {
-			m.cache[keys[subIdx[j]]] = r
+		cur := m.state.Load()
+		next := make(map[string]EvalResult, len(cur.cache)+len(res))
+		for k, v := range cur.cache {
+			next[k] = v
 		}
+		for j, r := range res {
+			next[keys[subIdx[j]]] = r
+		}
+		m.state.Store(&memoState{
+			kernKey:  cur.kernKey,
+			epoch:    cur.epoch,
+			hasEpoch: cur.hasEpoch,
+			prefix:   cur.prefix,
+			cache:    next,
+		})
 		m.mu.Unlock()
+		served = next
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for i := range batch {
-		r, ok := m.cache[keys[i]]
+		r, ok := served[keys[i]]
 		if !ok {
 			return nil, fmt.Errorf("tuner: memo: genome %s missing after evaluation", keys[i])
 		}
@@ -318,9 +412,7 @@ func (m *Memo) EvaluateBatch(ctx context.Context, batch []*params.Assignment, it
 // CacheStats reports how many batch positions were served from the cache
 // versus simulated. RunBatch copies these onto the Result.
 func (m *Memo) CacheStats() (hits, misses int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hits, m.misses
+	return int(m.hits.Load()), int(m.misses.Load())
 }
 
 // cacheStatser lets RunBatch surface memoization counters without

@@ -246,6 +246,7 @@ type driftRun struct {
 
 	mask  []bool // picker's active-parameter mask
 	round int    // global evaluation-round counter (all modes)
+	memo  *Memo  // GA-mode memo, keyed by re-tune epoch (stale regimes never hit)
 
 	// Trace constants for the pruning bound, captured from the first
 	// completed replay (always serial — the incumbent's evaluation
@@ -799,11 +800,21 @@ func (d *driftRun) perfBound(r *darshan.Report) float64 {
 }
 
 // gaRetune re-tunes with the genetic pipeline warm-started from the
-// incumbent, maximizing bandwidth at the epoch.
+// incumbent, maximizing bandwidth at the epoch. One memo persists across
+// the run's re-tunes, keyed by the re-tune epoch (Memo.SetEpoch): a
+// genome the GA revisits within one re-tune is served from cache, while
+// a re-tune at a later epoch — a different cluster regime — can never
+// reuse the stale regime's scores, because the epoch is part of every
+// cache key.
 func (d *driftRun) gaRetune(ctx context.Context, inc *params.Assignment, t float64) (*params.Assignment, tuneStats, error) {
 	round := d.round
 	d.round++
 	ev := &epochEvaluator{d: d, epoch: t, base: SeedFor(d.cfg.Seed+driftSaltGA, round, inc)}
+	if d.memo == nil {
+		d.memo = NewMemo(nil)
+	}
+	d.memo.Inner = &Pool{Eval: ev, Workers: d.cfg.Parallelism}
+	d.memo.SetEpoch(t)
 	cfg := Config{
 		Space:         d.cfg.Space,
 		PopSize:       d.cfg.GA.PopSize,
@@ -812,7 +823,7 @@ func (d *driftRun) gaRetune(ctx context.Context, inc *params.Assignment, t float
 		StartFrom:     inc,
 		Picker:        d.cfg.Picker,
 	}
-	res, err := RunBatch(ctx, cfg, &Pool{Eval: ev, Workers: d.cfg.Parallelism})
+	res, err := RunBatch(ctx, cfg, d.memo)
 	if err != nil {
 		return nil, tuneStats{}, err
 	}

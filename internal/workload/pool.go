@@ -12,8 +12,15 @@ import (
 )
 
 // rewire binds a library for the given settings onto the stack's existing
-// simulation and storage backends.
+// simulation and storage backends. The first call builds the lustre
+// backend, resolver closure, and library; later calls — the pooled
+// steady state — restripe the backend and rebind the library in place,
+// so a reset allocates nothing.
 func (st *Stack) rewire(s params.StackSettings) error {
+	if st.lb != nil {
+		st.lb.StripeCount, st.lb.StripeSize = s.StripeCount, s.StripeSize
+		return st.Lib.Rebind(s.Hints, s.HDF5)
+	}
 	lb := &lustre.Backend{FS: st.FS, StripeCount: s.StripeCount, StripeSize: s.StripeSize}
 	resolver := func(path string) ioreq.Backend {
 		if posixio.IsMemPath(path) {
@@ -25,7 +32,7 @@ func (st *Stack) rewire(s params.StackSettings) error {
 	if err != nil {
 		return err
 	}
-	st.Lib = lib
+	st.lb, st.Lib = lb, lib
 	return nil
 }
 

@@ -16,7 +16,6 @@ import (
 	"tunio/internal/cluster"
 	"tunio/internal/darshan"
 	"tunio/internal/hdf5"
-	"tunio/internal/ioreq"
 	"tunio/internal/lustre"
 	"tunio/internal/params"
 	"tunio/internal/posixio"
@@ -28,6 +27,10 @@ type Stack struct {
 	FS  *lustre.FS
 	Mem *posixio.MemFS
 	Lib *hdf5.Library
+
+	// lb is the lustre backend behind Lib's resolver, kept so pooled
+	// resets can restripe it in place instead of rebuilding the wiring.
+	lb *lustre.Backend
 }
 
 // BuildStack wires cluster -> lustre/mem -> mpiio -> hdf5 for the given
@@ -42,19 +45,11 @@ func BuildStack(c *cluster.Cluster, s params.StackSettings, seed int64) (*Stack,
 	if err != nil {
 		return nil, err
 	}
-	lb := &lustre.Backend{FS: fs, StripeCount: s.StripeCount, StripeSize: s.StripeSize}
-	mem := posixio.NewMemFS(sim)
-	resolver := func(path string) ioreq.Backend {
-		if posixio.IsMemPath(path) {
-			return mem
-		}
-		return lb
-	}
-	lib, err := hdf5.NewLibrary(sim, resolver, s.Hints, s.HDF5, c.Procs())
-	if err != nil {
+	st := &Stack{Sim: sim, FS: fs, Mem: posixio.NewMemFS(sim)}
+	if err := st.rewire(s); err != nil {
 		return nil, err
 	}
-	return &Stack{Sim: sim, FS: fs, Mem: mem, Lib: lib}, nil
+	return st, nil
 }
 
 // Workload is a runnable application model.

@@ -41,6 +41,12 @@ echo "== go test -race (tuning server) =="
 # the race detector unconditionally.
 go test -race ./internal/server
 
+echo "== serve benchmark smoke (concurrent serving path) =="
+# One workload, 4 concurrent sessions, in process and over HTTP: the
+# serving path must complete and every served curve must stay
+# bit-identical to a solo Tune under both cache architectures.
+go test -race -run 'TestServeBenchSmoke' ./internal/servebench
+
 echo "== go test -race (signature/trace cross-validation) =="
 # The static I/O signature must exactly match the recorded trace on every
 # fixture workload (event counts and byte totals, no tolerance).
